@@ -1,0 +1,53 @@
+"""Shared fixtures and caches for the reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables/figures and
+prints a paper-vs-measured comparison (run pytest with ``-s`` to see
+them).  Expensive artefacts (the Fig 7.2 sweep) are computed once per
+session and shared.
+
+Scale: by default the benches run a reduced workload (40 cars, 4 flow
+rates) so the suite finishes in a few minutes.  Set ``REPRO_FULL=1``
+to run the paper's full 160-car, 10-flow grid.
+"""
+
+import os
+
+import pytest
+
+from repro.sim.flowsweep import run_flow_sweep
+
+FULL = os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+#: Reduced grid (default) vs the paper's Fig 7.2 grid.
+FLOW_RATES = (
+    (0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.65, 0.8, 1.0, 1.25)
+    if FULL
+    else (0.05, 0.1, 0.3, 0.6, 1.0)
+)
+N_CARS = 160 if FULL else 40
+SCENARIO_REPEATS = 10 if FULL else 2
+
+_cache = {}
+
+
+def get_flow_sweep():
+    """The Fig 7.2 grid, computed once and shared by several benches."""
+    key = ("sweep", FLOW_RATES, N_CARS)
+    if key not in _cache:
+        _cache[key] = run_flow_sweep(
+            policies=("aim", "vt-im", "crossroads"),
+            flow_rates=FLOW_RATES,
+            n_cars=N_CARS,
+            seed=7,
+        )
+    return _cache[key]
+
+
+@pytest.fixture(scope="session")
+def flow_sweep():
+    return get_flow_sweep()
+
+
+def banner(title: str) -> str:
+    bar = "=" * max(len(title), 30)
+    return f"\n{bar}\n{title}\n{bar}"

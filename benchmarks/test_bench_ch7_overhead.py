@@ -1,0 +1,65 @@
+"""E6 — Ch 7.2: computation and network overhead comparison.
+
+Paper: "AIM has up to 16x higher computation overhead ... the
+performance overhead and network traffic of Crossroads and VT-IM is up
+to 20X lower than AIM" — the price of the query-based trial-and-error
+scheme (every re-request re-simulates the trajectory over the tile
+grid).
+
+Measured here: total IM compute seconds and on-air messages from the
+shared Fig 7.2 sweep.
+"""
+
+import pytest
+
+from conftest import FLOW_RATES, banner, get_flow_sweep
+from repro.analysis import overhead_rows, render_table
+
+
+def test_ch7_overhead(benchmark):
+    sweep = benchmark.pedantic(get_flow_sweep, rounds=1, iterations=1)
+
+    headers, rows = overhead_rows(sweep)
+    print(banner("Ch 7.2 - IM compute time and network traffic"))
+    print(render_table(headers, rows, precision=1))
+
+    by_key = {
+        (policy, p.flow_rate): p
+        for policy, points in sweep.items()
+        for p in points
+    }
+    top = max(FLOW_RATES)
+    aim = by_key[("aim", top)]
+    cr = by_key[("crossroads", top)]
+    vt = by_key[("vt-im", top)]
+
+    compute_ratio = aim.compute_time / cr.compute_time
+    msg_ratio = aim.messages / cr.messages
+    print(f"\nat flow {top}: AIM/Crossroads compute {compute_ratio:.1f}X "
+          f"(paper: up to 16X), messages {msg_ratio:.1f}X (paper: up to 20X)")
+
+    # Shape: AIM is multiples more expensive on both axes; VT-IM and
+    # Crossroads are the same order of magnitude.
+    assert compute_ratio > 2.0
+    assert msg_ratio > 1.5
+    assert aim.result.requests_total > cr.result.requests_total
+    assert 0.2 < vt.compute_time / cr.compute_time < 5.0
+
+
+def test_ch7_per_request_cost(benchmark):
+    """One AIM tile simulation costs a multiple of one VT/Crossroads
+    scheduling pass (the per-request compute gap)."""
+    sweep = benchmark.pedantic(get_flow_sweep, rounds=1, iterations=1)
+    top = max(FLOW_RATES)
+    by_key = {
+        (policy, p.flow_rate): p.result
+        for policy, points in sweep.items()
+        for p in points
+    }
+    aim = by_key[("aim", top)]
+    cr = by_key[("crossroads", top)]
+    aim_per_request = aim.compute_time / max(aim.compute_requests, 1)
+    cr_per_request = cr.compute_time / max(cr.compute_requests, 1)
+    print(f"\nper-request compute: AIM {aim_per_request * 1000:.1f} ms, "
+          f"Crossroads {cr_per_request * 1000:.1f} ms")
+    assert aim_per_request > cr_per_request

@@ -1,0 +1,50 @@
+"""E1 — Fig 3.1 / Ch 3.1: the safety-buffer estimation experiment.
+
+Paper: 20 trials of the hold/ramp/hold profile on the physical car,
+worst cases 0.1->3.0 and 3.0->0.1 m/s, give ``Elong = +-75 mm``.
+
+Measured here: the same procedure on the calibrated noisy plant.  The
+benchmark times one full 2x20-trial campaign.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import banner
+from repro.analysis import render_table
+from repro.sensors import worst_case_elong
+
+
+def run_campaign(seed: int = 2017):
+    return worst_case_elong(trials=20, rng=np.random.default_rng(seed))
+
+
+def test_fig3_1_elong_bound(benchmark):
+    bound, up, down = benchmark.pedantic(run_campaign, rounds=3, iterations=1)
+
+    print(banner("Fig 3.1 - worst-case longitudinal error (Elong)"))
+    print(render_table(
+        ["profile", "mean Elong (mm)", "max |Elong| (mm)"],
+        [
+            ["0.1 -> 3.0 m/s", up.mean_elong * 1000, up.max_abs_elong * 1000],
+            ["3.0 -> 0.1 m/s", down.mean_elong * 1000, down.max_abs_elong * 1000],
+        ],
+        precision=1,
+    ))
+    print(f"measured bound: +-{bound * 1000:.1f} mm   (paper: +-75 mm)")
+
+    # Shape assertions: sign structure and testbed-range magnitude.
+    assert up.mean_elong > 0, "accelerating profile should fall short (+Elong)"
+    assert down.mean_elong < 0, "decelerating profile should overshoot (-Elong)"
+    assert 0.03 < bound < 0.15, "Elong bound should be in the testbed's range"
+
+
+def test_fig3_1_trial_spread(benchmark):
+    """Per-trial spread is small relative to the bound (repeatability)."""
+
+    def spread():
+        _, up, down = run_campaign(seed=99)
+        return max(up.std_elong, down.std_elong)
+
+    sigma = benchmark.pedantic(spread, rounds=3, iterations=1)
+    assert sigma < 0.05

@@ -1,0 +1,21 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in
+offline environments without the ``wheel`` package (the legacy develop
+path needs only setuptools).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Crossroads: time-sensitive autonomous intersection management "
+        "(DAC 2017 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.20"],
+)

@@ -1,0 +1,125 @@
+"""Per-figure report builders.
+
+Each function turns raw run results into the (headers, rows) pair that
+the corresponding paper artefact shows, so benches and examples print
+consistent tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.tables import geometric_mean
+from repro.sim.metrics import SimResult
+
+__all__ = [
+    "flow_sweep_rows",
+    "overhead_rows",
+    "scenario_rows",
+    "speedup_summary",
+]
+
+
+def scenario_rows(
+    per_scenario: "Dict[str, Dict[str, SimResult]]",
+) -> Tuple[List[str], List[list]]:
+    """Fig 7.1 shape: one row per scenario, one column per policy.
+
+    ``per_scenario`` maps scenario name -> {policy: result}.
+    """
+    policies = sorted({p for results in per_scenario.values() for p in results})
+    headers = ["scenario"] + [f"{p} avg wait (s)" for p in policies] + ["best"]
+    rows = []
+    for name, results in per_scenario.items():
+        delays = [results[p].average_delay if p in results else float("nan") for p in policies]
+        best = policies[min(range(len(policies)), key=lambda i: delays[i])]
+        rows.append([name, *delays, best])
+    return headers, rows
+
+
+def flow_sweep_rows(
+    sweep: "Dict[str, list]",
+) -> Tuple[List[str], List[list]]:
+    """Fig 7.2 shape: one row per flow rate, throughput per policy.
+
+    ``sweep`` maps policy -> list of FlowPoint.
+    """
+    policies = sorted(sweep)
+    flows = sorted({p.flow_rate for points in sweep.values() for p in points})
+    headers = ["flow (car/lane/s)"] + [f"{p} thr" for p in policies]
+    by_key = {
+        (policy, point.flow_rate): point
+        for policy, points in sweep.items()
+        for point in points
+    }
+    rows = []
+    for flow in flows:
+        row = [flow]
+        for policy in policies:
+            point = by_key.get((policy, flow))
+            row.append(point.throughput if point else float("nan"))
+        rows.append(row)
+    return headers, rows
+
+
+def overhead_rows(
+    sweep: "Dict[str, list]",
+) -> Tuple[List[str], List[list]]:
+    """Ch 7.2 overhead: compute seconds and messages per policy/flow."""
+    policies = sorted(sweep)
+    headers = ["flow"] + [f"{p} compute (s)" for p in policies] + [
+        f"{p} msgs" for p in policies
+    ]
+    flows = sorted({p.flow_rate for points in sweep.values() for p in points})
+    by_key = {
+        (policy, point.flow_rate): point
+        for policy, points in sweep.items()
+        for point in points
+    }
+    rows = []
+    for flow in flows:
+        row = [flow]
+        for policy in policies:
+            point = by_key.get((policy, flow))
+            row.append(point.compute_time if point else float("nan"))
+        for policy in policies:
+            point = by_key.get((policy, flow))
+            row.append(point.messages if point else float("nan"))
+        rows.append(row)
+    return headers, rows
+
+
+def speedup_summary(
+    sweep: "Dict[str, list]",
+    subject: str = "crossroads",
+    metric: str = "throughput",
+) -> Dict[str, Dict[str, float]]:
+    """Worst-case and average ratios of ``subject`` over each baseline.
+
+    Mirrors the paper's headline numbers ("1.62X better than VT-IM in
+    worst case and 1.36X in average").  The "worst case" is the
+    *largest* advantage over the sweep (the flow where the baseline
+    suffers most), the average is the geometric mean over flows.
+    """
+    if subject not in sweep:
+        raise ValueError(f"subject {subject!r} not in sweep")
+    subject_by_flow = {p.flow_rate: getattr(p, metric) for p in sweep[subject]}
+    out: Dict[str, Dict[str, float]] = {}
+    for baseline, points in sweep.items():
+        if baseline == subject:
+            continue
+        ratios = []
+        for point in points:
+            subject_value = subject_by_flow.get(point.flow_rate)
+            base_value = getattr(point, metric)
+            if subject_value is None or base_value <= 0:
+                continue
+            ratios.append(subject_value / base_value)
+        if not ratios:
+            continue
+        out[baseline] = {
+            "worst_case": max(ratios),
+            "average": geometric_mean(ratios),
+            "best_case": min(ratios),
+        }
+    return out

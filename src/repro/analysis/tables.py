@@ -1,0 +1,55 @@
+"""Plain-text table rendering and aggregate helpers."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_value", "geometric_mean", "render_table"]
+
+
+def format_value(value, precision: int = 3) -> str:
+    """Human-friendly cell formatting."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 10 ** (-precision):
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    precision: int = 3,
+    indent: str = "",
+) -> str:
+    """Render an aligned ASCII table (headers, separator, rows)."""
+    str_rows: List[List[str]] = [
+        [format_value(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt_line(cells):
+        return indent + "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    lines = [fmt_line(headers), indent + "  ".join("-" * w for w in widths)]
+    lines.extend(fmt_line(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the right average for speedup ratios)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,115 @@
+"""Terminal visualisation: sparklines, line charts, space-time diagrams.
+
+Everything renders to plain text so results are inspectable anywhere
+the test suite runs (no plotting dependencies by design).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["series_plot", "space_time_diagram", "sparkline"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render values as a unicode block sparkline."""
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if math.isclose(lo, hi):
+        return _BLOCKS[0] * len(values)
+    span = hi - lo
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_BLOCKS) - 1) + 0.5)
+        out.append(_BLOCKS[idx])
+    return "".join(out)
+
+
+def series_plot(
+    xs: Sequence[float],
+    series: "Dict[str, Sequence[float]]",
+    width: int = 60,
+    height: int = 12,
+) -> str:
+    """ASCII line chart of one or more y-series over shared x values.
+
+    Each series gets a marker character; points are plotted on a
+    character grid with a y-axis scale on the left.
+    """
+    if not xs or not series:
+        raise ValueError("xs and series must be non-empty")
+    for label, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {label!r} length mismatch")
+    markers = "ox+*#@%&"
+    all_y = [y for ys in series.values() for y in ys]
+    y_lo, y_hi = min(all_y), max(all_y)
+    if math.isclose(y_lo, y_hi):
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    if math.isclose(x_lo, x_hi):
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (label, ys), marker in zip(series.items(), markers):
+        for x, y in zip(xs, ys):
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1) + 0.5)
+            row = int((y - y_lo) / (y_hi - y_lo) * (height - 1) + 0.5)
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    for i, row in enumerate(grid):
+        y_val = y_hi - (y_hi - y_lo) * i / (height - 1)
+        lines.append(f"{y_val:8.3f} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(" " * 10 + f"{x_lo:<10.3g}" + " " * max(width - 20, 0) + f"{x_hi:>10.3g}")
+    legend = "   ".join(
+        f"{marker}={label}" for (label, _), marker in zip(series.items(), markers)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def space_time_diagram(
+    samples: Iterable,
+    lane: Optional[str] = None,
+    route_length: float = 6.0,
+    columns: int = 60,
+    period: float = 0.5,
+    line_position: float = 3.0,
+) -> str:
+    """Space-time diagram of traced vehicles (one row per time step).
+
+    ``samples`` are :class:`~repro.sim.trace.TraceSample` s; pass
+    ``lane`` ("N"/"E"/"S"/"W") to restrict to one approach.  Position
+    runs left-to-right (0 = transmission line); the stop line is drawn
+    as ``|``; each vehicle prints the last digit of its id.
+    """
+    rows: Dict[int, Dict[int, str]] = {}
+    for s in samples:
+        if lane is not None and not s.movement_key.startswith(lane):
+            continue
+        step = int(round(s.time / period))
+        col = int(min(max(s.position / route_length, 0.0), 1.0) * (columns - 1))
+        rows.setdefault(step, {})[col] = str(s.vehicle_id % 10)
+    if not rows:
+        return "(no samples)"
+    line_col = int(line_position / route_length * (columns - 1))
+    out = []
+    for step in range(min(rows), max(rows) + 1):
+        cells = rows.get(step, {})
+        chars = []
+        for col in range(columns):
+            if col in cells:
+                chars.append(cells[col])
+            elif col == line_col:
+                chars.append("|")
+            else:
+                chars.append("·")
+        out.append(f"t={step * period:6.1f}s  " + "".join(chars))
+    return "\n".join(out)

@@ -1,0 +1,14 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the examples and benchmarks:
+
+* ``run`` — one scenario/flow under one policy, per-vehicle table;
+* ``sweep`` — the Fig 7.2 policy-by-flow grid (micro or analytic engine);
+* ``scenarios`` — the Fig 7.1 ten-scenario comparison;
+* ``buffer`` — the Ch 3 safety-buffer estimation experiment;
+* ``info`` — version, policies and testbed constants.
+"""
+
+from repro.cli.main import build_parser, main
+
+__all__ = ["build_parser", "main"]

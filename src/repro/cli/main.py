@@ -1,0 +1,197 @@
+"""Argument parsing and command dispatch for the ``repro`` CLI."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Crossroads intersection-management reproduction (DAC 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one workload under one policy")
+    run.add_argument("--policy", default="crossroads",
+                     help="vt-im | crossroads | aim | batch-crossroads")
+    group = run.add_mutually_exclusive_group()
+    group.add_argument("--scenario", type=int, metavar="N",
+                       help="scale-model scenario number 1..10")
+    group.add_argument("--flow", type=float, metavar="RATE",
+                       help="Poisson flow, cars/lane/second")
+    run.add_argument("--cars", type=int, default=20, help="vehicles for --flow")
+    run.add_argument("--seed", type=int, default=2017)
+
+    sweep = sub.add_parser("sweep", help="Fig 7.2: throughput vs flow grid")
+    sweep.add_argument("--policies", nargs="+",
+                       default=["aim", "vt-im", "crossroads"])
+    sweep.add_argument("--flows", nargs="+", type=float,
+                       default=[0.05, 0.1, 0.3, 0.6, 1.0])
+    sweep.add_argument("--cars", type=int, default=40)
+    sweep.add_argument("--seed", type=int, default=7)
+    sweep.add_argument("--engine", choices=("micro", "analytic"),
+                       default="micro",
+                       help="micro = full protocol simulation; analytic = "
+                            "ideal-vehicle fast engine (VT-style IMs only)")
+
+    scen = sub.add_parser("scenarios", help="Fig 7.1: the 10 scale-model cases")
+    scen.add_argument("--repeats", type=int, default=3)
+    scen.add_argument("--policies", nargs="+", default=["vt-im", "crossroads"])
+
+    sub.add_parser("buffer", help="Ch 3: safety-buffer estimation experiment")
+    sub.add_parser("info", help="library, policies and testbed constants")
+    return parser
+
+
+# -- commands -----------------------------------------------------------------
+
+def _cmd_run(args) -> int:
+    from repro.analysis import render_table
+    from repro.sim import run_scenario
+    from repro.traffic import PoissonTraffic, scale_model_scenarios
+
+    if args.flow is not None:
+        arrivals = PoissonTraffic(args.flow, seed=args.seed).generate(args.cars)
+        label = f"flow {args.flow} car/lane/s, {args.cars} cars"
+    else:
+        number = args.scenario if args.scenario is not None else 1
+        if not 1 <= number <= 10:
+            print("scenario must be 1..10", file=sys.stderr)
+            return 2
+        scenario = scale_model_scenarios()[number - 1]
+        arrivals = scenario.arrivals
+        label = f"scenario {scenario.name}"
+
+    result = run_scenario(args.policy, arrivals, seed=args.seed)
+    print(f"{args.policy} on {label}\n")
+    rows = [
+        [f"V{r.vehicle_id}", r.movement_key, r.spawn_time, r.delay,
+         r.requests_sent, r.came_to_stop]
+        for r in sorted(result.records, key=lambda r: r.vehicle_id)
+    ]
+    print(render_table(
+        ["vehicle", "movement", "spawn (s)", "wait (s)", "requests", "stopped"],
+        rows, precision=2,
+    ))
+    print(f"\navg wait {result.average_delay:.3f} s | throughput "
+          f"{result.throughput:.3f} | messages {result.messages_sent} | "
+          f"IM compute {result.compute_time:.2f} s | safe {result.safe}")
+    return 0 if result.safe else 1
+
+
+def _cmd_sweep(args) -> int:
+    from repro.analysis import flow_sweep_rows, render_table, speedup_summary
+
+    if args.engine == "analytic":
+        from repro.geometry import ConflictTable, IntersectionGeometry
+        from repro.sim import run_analytic
+        from repro.sim.flowsweep import FlowPoint
+        from repro.traffic import PoissonTraffic
+
+        geometry = IntersectionGeometry()
+        conflicts = ConflictTable(geometry)
+        sweep = {}
+        for policy in args.policies:
+            points = []
+            for flow in args.flows:
+                arrivals = PoissonTraffic(
+                    flow, seed=args.seed + int(flow * 1000)
+                ).generate(args.cars)
+                result = run_analytic(
+                    policy, arrivals, geometry=geometry, conflicts=conflicts
+                )
+                points.append(FlowPoint(policy=result.policy, flow_rate=flow,
+                                        result=result))
+            sweep[points[0].policy] = points
+    else:
+        from repro.sim import run_flow_sweep
+
+        sweep = run_flow_sweep(
+            policies=args.policies, flow_rates=args.flows,
+            n_cars=args.cars, seed=args.seed,
+        )
+
+    headers, rows = flow_sweep_rows(sweep)
+    print(render_table(headers, rows, precision=4))
+    if "crossroads" in sweep and len(sweep) > 1:
+        print("\nCrossroads advantage:")
+        for baseline, stats in speedup_summary(sweep, subject="crossroads").items():
+            print(f"  vs {baseline:12s} worst {stats['worst_case']:.2f}X, "
+                  f"avg {stats['average']:.2f}X")
+    return 0
+
+
+def _cmd_scenarios(args) -> int:
+    from repro.analysis import render_table
+    from repro.sim import run_scenario
+    from repro.traffic import scale_model_scenarios
+
+    rows = []
+    for scenario in scale_model_scenarios():
+        row = [scenario.name]
+        for policy in args.policies:
+            delays = [
+                run_scenario(policy, scenario.arrivals, seed=100 + rep).average_delay
+                for rep in range(args.repeats)
+            ]
+            row.append(float(np.mean(delays)))
+        rows.append(row)
+    headers = ["scenario"] + [f"{p} wait (s)" for p in args.policies]
+    print(render_table(headers, rows, precision=2))
+    return 0
+
+
+def _cmd_buffer(_args) -> int:
+    from repro.analysis import render_table
+    from repro.sensors import SafetyBufferCalculator, worst_case_elong
+
+    bound, up, down = worst_case_elong(trials=20, rng=np.random.default_rng(2017))
+    print(render_table(
+        ["profile", "mean Elong (mm)", "max |Elong| (mm)"],
+        [
+            ["0.1 -> 3.0 m/s", up.mean_elong * 1000, up.max_abs_elong * 1000],
+            ["3.0 -> 0.1 m/s", down.mean_elong * 1000, down.max_abs_elong * 1000],
+        ],
+        precision=1,
+    ))
+    b = SafetyBufferCalculator(elong=bound).breakdown()
+    print(f"\nElong bound {bound * 1000:.1f} mm (paper: 75 mm); "
+          f"base buffer {b.base * 1000:.1f} mm; VT-IM total {b.total:.3f} m")
+    return 0
+
+
+def _cmd_info(_args) -> int:
+    import repro
+    from repro.core.base import IMConfig
+    from repro.core.policy import EXTENSION_POLICIES, POLICIES
+
+    config = IMConfig()
+    print(f"repro {repro.__version__} — Crossroads reproduction (DAC 2017)")
+    print(f"policies   : {', '.join(POLICIES)}")
+    print(f"extensions : {', '.join(EXTENSION_POLICIES)}")
+    print(f"WC-RTD     : {config.wc_rtd * 1000:.0f} ms")
+    print(f"base buffer: {config.base_buffer * 1000:.0f} mm")
+    print(f"RTD buffer : {config.wc_rtd * config.v_max:.2f} m (VT-IM only)")
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "scenarios": _cmd_scenarios,
+    "buffer": _cmd_buffer,
+    "info": _cmd_info,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)

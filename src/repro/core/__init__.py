@@ -1,0 +1,47 @@
+"""Intersection-management policies — the paper's core.
+
+Three intersection managers share one substrate:
+
+* :class:`VtimIM` — the plain Velocity-Transaction IM of Ch 4.  Replies
+  with a target velocity the vehicle executes *on receipt*; must
+  therefore schedule with an extra RTD buffer (``v_max * WC-RTD``).
+* :class:`AimIM` — the query-based AIM baseline of Ch 5.2 (Dresner &
+  Stone).  The vehicle proposes its own arrival time; the IM simulates
+  the trajectory over a space-time tile grid and answers yes/no.  No
+  RTD buffer, but no optimisation either — and every (re-)request costs
+  a full trajectory simulation.
+* :class:`CrossroadsIM` — the contribution (Ch 6).  A VT-IM whose reply
+  carries an execution time ``TE = TT + WC-RTD``; the vehicle actuates
+  exactly at ``TE`` so its position is deterministic and only the
+  sensing buffer is needed.
+
+:class:`ConflictScheduler` is the FCFS conflict-aware slot assigner the
+two VT-style IMs use; :mod:`repro.core.compute` models IM computation
+delay (the "C" in WC-RTD).
+"""
+
+from repro.core.aim import AimConfig, AimIM
+from repro.core.base import BaseIM, IMConfig, IMStats
+from repro.core.compute import AimComputeModel, ComputeModel, LinearComputeModel
+from repro.core.crossroads import CrossroadsIM
+from repro.core.policy import POLICIES, make_im, normalize_policy
+from repro.core.scheduler import ConflictScheduler, ScheduledCrossing
+from repro.core.vtim import VtimIM
+
+__all__ = [
+    "AimComputeModel",
+    "AimConfig",
+    "AimIM",
+    "BaseIM",
+    "ComputeModel",
+    "ConflictScheduler",
+    "CrossroadsIM",
+    "IMConfig",
+    "IMStats",
+    "LinearComputeModel",
+    "POLICIES",
+    "ScheduledCrossing",
+    "VtimIM",
+    "make_im",
+    "normalize_policy",
+]

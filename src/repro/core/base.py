@@ -1,0 +1,213 @@
+"""Shared intersection-manager machinery.
+
+:class:`BaseIM` runs two DES processes:
+
+* a *receive loop* that services sync requests immediately (the NTP
+  responder is trivial) and queues crossing/AIM requests FIFO — the
+  paper's "after processing the requests ahead in a FIFO queue";
+* a *compute worker* holding a capacity-1 resource, charging each
+  request's service time to the policy's
+  :class:`~repro.core.compute.ComputeModel` before replying.  Requests
+  that arrive together therefore queue, which is exactly how the
+  testbed's worst-case computation delay (135 ms for four simultaneous
+  arrivals) comes about.
+
+Subclasses implement :meth:`handle_crossing` (build the reply and
+report the work done) and :meth:`handle_exit`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.core.compute import ComputeModel
+from repro.des import Environment, Store
+from repro.network.channel import Radio
+from repro.network.messages import (
+    AimRequest,
+    CancelReservation,
+    CrossingRequest,
+    ExitNotification,
+    Message,
+    SyncRequest,
+    SyncResponse,
+)
+
+__all__ = ["BaseIM", "IMConfig", "IMStats"]
+
+
+@dataclass
+class IMConfig:
+    """Policy-independent IM parameters (testbed defaults).
+
+    Attributes
+    ----------
+    wc_rtd:
+        Worst-case round-trip delay bound, seconds (Ch 4: 150 ms).
+    wc_network:
+        Worst-case one-way network delay, seconds (Ch 4: 7.5 ms).
+    base_buffer:
+        Sensing + sync buffer every policy assumes, metres (78 mm).
+    v_max:
+        Intersection speed limit, m/s.
+    v_min:
+        Crawl-speed floor for approach planning, m/s.
+    address:
+        The IM's network address.
+    """
+
+    wc_rtd: float = 0.150
+    wc_network: float = 0.0075
+    base_buffer: float = 0.078
+    v_max: float = 3.0
+    #: Slowest crossing velocity the IM will ever command.  No real
+    #: controller commands centimetres per second; this also bounds a
+    #: single vehicle's box-occupancy time.
+    v_min: float = 0.25
+    #: Crossroads only: slowest acceptable crossing speed for a cruise
+    #: plan; below it the IM assigns a timed stop-and-go launch (the
+    #: time-sensitive interface can express one; the plain VT interface
+    #: cannot).  Must match the vehicles' ``AgentConfig.arrive_floor``.
+    v_arrive_floor: float = 1.2
+    address: str = "IM"
+
+    def __post_init__(self):
+        if self.wc_rtd <= 0 or self.wc_network < 0:
+            raise ValueError("delays must be positive")
+        if self.base_buffer < 0:
+            raise ValueError("base_buffer must be non-negative")
+        if self.v_max <= 0 or self.v_min <= 0 or self.v_min > self.v_max:
+            raise ValueError("need 0 < v_min <= v_max")
+
+
+@dataclass
+class IMStats:
+    """Aggregate IM-side counters."""
+
+    sync_requests: int = 0
+    crossing_requests: int = 0
+    accepts: int = 0
+    rejects: int = 0
+    exits: int = 0
+    peak_queue: int = 0
+    #: Per-request service times, seconds (for WC-CD analysis).
+    service_times: list = field(default_factory=list)
+
+    @property
+    def worst_service_time(self) -> float:
+        """Longest single request service time observed."""
+        return max(self.service_times) if self.service_times else 0.0
+
+
+class BaseIM:
+    """Abstract intersection manager bound to a radio.
+
+    Parameters
+    ----------
+    env:
+        DES environment.
+    radio:
+        The IM's attached radio (address must equal ``config.address``).
+    compute:
+        Computation-delay model.
+    config:
+        Shared parameters.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        radio: Radio,
+        compute: ComputeModel,
+        config: Optional[IMConfig] = None,
+    ):
+        self.env = env
+        self.radio = radio
+        self.compute = compute
+        self.config = config if config is not None else IMConfig()
+        if radio.address != self.config.address:
+            raise ValueError("radio address must match config.address")
+        self.stats = IMStats()
+        #: FIFO of sender addresses with work pending; only the *latest*
+        #: request per sender is kept (a retransmission supersedes the
+        #: original — re-answering every duplicate would melt the queue).
+        self._work_queue: Store = Store(env)
+        self._pending: dict = {}
+        #: Sequence number of the last *granted* request per sender:
+        #: cancels older than the grant are stale and must be ignored
+        #: (a cancel can race a newer request through the compute queue).
+        self._last_grant_seq: dict = {}
+        env.process(self._receive_loop())
+        env.process(self._compute_worker())
+
+    # -- policy hooks --------------------------------------------------------
+    def handle_crossing(self, message: Message) -> Tuple[Optional[Message], dict]:
+        """Build the reply for a crossing/AIM request.
+
+        Returns ``(response_or_None, work)`` where ``work`` kwargs feed
+        the compute model (e.g. ``reservations=`` or ``cells=``).
+        """
+        raise NotImplementedError
+
+    def handle_exit(self, message: ExitNotification) -> None:
+        """Free whatever state the policy holds for the vehicle."""
+        raise NotImplementedError
+
+    def note_grant(self, sender: str, request_seq: int) -> None:
+        """Record that ``sender``'s request ``request_seq`` was granted."""
+        self._last_grant_seq[sender] = request_seq
+
+    def handle_cancel(self, message: CancelReservation) -> None:
+        """Withdraw the sender's reservation (defaults to exit logic).
+
+        A cancel that predates the sender's most recent grant is stale:
+        the vehicle already renegotiated, and releasing the *new*
+        reservation would hand its slot to cross traffic while the
+        vehicle is committed to using it.
+        """
+        if message.seq < self._last_grant_seq.get(message.sender, -1):
+            return
+        self.handle_exit(message)  # same cleanup for every policy here
+
+    # -- processes -------------------------------------------------------------
+    def _receive_loop(self):
+        while True:
+            message = yield self.radio.receive()
+            if isinstance(message, SyncRequest):
+                self.stats.sync_requests += 1
+                now = self.env.now  # the IM is the time reference
+                self.radio.send(
+                    SyncResponse(
+                        sender=self.config.address,
+                        receiver=message.sender,
+                        t0=message.t0,
+                        t1=now,
+                        t2=now,
+                    )
+                )
+            elif isinstance(message, (CrossingRequest, AimRequest)):
+                self.stats.crossing_requests += 1
+                if message.sender not in self._pending:
+                    self._work_queue.put_nowait(message.sender)
+                self._pending[message.sender] = message
+                self.stats.peak_queue = max(self.stats.peak_queue, len(self._work_queue))
+            elif isinstance(message, ExitNotification):
+                self.stats.exits += 1
+                self.handle_exit(message)
+            elif isinstance(message, CancelReservation):
+                self.handle_cancel(message)
+            # Unknown message types are dropped silently, like hardware.
+
+    def _compute_worker(self):
+        while True:
+            sender = yield self._work_queue.get()
+            message = self._pending.pop(sender, None)
+            if message is None:
+                continue
+            response, work = self.handle_crossing(message)
+            service = self.compute.charge(**work)
+            self.stats.service_times.append(service)
+            yield self.env.timeout(service)
+            if response is not None:
+                self.radio.send(response)

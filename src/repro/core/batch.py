@@ -1,0 +1,126 @@
+"""Batch re-ordering IM — an extension beyond the paper.
+
+The paper's related work (Tachet et al. 2016, "Revisiting street
+intersections using slot-based systems") batches requests over a
+re-organisation window and re-orders them for a more efficient entrance
+sequence, at the cost of extra computation and latency.  The paper
+notes the idea but does not implement it; this module does, on top of
+the Crossroads machinery, as the library's demonstration extension:
+
+* requests are collected for ``batch_window`` seconds before serving;
+* within a batch, a greedy compatibility heuristic chains movements
+  that can share the box (e.g. two opposite straights, four right
+  turns), so compatible vehicles receive overlapping slots instead of
+  whatever order their requests happened to arrive in;
+* everything else — TE stamping, the FCFS conflict scheduler, the
+  vehicle protocol — is stock Crossroads, so ``CrossroadsVehicle``
+  agents work unchanged (the batching latency is absorbed by the TE
+  guard and the retransmit clause).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.compute import ComputeModel
+from repro.core.crossroads import CrossroadsIM
+from repro.core.scheduler import ConflictScheduler
+from repro.des import AnyOf, Environment
+from repro.network.channel import Radio
+from repro.network.messages import CrossingRequest
+
+__all__ = ["BatchCrossroadsIM"]
+
+
+class BatchCrossroadsIM(CrossroadsIM):
+    """Crossroads with a Tachet-style re-organisation window.
+
+    Parameters
+    ----------
+    batch_window:
+        How long to keep collecting requests after the first one
+        arrives before scheduling the whole batch, seconds.  Zero
+        degenerates to stock Crossroads.  The window is a latency /
+        re-ordering-opportunity trade-off: the retransmit-heavy closed
+        loop punishes windows beyond a few tens of milliseconds, which
+        is itself an instructive result for slot-reorganisation schemes
+        under realistic RTDs.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        radio: Radio,
+        scheduler: ConflictScheduler,
+        config=None,
+        compute: Optional[ComputeModel] = None,
+        batch_window: float = 0.05,
+    ):
+        if batch_window < 0:
+            raise ValueError("batch_window must be non-negative")
+        self.batch_window = batch_window
+        #: Batches served (for tests/metrics).
+        self.batches = 0
+        #: Largest batch seen.
+        self.max_batch = 0
+        super().__init__(env, radio, scheduler, config=config, compute=compute)
+
+    # -- batch collection -----------------------------------------------------
+    def _compute_worker(self):  # overrides BaseIM's serial worker
+        while True:
+            first_sender = yield self._work_queue.get()
+            senders = [first_sender]
+            deadline = self.env.now + self.batch_window
+            while self.env.now < deadline - 1e-12:
+                get = self._work_queue.get()
+                expiry = self.env.timeout(deadline - self.env.now)
+                result = yield AnyOf(self.env, [get, expiry])
+                if get in result:
+                    senders.append(result[get])
+                else:
+                    self._work_queue.cancel_get(get)
+                    break
+            messages = [
+                self._pending.pop(s) for s in senders if s in self._pending
+            ]
+            messages = [m for m in messages if m is not None]
+            if not messages:
+                continue
+            self.batches += 1
+            self.max_batch = max(self.max_batch, len(messages))
+            for message in self.reorder(messages):
+                response, work = self.handle_crossing(message)
+                service = self.compute.charge(**work)
+                self.stats.service_times.append(service)
+                yield self.env.timeout(service)
+                if response is not None:
+                    self.radio.send(response)
+
+    # -- re-organisation heuristic ---------------------------------------------
+    def reorder(self, messages: List[CrossingRequest]) -> List[CrossingRequest]:
+        """Greedy compatibility chaining.
+
+        Start from the request with the earliest timestamp (FCFS
+        anchor); repeatedly append, among the remaining requests, one
+        whose movement does *not* conflict with the previously chosen
+        movement when possible (so the scheduler can overlap their
+        slots), falling back to timestamp order.
+        """
+        remaining = sorted(messages, key=lambda m: m.tt)
+        if len(remaining) <= 2:
+            return remaining
+        ordered = [remaining.pop(0)]
+        while remaining:
+            last_movement = ordered[-1].vehicle_info.movement
+            pick = None
+            for candidate in remaining:
+                if not self.scheduler.conflicts.conflicts(
+                    last_movement, candidate.vehicle_info.movement
+                ):
+                    pick = candidate
+                    break
+            if pick is None:
+                pick = remaining[0]
+            remaining.remove(pick)
+            ordered.append(pick)
+        return ordered

@@ -1,0 +1,128 @@
+"""Crossroads: the time-sensitive VT-IM (paper Ch 6 / Algorithms 7-8).
+
+The reply to a request stamped ``TT`` carries an execution time::
+
+    TE = TT + WC-RTD
+
+The vehicle holds its current velocity ``VC`` until its (synchronised)
+clock reads ``TE`` and only then begins the commanded trajectory.  Its
+position at ``TE`` is therefore deterministic::
+
+    DE = DT - VC * (TE - TT)
+
+so the IM can plan from ``(DE, VC, TE)`` exactly, and **no RTD buffer
+is needed** — only the sensing + sync buffer.  This is the whole trick,
+and the whole paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.base import BaseIM, IMConfig
+from repro.core.compute import ComputeModel, LinearComputeModel
+from repro.core.scheduler import ConflictScheduler
+from repro.core.vtim import _vehicle_id_from_address
+from repro.kinematics.arrival import earliest_arrival_time, plan_arrival
+from repro.des import Environment
+from repro.network.channel import Radio
+from repro.network.messages import (
+    CrossingRequest,
+    CrossroadsCommand,
+    ExitNotification,
+    Message,
+)
+
+__all__ = ["CrossroadsIM"]
+
+
+class CrossroadsIM(BaseIM):
+    """The time-sensitive intersection manager.
+
+    Parameters mirror :class:`~repro.core.vtim.VtimIM`; the behavioural
+    differences are (a) planning from the deterministic execution-time
+    state and (b) scheduling with the base buffer only.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        radio: Radio,
+        scheduler: ConflictScheduler,
+        config: Optional[IMConfig] = None,
+        compute: Optional[ComputeModel] = None,
+    ):
+        super().__init__(
+            env,
+            radio,
+            compute if compute is not None else LinearComputeModel(),
+            config,
+        )
+        self.scheduler = scheduler
+
+    def execution_time(self, tt: float) -> float:
+        """``TE = TT + WC-RTD`` (Ch 6), guarded against overload.
+
+        If the IM is so backlogged that the reply could not reach the
+        vehicle before the nominal ``TE``, the execution time is pushed
+        to ``now + WC-network`` so the contract "command arrives before
+        it must be executed" still holds; the vehicle's retransmit
+        timeout makes this path rare.
+        """
+        return max(tt + self.config.wc_rtd, self.env.now + self.config.wc_network)
+
+    def handle_crossing(self, message: Message) -> Tuple[Optional[Message], dict]:
+        if not isinstance(message, CrossingRequest):
+            return None, {"reservations": 0}
+        self.scheduler.prune(self.env.now)
+        info = message.vehicle_info
+        self.scheduler.note_request(info.vehicle_id, info.movement, self.env.now)
+        spec = info.spec
+        te = self.execution_time(message.tt)
+        # Deterministic position at TE: the vehicle holds VC until then.
+        de = max(message.dt - message.vc * (te - message.tt), 0.01)
+        v_init = min(message.vc, spec.v_max)
+        v_max = min(spec.v_max, self.config.v_max)
+
+        def planner(toa):
+            return plan_arrival(
+                de,
+                v_init,
+                te,
+                toa,
+                spec.a_max,
+                spec.d_max,
+                v_max,
+                v_min=self.config.v_min,
+                launch_below=self.config.v_arrive_floor,
+            )
+
+        etoa = te + earliest_arrival_time(de, v_init, v_max, spec.a_max)
+        assignment = self.scheduler.assign(
+            vehicle_id=info.vehicle_id,
+            movement=info.movement,
+            planner=planner,
+            etoa=etoa,
+            body_length=spec.length,
+            buffer=info.buffer,
+        )
+        work = {"reservations": len(self.scheduler)}
+        if assignment is None:
+            return None, work
+        self.stats.accepts += 1
+        self.note_grant(message.sender, message.seq)
+        response = CrossroadsCommand(
+            sender=self.config.address,
+            receiver=message.sender,
+            te=te,
+            toa=assignment.toa,
+            vt=assignment.v_cross,
+            in_reply_to=message.seq,
+        )
+        return response, work
+
+    def handle_exit(self, message: ExitNotification) -> None:
+        vehicle_id = _vehicle_id_from_address(message.sender)
+        if vehicle_id is not None:
+            self.scheduler.release(vehicle_id)
+        self.scheduler.prune(self.env.now)

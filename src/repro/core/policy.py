@@ -1,0 +1,89 @@
+"""Policy registry and factory.
+
+``make_im`` wires up a manager of the requested policy on a channel:
+it attaches the IM radio, builds the policy's scheduler or tile table,
+and returns the IM instance.  The three canonical names are
+``"vt-im"``, ``"crossroads"`` and ``"aim"``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.aim import AimConfig, AimIM
+from repro.core.base import BaseIM, IMConfig
+from repro.core.compute import ComputeModel
+from repro.core.crossroads import CrossroadsIM
+from repro.core.scheduler import ConflictScheduler
+from repro.core.vtim import VtimIM
+from repro.des import Environment
+from repro.geometry.conflicts import ConflictTable
+from repro.geometry.layout import IntersectionGeometry
+from repro.network.channel import Channel
+
+__all__ = ["POLICIES", "make_im"]
+
+#: The paper's three canonical policies.
+POLICIES = ("vt-im", "crossroads", "aim")
+
+#: Extensions beyond the paper (see DESIGN.md).
+EXTENSION_POLICIES = ("batch-crossroads",)
+
+
+def normalize_policy(name: str) -> str:
+    """Map aliases ("VTIM", "qb-im", ...) to canonical names."""
+    key = name.lower().replace("_", "-").strip()
+    aliases = {
+        "vtim": "vt-im",
+        "vt-im": "vt-im",
+        "crossroads": "crossroads",
+        "xroads": "crossroads",
+        "aim": "aim",
+        "qb-im": "aim",
+        "qbim": "aim",
+        "batch": "batch-crossroads",
+        "batch-crossroads": "batch-crossroads",
+    }
+    if key not in aliases:
+        raise ValueError(
+            f"unknown policy {name!r}; expected one of {POLICIES + EXTENSION_POLICIES}"
+        )
+    return aliases[key]
+
+
+def make_im(
+    policy: str,
+    env: Environment,
+    channel: Channel,
+    geometry: IntersectionGeometry,
+    conflicts: Optional[ConflictTable] = None,
+    config: Optional[IMConfig] = None,
+    compute: Optional[ComputeModel] = None,
+    aim_config: Optional[AimConfig] = None,
+) -> BaseIM:
+    """Create and attach an intersection manager.
+
+    ``conflicts`` is only needed for the VT-style policies and is
+    computed from the geometry when omitted.
+    """
+    policy = normalize_policy(policy)
+    config = config if config is not None else IMConfig()
+    radio = channel.attach(config.address)
+    if policy == "aim":
+        return AimIM(
+            env,
+            radio,
+            geometry,
+            config=config,
+            aim_config=aim_config,
+            compute=compute,
+        )
+    if conflicts is None:
+        conflicts = ConflictTable(geometry)
+    scheduler = ConflictScheduler(conflicts, v_min=config.v_min)
+    if policy == "batch-crossroads":
+        from repro.core.batch import BatchCrossroadsIM
+
+        return BatchCrossroadsIM(env, radio, scheduler, config=config, compute=compute)
+    cls = VtimIM if policy == "vt-im" else CrossroadsIM
+    return cls(env, radio, scheduler, config=config, compute=compute)

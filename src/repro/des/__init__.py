@@ -1,0 +1,52 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free, ``simpy``-like engine.  Agents are Python
+generators ("processes") that yield :class:`Event` objects; the
+:class:`Environment` advances a virtual clock and resumes processes when
+the events they wait on are triggered.
+
+Every protocol element in this reproduction — vehicles, radios, the
+intersection manager, clock synchronisation — runs on this kernel, so
+simulated time is exact and deterministic.
+
+Example
+-------
+>>> from repro.des import Environment
+>>> env = Environment()
+>>> def pinger(env, log):
+...     for _ in range(3):
+...         yield env.timeout(1.0)
+...         log.append(env.now)
+>>> log = []
+>>> _ = env.process(pinger(env, log))
+>>> env.run()
+>>> log
+[1.0, 2.0, 3.0]
+"""
+
+from repro.des.core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.des.resources import PriorityStore, Resource, Store, StoreFullError
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "PriorityStore",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "StoreFullError",
+    "Timeout",
+]

@@ -1,0 +1,431 @@
+"""Core event loop: :class:`Environment`, events, processes.
+
+The design follows the classic event-queue architecture used by simpy:
+
+* An :class:`Event` is a one-shot future.  It starts *pending*, becomes
+  *triggered* when a value (or an exception) is assigned and it is placed
+  on the environment's queue, and becomes *processed* once its callbacks
+  have run.
+* A :class:`Process` wraps a generator.  Each value the generator yields
+  must be an :class:`Event`; the process suspends until that event is
+  processed, then resumes with the event's value (or the event's
+  exception is thrown into the generator).
+* The :class:`Environment` holds the clock and a priority queue of
+  triggered events ordered by ``(time, priority, sequence)``.
+
+The kernel is intentionally strict: waiting on an already-failed event
+re-raises, yielding a non-event raises ``SimulationError``, and time can
+never run backwards.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+]
+
+#: Priority for "urgent" events (process resumption) — lower runs first.
+URGENT = 0
+#: Default priority for ordinary events.
+NORMAL = 1
+
+
+class SimulationError(Exception):
+    """Raised for kernel misuse (bad yields, double triggers, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    Attributes
+    ----------
+    cause:
+        The object passed to :meth:`Process.interrupt`, conventionally a
+        short description of why the process was interrupted.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot future that processes can wait on.
+
+    Parameters
+    ----------
+    env:
+        The environment the event belongs to.
+    """
+
+    PENDING = object()
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = Event.PENDING
+        self._ok: bool = True
+        #: Whether a raised failure was consumed by a waiter.
+        self._defused: bool = False
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once a value or an exception has been assigned."""
+        return self._value is not Event.PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (the event is fully done)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value.  Raises if the event is not yet triggered."""
+        if self._value is Event.PENDING:
+            raise SimulationError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside every process waiting on the
+        event.  If nothing ever waits on a failed event, the environment
+        re-raises it at the end of the step ("errors should never pass
+        silently").
+        """
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"{exception!r} is not an exception")
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Mirror another event's outcome (used as a callback)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            event._defused = True
+            self.fail(event._value)
+
+    def __repr__(self) -> str:
+        state = (
+            "processed"
+            if self.processed
+            else "triggered"
+            if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self._delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self._delay} at {hex(id(self))}>"
+
+
+class Initialize(Event):
+    """Internal: immediately-scheduled event that starts a process."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks = [process._resume]
+        self._ok = True
+        self._value = None
+        env._schedule(self, URGENT, 0.0)
+
+
+class Process(Event):
+    """A running process.  Also an event that triggers when it ends.
+
+    The wrapped generator may ``return`` a value; that value becomes the
+    process-event's value, so processes can be composed::
+
+        result = yield env.process(sub_task(env))
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self._value is Event.PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a dead process is an error; interrupting a process
+        that is waiting on an event detaches it from that event first.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated and cannot be interrupted")
+        if self._target is None:
+            raise SimulationError("a process cannot interrupt itself this way")
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks = [self._resume]
+        self.env._schedule(interrupt_event, URGENT, 0.0)
+
+    def _resume(self, event: Event) -> None:
+        """Resume the generator with ``event``'s outcome."""
+        self.env._active_process = self
+        # Detach from the event we were actually waiting for (it may not
+        # be `event` if we were interrupted).
+        if self._target is not None and self._target is not event:
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        self._target = None
+        try:
+            if event._ok:
+                next_event = self._generator.send(event._value)
+            else:
+                event._defused = True
+                next_event = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(getattr(stop, "value", None))
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        self.env._active_process = None
+
+        if not isinstance(next_event, Event):
+            error = SimulationError(
+                f"process yielded a non-event: {next_event!r}"
+            )
+            self._generator.close()
+            self.fail(error)
+            return
+        if next_event.env is not self.env:
+            self._generator.close()
+            self.fail(SimulationError("yielded an event from a foreign environment"))
+            return
+
+        if next_event.callbacks is not None:
+            # Pending or triggered-but-unprocessed: wait for it.
+            next_event.callbacks.append(self._resume)
+            self._target = next_event
+        else:
+            # Already processed: resume immediately (still via the queue
+            # so that event ordering stays consistent).
+            resume = Event(self.env)
+            resume._ok = next_event._ok
+            resume._value = next_event._value
+            if not next_event._ok:
+                next_event._defused = True
+                resume._defused = True
+            resume.callbacks = [self._resume]
+            self.env._schedule(resume, URGENT, 0.0)
+            self._target = resume
+
+    def __repr__(self) -> str:
+        name = getattr(self._generator, "__name__", str(self._generator))
+        return f"<Process({name}) at {hex(id(self))}>"
+
+
+class Condition(Event):
+    """Waits for a combination of events (base for AllOf / AnyOf)."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = tuple(events)
+        self._count = 0
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("condition mixes environments")
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _satisfied(self, count: int, total: int) -> bool:
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._satisfied(self._count, len(self._events)):
+            # Collect only *processed* events: a Timeout carries its
+            # value from construction, so `triggered` alone would leak
+            # events that have not actually fired yet.
+            self.succeed(
+                {e: e._value for e in self._events if e.processed and e._ok}
+            )
+
+
+class AllOf(Condition):
+    """Triggers when *all* of the given events have succeeded."""
+
+    def _satisfied(self, count: int, total: int) -> bool:
+        return count == total
+
+
+class AnyOf(Condition):
+    """Triggers when *any* of the given events has succeeded."""
+
+    def _satisfied(self, count: int, total: int) -> bool:
+        return count >= 1
+
+
+class Environment:
+    """Simulation environment: virtual clock plus event queue.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of :attr:`now` (seconds by convention).
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- factories --------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` that fires after ``delay``."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new :class:`Process` from ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all ``events`` succeed."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when any of ``events`` succeeds."""
+        return AnyOf(self, events)
+
+    # -- scheduling -------------------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float) -> None:
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process one event.  Raises if the queue is empty."""
+        if not self._queue:
+            raise SimulationError("step() on an empty schedule")
+        time, _priority, _eid, event = heapq.heappop(self._queue)
+        if time < self._now - 1e-12:
+            raise SimulationError("time cannot run backwards")
+        self._now = max(self._now, time)
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks or ():
+            callback(event)
+        if not event._ok and not event._defused:
+            # Nothing consumed this failure: surface it.
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the queue drains), a number
+        (run until that time), or an :class:`Event` (run until it is
+        processed, returning its value).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        f"schedule drained before {stop!r} triggered"
+                    )
+                self.step()
+            if not stop._ok:
+                raise stop._value
+            return stop._value
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError(f"until={horizon} lies in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

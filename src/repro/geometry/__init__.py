@@ -1,0 +1,43 @@
+"""Intersection geometry: layout, movement paths, conflicts, tiles.
+
+The evaluation intersection is the paper's four-way, one-lane-per-road
+crossing: a 1.2 x 1.2 m box, 0.296 m-wide vehicles, a transmission line
+3 m upstream of the stop line.  :class:`IntersectionGeometry` produces
+world-frame paths (straight lines and quarter-circle arcs) for all
+twelve movements (4 approaches x {left, straight, right}).
+
+Two independent conflict representations are derived from the geometry:
+
+* :class:`ConflictTable` — pairwise path-overlap intervals, the compact
+  representation the VT-IM/Crossroads FCFS scheduler uses.
+* :class:`TileGrid` — the AIM-style space-time tile discretisation of
+  the box, used by the query-based IM's trajectory simulation (this is
+  what makes AIM computationally expensive).
+"""
+
+from repro.geometry.collision import OrientedRect, rects_overlap
+from repro.geometry.conflicts import ConflictInterval, ConflictTable
+from repro.geometry.layout import (
+    Approach,
+    IntersectionGeometry,
+    Movement,
+    Path,
+    Turn,
+    exit_approach,
+)
+from repro.geometry.tiles import TileGrid, TileReservations
+
+__all__ = [
+    "Approach",
+    "ConflictInterval",
+    "ConflictTable",
+    "IntersectionGeometry",
+    "Movement",
+    "OrientedRect",
+    "Path",
+    "TileGrid",
+    "TileReservations",
+    "Turn",
+    "exit_approach",
+    "rects_overlap",
+]

@@ -1,0 +1,171 @@
+"""Space-time tile reservations (the AIM intersection representation).
+
+AIM (Dresner & Stone) discretises the intersection box into an ``n x n``
+grid of tiles and time into fixed slots.  A reservation request is
+granted iff the simulated trajectory's swept footprint claims no
+(tile, slot) pair already held by another vehicle.
+
+:class:`TileGrid` handles the geometry (pose -> tile set, conservative
+rasterisation); :class:`TileReservations` is the bookkeeping.  The cost
+of sweeping a footprint over the grid for every (re-)request is exactly
+the computational overhead the paper measures against Crossroads
+(Ch 7.2: up to 16-20X).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+__all__ = ["TileGrid", "TileReservations"]
+
+TileIndex = Tuple[int, int]
+
+
+class TileGrid:
+    """Uniform grid over the square intersection box.
+
+    Parameters
+    ----------
+    box:
+        Side length of the box, metres (centred at the origin).
+    n:
+        Tiles per side.
+    """
+
+    def __init__(self, box: float, n: int = 24):
+        if box <= 0:
+            raise ValueError("box must be positive")
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        self.box = box
+        self.n = n
+        self.tile_size = box / n
+        half = box / 2.0
+        centres = -half + (np.arange(n) + 0.5) * self.tile_size
+        self._cx, self._cy = np.meshgrid(centres, centres, indexing="ij")
+
+    @property
+    def num_tiles(self) -> int:
+        """Total tile count."""
+        return self.n * self.n
+
+    def tile_of(self, x: float, y: float) -> Optional[TileIndex]:
+        """Tile containing ``(x, y)``, or ``None`` outside the box."""
+        half = self.box / 2.0
+        if not (-half <= x < half and -half <= y < half):
+            return None
+        i = int((x + half) / self.tile_size)
+        j = int((y + half) / self.tile_size)
+        return (min(i, self.n - 1), min(j, self.n - 1))
+
+    def tiles_for_pose(
+        self,
+        x: float,
+        y: float,
+        heading: float,
+        length: float,
+        width: float,
+        buffer: float = 0.0,
+    ) -> FrozenSet[TileIndex]:
+        """Tiles overlapped by a vehicle rectangle (conservatively).
+
+        The rectangle is centred at ``(x, y)``, aligned with
+        ``heading``, of size ``(length + 2*buffer) x width`` — the
+        buffer pads the front and rear only, because the paper's safety
+        buffer is the *longitudinal* ``Elong`` (lateral error is
+        absorbed by lane keeping, Ch 3.2).  A tile is claimed when its
+        centre lies within the rectangle grown by half the tile
+        diagonal — a strict over-approximation, as safety requires.
+        """
+        if length <= 0 or width <= 0:
+            raise ValueError("length and width must be positive")
+        if buffer < 0:
+            raise ValueError("buffer must be non-negative")
+        half_l = length / 2.0 + buffer
+        half_w = width / 2.0
+        grow = self.tile_size * math.sqrt(2.0) / 2.0
+        cos_h, sin_h = math.cos(heading), math.sin(heading)
+        # Tile centres in the vehicle frame.
+        dx = self._cx - x
+        dy = self._cy - y
+        lon = dx * cos_h + dy * sin_h
+        lat = -dx * sin_h + dy * cos_h
+        mask = (np.abs(lon) <= half_l + grow) & (np.abs(lat) <= half_w + grow)
+        ii, jj = np.nonzero(mask)
+        return frozenset(zip(ii.tolist(), jj.tolist()))
+
+    def __repr__(self) -> str:
+        return f"TileGrid(box={self.box}, n={self.n})"
+
+
+class TileReservations:
+    """Bookkeeping of (tile, time-slot) claims.
+
+    Parameters
+    ----------
+    grid:
+        The spatial discretisation.
+    slot:
+        Time-slot length in seconds.
+    """
+
+    def __init__(self, grid: TileGrid, slot: float = 0.05):
+        if slot <= 0:
+            raise ValueError("slot must be positive")
+        self.grid = grid
+        self.slot = slot
+        self._claims: Dict[Tuple[TileIndex, int], int] = {}
+        self._by_vehicle: Dict[int, Set[Tuple[TileIndex, int]]] = {}
+
+    def slot_of(self, t: float) -> int:
+        """Time-slot index containing time ``t``."""
+        return int(math.floor(t / self.slot))
+
+    @property
+    def claim_count(self) -> int:
+        """Number of live (tile, slot) claims."""
+        return len(self._claims)
+
+    def conflicts(
+        self, cells: Iterable[Tuple[TileIndex, int]], vehicle_id: int
+    ) -> bool:
+        """True if any cell is already claimed by a *different* vehicle."""
+        for cell in cells:
+            owner = self._claims.get(cell)
+            if owner is not None and owner != vehicle_id:
+                return True
+        return False
+
+    def commit(
+        self, cells: Iterable[Tuple[TileIndex, int]], vehicle_id: int
+    ) -> None:
+        """Claim ``cells`` for ``vehicle_id`` (must be conflict-free)."""
+        cells = list(cells)
+        if self.conflicts(cells, vehicle_id):
+            raise ValueError("commit() of conflicting cells")
+        owned = self._by_vehicle.setdefault(vehicle_id, set())
+        for cell in cells:
+            self._claims[cell] = vehicle_id
+            owned.add(cell)
+
+    def release(self, vehicle_id: int) -> int:
+        """Drop all claims of ``vehicle_id``; returns how many."""
+        owned = self._by_vehicle.pop(vehicle_id, set())
+        for cell in owned:
+            if self._claims.get(cell) == vehicle_id:
+                del self._claims[cell]
+        return len(owned)
+
+    def purge_before(self, t: float) -> int:
+        """Drop claims in slots strictly before ``t`` (garbage collection)."""
+        cutoff = self.slot_of(t)
+        dead = [cell for cell in self._claims if cell[1] < cutoff]
+        for cell in dead:
+            owner = self._claims.pop(cell)
+            owned = self._by_vehicle.get(owner)
+            if owned is not None:
+                owned.discard(cell)
+        return len(dead)

@@ -1,0 +1,50 @@
+"""Vehicle kinematics: 1-D motion profiles and the 2-D bicycle model.
+
+The intersection managers reason about vehicles longitudinally — a
+vehicle on an approach lane is a point moving along a 1-D coordinate
+with bounded acceleration.  :mod:`repro.kinematics.profiles` provides
+piecewise-constant-acceleration :class:`MotionProfile` objects with
+exact (closed-form) position/velocity evaluation and inversion.
+
+:mod:`repro.kinematics.arrival` implements the paper's Ch 6 equations:
+the earliest time of arrival ``EToA`` reachable under max acceleration,
+its latest-arrival dual, and :func:`plan_arrival`, which constructs the
+trajectory the IM commands (cruise-to-line, or stop-and-go when the
+assigned slot is far in the future).
+
+:mod:`repro.kinematics.bicycle` integrates the paper's Eq 7.1 kinematic
+bicycle model with RK4 plus a pure-pursuit path tracker; the Matlab
+simulators used the same equations.
+"""
+
+from repro.kinematics.arrival import (
+    ArrivalPlan,
+    earliest_arrival_time,
+    latest_arrival_time,
+    plan_arrival,
+    solve_cruise_velocity,
+)
+from repro.kinematics.bicycle import BicycleModel, BicycleState, PurePursuitTracker
+from repro.kinematics.profiles import (
+    MotionProfile,
+    ProfileBuilder,
+    Segment,
+    brake_distance,
+    brake_time,
+)
+
+__all__ = [
+    "ArrivalPlan",
+    "BicycleModel",
+    "BicycleState",
+    "MotionProfile",
+    "ProfileBuilder",
+    "PurePursuitTracker",
+    "Segment",
+    "brake_distance",
+    "brake_time",
+    "earliest_arrival_time",
+    "latest_arrival_time",
+    "plan_arrival",
+    "solve_cruise_velocity",
+]

@@ -1,0 +1,465 @@
+"""Arrival-time planning: the paper's Ch 6 kinematic equations.
+
+Given a vehicle ``DE`` metres from the stop line travelling at
+``v_init``, the IM must pick a time of arrival ``ToA`` and a target
+velocity ``VT`` that the vehicle can actually realise:
+
+* :func:`earliest_arrival_time` — the ``EToA`` bound of Ch 6: accelerate
+  at ``a_max`` to ``v_max``, then cruise.  ``EToA = T_acc + (DE - dX) /
+  v_max`` with ``T_acc = (v_max - v_init) / a_max`` and
+  ``dX = 0.5 a_max T_acc^2 + v_init T_acc``.
+* :func:`latest_arrival_time` — the dual bound when the vehicle slows to
+  a crawl speed as early as possible (infinite if the crawl speed is 0,
+  because the vehicle can simply park and wait).
+* :func:`solve_cruise_velocity` — invert the two-phase (speed-change
+  then cruise) profile: find the cruise velocity that makes the vehicle
+  arrive exactly at a requested ``ToA``.
+* :func:`plan_arrival` — full planner used by Crossroads.  Produces
+  either a two-phase cruise plan, or (when the protocol can express a
+  timed launch) a stop-and-go plan — brake to rest immediately, wait,
+  launch at full acceleration — when the assigned slot is later than
+  any acceptable cruise speed allows.
+* :func:`vt_plan` / :func:`solve_vt_for_toa` — the plain VT-IM
+  manoeuvre "accelerate to VT and maintain": the speed change may
+  finish *inside* the box (a stopped vehicle at the line launches
+  straight through), and the solver inverts arrival time over VT.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.kinematics.profiles import MotionProfile, ProfileBuilder
+
+__all__ = [
+    "ArrivalPlan",
+    "earliest_arrival_time",
+    "latest_arrival_time",
+    "plan_arrival",
+    "solve_cruise_velocity",
+    "solve_vt_for_toa",
+    "vt_plan",
+]
+
+_EPS = 1e-9
+
+
+def _check_inputs(distance: float, v_init: float, v_max: float, a_max: float) -> None:
+    if distance < 0:
+        raise ValueError("distance must be non-negative")
+    if v_init < 0:
+        raise ValueError("v_init must be non-negative")
+    if v_max <= 0:
+        raise ValueError("v_max must be positive")
+    if a_max <= 0:
+        raise ValueError("a_max must be positive")
+    if v_init > v_max + 1e-6:
+        raise ValueError(f"v_init={v_init} exceeds v_max={v_max}")
+
+
+def earliest_arrival_time(
+    distance: float, v_init: float, v_max: float, a_max: float
+) -> float:
+    """Minimum time to cover ``distance`` (paper's ``EToA``, relative).
+
+    The vehicle accelerates at ``a_max`` until ``v_max`` and then holds.
+    If ``distance`` is shorter than the acceleration run the answer is
+    the root of the quadratic ``0.5 a t^2 + v_init t = distance``.
+    """
+    _check_inputs(distance, v_init, v_max, a_max)
+    if distance < _EPS:
+        return 0.0
+    t_acc = (v_max - min(v_init, v_max)) / a_max
+    dx = 0.5 * a_max * t_acc ** 2 + v_init * t_acc
+    if dx >= distance:
+        # Never reaches v_max: accelerate the whole way.
+        disc = v_init ** 2 + 2.0 * a_max * distance
+        return (-v_init + math.sqrt(disc)) / a_max
+    return t_acc + (distance - dx) / v_max
+
+
+def latest_arrival_time(
+    distance: float, v_init: float, v_crawl: float, d_max: float
+) -> float:
+    """Maximum arrival time while still *moving* at ``v_crawl``.
+
+    The vehicle brakes at ``d_max`` down to ``v_crawl`` immediately and
+    crawls the rest of the way.  With ``v_crawl == 0`` the vehicle can
+    park, so the bound is infinite.
+    """
+    if v_crawl < 0:
+        raise ValueError("v_crawl must be non-negative")
+    if d_max <= 0:
+        raise ValueError("d_max must be positive")
+    if distance < 0:
+        raise ValueError("distance must be non-negative")
+    if v_crawl < _EPS:
+        return math.inf
+    v0 = max(v_init, v_crawl)
+    t_dec = (v0 - v_crawl) / d_max
+    dx = v0 * t_dec - 0.5 * d_max * t_dec ** 2
+    if dx >= distance:
+        # Cannot even slow down fully within the distance; solve the
+        # deceleration-only quadratic for the crossing time.
+        disc = v0 ** 2 - 2.0 * d_max * distance
+        disc = max(disc, 0.0)
+        return (v0 - math.sqrt(disc)) / d_max
+    return t_dec + (distance - dx) / v_crawl
+
+
+def _two_phase_time(
+    v: float, distance: float, v_init: float, a_max: float, d_max: float
+) -> Optional[float]:
+    """Arrival time of speed-change-to-``v``-then-cruise, or None."""
+    if v < _EPS:
+        return None
+    rate = a_max if v >= v_init else d_max
+    t_chg = abs(v - v_init) / rate
+    dx = 0.5 * (v + v_init) * t_chg
+    if dx > distance + 1e-7:
+        return None  # the speed change itself overshoots the line
+    return t_chg + (distance - dx) / v
+
+
+def solve_cruise_velocity(
+    distance: float,
+    v_init: float,
+    t_total: float,
+    a_max: float,
+    d_max: float,
+    v_max: float,
+    v_min: float = 0.05,
+    tol: float = 1e-7,
+) -> Optional[float]:
+    """Cruise velocity ``v`` such that the two-phase plan takes ``t_total``.
+
+    The two-phase plan changes speed from ``v_init`` to ``v`` at the
+    maximum rate and then cruises at ``v`` to the line.  Arrival time is
+    strictly decreasing in ``v``, so bisection converges.  Returns
+    ``None`` when no ``v`` in ``[v_min, v_max]`` fits (the caller then
+    falls back to a stop-and-go plan or clamps to ``EToA``).
+    """
+    _check_inputs(distance, v_init, v_max, a_max)
+    if d_max <= 0:
+        raise ValueError("d_max must be positive")
+    if not 0 < v_min <= v_max:
+        raise ValueError("need 0 < v_min <= v_max")
+    if t_total <= 0:
+        return None
+
+    # Highest cruise speed whose speed-change leg fits in the distance:
+    # accelerating all the way reaches sqrt(v0^2 + 2 a d).
+    v_reach = math.sqrt(v_init ** 2 + 2.0 * a_max * distance)
+    v_hi = min(v_max, v_reach)
+    t_fast = _two_phase_time(v_hi, distance, v_init, a_max, d_max)
+    if t_fast is None or t_total < t_fast - 1e-9:
+        return None  # even flat-out is too slow
+    t_slow = _two_phase_time(v_min, distance, v_init, a_max, d_max)
+    if t_slow is not None and t_total > t_slow + 1e-9:
+        return None  # would need to go slower than the crawl floor
+    if t_slow is None:
+        # Braking to v_min overshoots the line; the feasible band is
+        # narrower.  Find the slowest feasible v by bisection on
+        # feasibility, then proceed.
+        lo_v, hi_v = v_min, v_hi
+        for _ in range(200):
+            mid = 0.5 * (lo_v + hi_v)
+            if _two_phase_time(mid, distance, v_init, a_max, d_max) is None:
+                lo_v = mid
+            else:
+                hi_v = mid
+        v_floor = hi_v
+        t_slow = _two_phase_time(v_floor, distance, v_init, a_max, d_max)
+        if t_slow is None or t_total > t_slow + 1e-9:
+            return None
+        lo, hi = v_floor, v_hi
+    else:
+        lo, hi = v_min, v_hi
+
+    # Bisection: T(lo) >= t_total >= T(hi).
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        t_mid = _two_phase_time(mid, distance, v_init, a_max, d_max)
+        if t_mid is None:
+            lo = mid
+            continue
+        if t_mid > t_total:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < tol:
+            break
+    return 0.5 * (lo + hi)
+
+
+@dataclass(frozen=True)
+class ArrivalPlan:
+    """A committed approach trajectory.
+
+    Attributes
+    ----------
+    profile:
+        Absolute-time :class:`MotionProfile` from the plan's start
+        position to the stop line (position increases towards the line).
+    arrival_time:
+        Absolute time at which the vehicle reaches the stop line.
+    arrival_velocity:
+        Velocity when crossing the stop line (the paper's ``VT``).
+    stop_and_go:
+        True when the plan includes a full stop and relaunch.
+    """
+
+    profile: MotionProfile
+    arrival_time: float
+    arrival_velocity: float
+    stop_and_go: bool = False
+
+
+def _cruise_plan(
+    v_cruise: float,
+    distance: float,
+    v_init: float,
+    start_time: float,
+    start_position: float,
+    a_max: float,
+    d_max: float,
+) -> ArrivalPlan:
+    """Two-phase plan: change speed to ``v_cruise``, hold to the line."""
+    builder = ProfileBuilder(start_time, start_position, v_init)
+    builder.accelerate_to(v_cruise, a_max if v_cruise >= v_init else d_max)
+    covered = builder.build().length
+    builder.hold_distance(max(distance - covered, 0.0))
+    profile = builder.build()
+    return ArrivalPlan(
+        profile=profile,
+        arrival_time=profile.end_time,
+        arrival_velocity=v_cruise,
+        stop_and_go=False,
+    )
+
+
+def _stop_and_go_plan(
+    distance: float,
+    v_init: float,
+    start_time: float,
+    toa: float,
+    a_max: float,
+    d_max: float,
+    v_max: float,
+) -> Optional[ArrivalPlan]:
+    """Brake to rest now, wait, launch to cross the line at ``toa``.
+
+    Returns ``None`` when the vehicle cannot stop before the line or
+    when ``toa`` comes sooner than the stop+launch takes.
+    """
+    horizon = toa - start_time
+    t_stop = v_init / d_max
+    d_stop = 0.5 * v_init ** 2 / d_max
+    d_launch = distance - d_stop
+    if d_launch < -1e-7:
+        return None
+    d_launch = max(d_launch, 0.0)
+    t_launch = earliest_arrival_time(d_launch, 0.0, v_max, a_max)
+    if horizon < t_stop + t_launch - 1e-6:
+        return None
+    launch_speed = min(v_max, math.sqrt(2.0 * a_max * d_launch)) if d_launch else 0.0
+    builder = ProfileBuilder(start_time, 0.0, v_init)
+    if v_init > _EPS:
+        builder.accelerate_to(0.0, d_max)
+    builder.wait_until(toa - t_launch)
+    if d_launch > _EPS:
+        builder.accelerate_to(launch_speed, a_max)
+        covered = builder.build().length
+        builder.hold_distance(max(distance - covered, 0.0))
+    profile = builder.build()
+    return ArrivalPlan(
+        profile=profile,
+        arrival_time=profile.end_time,
+        arrival_velocity=launch_speed,
+        stop_and_go=True,
+    )
+
+
+def plan_arrival(
+    distance: float,
+    v_init: float,
+    start_time: float,
+    toa: float,
+    a_max: float,
+    d_max: float,
+    v_max: float,
+    v_min: float = 0.05,
+    start_position: float = 0.0,
+    launch_below: float = 0.0,
+) -> Optional[ArrivalPlan]:
+    """Plan a trajectory starting at ``start_time`` that reaches the
+    stop line (``start_position + distance``) exactly at ``toa``.
+
+    Plan selection:
+
+    1. the two-phase cruise plan, if its cruise speed is at least
+       ``launch_below`` (so slow crawls are avoided when the protocol
+       can express a timed launch — crawling through the box is what
+       collapses throughput);
+    2. otherwise stop-and-go — brake to rest immediately, wait, then
+       launch at ``a_max`` timed so the line is crossed at ``toa``
+       with a *fast* crossing speed;
+    3. otherwise whatever cruise exists, however slow;
+    4. otherwise a crawl at ``v_min`` that may arrive early (the
+       narrow band between the slowest cruise and the fastest
+       stop-and-go).
+
+    ``launch_below = 0`` (the default) reproduces the plain VT-IM
+    semantics where only a velocity can be commanded.  Returns ``None``
+    only when ``toa`` is earlier than the kinematic bound ``EToA``.
+    """
+    _check_inputs(distance, v_init, v_max, a_max)
+    horizon = toa - start_time
+    etoa = earliest_arrival_time(distance, v_init, v_max, a_max)
+    if horizon < etoa - 1e-6:
+        return None
+
+    v_cruise = solve_cruise_velocity(
+        distance, v_init, horizon, a_max, d_max, v_max, v_min=v_min
+    )
+    if v_cruise is not None and v_cruise >= launch_below:
+        return _cruise_plan(
+            v_cruise, distance, v_init, start_time, start_position, a_max, d_max
+        )
+
+    if launch_below > 0.0:
+        # Only a time-sensitive protocol can command "wait, then
+        # launch"; a velocity-only protocol (launch_below == 0) must
+        # fall through to a cruise, however slow.
+        stop_go = _stop_and_go_plan(
+            distance, v_init, start_time, toa, a_max, d_max, v_max
+        )
+        if stop_go is not None:
+            profile = stop_go.profile.shifted(ds=start_position)
+            return ArrivalPlan(
+                profile=profile,
+                arrival_time=stop_go.arrival_time,
+                arrival_velocity=stop_go.arrival_velocity,
+                stop_and_go=True,
+            )
+
+    if v_cruise is not None:
+        return _cruise_plan(
+            v_cruise, distance, v_init, start_time, start_position, a_max, d_max
+        )
+
+    # No plan can arrive as late as requested (either the narrow band
+    # between the slowest cruise and the fastest stop-and-go, or the
+    # vehicle physically cannot brake before the line).  Produce the
+    # *latest feasible* arrival: brake toward v_min and cross wherever
+    # the line is actually reached; the caller sees the early arrival
+    # in ``arrival_time`` and can reject the slot.
+    builder = ProfileBuilder(start_time, start_position, v_init)
+    builder.accelerate_to(v_min, d_max if v_init > v_min else a_max)
+    covered = builder.build().length
+    builder.hold_distance(max(distance - covered, 0.0))
+    profile = builder.build()
+    line = start_position + distance
+    arrival_time = profile.time_at_position(line)
+    if arrival_time is None:
+        return None
+    return ArrivalPlan(
+        profile=profile,
+        arrival_time=arrival_time,
+        arrival_velocity=profile.velocity_at(arrival_time),
+        stop_and_go=False,
+    )
+
+
+def vt_plan(
+    distance: float,
+    v_init: float,
+    vt: float,
+    start_time: float,
+    a_max: float,
+    d_max: float,
+    start_position: float = 0.0,
+) -> Optional[ArrivalPlan]:
+    """The plain VT-IM manoeuvre: "accelerate to ``vt`` and maintain".
+
+    Unlike :func:`plan_arrival`'s two-phase cruise, the speed change is
+    *not* required to finish before the stop line — a stopped vehicle
+    at the line simply launches to ``vt`` straight through the box, so
+    the line may be crossed mid-ramp.  ``arrival_time`` is whenever the
+    front bumper reaches ``start_position + distance``;
+    ``arrival_velocity`` the (possibly still-ramping) speed there.
+    """
+    if vt <= 0:
+        return None
+    if v_init < 0 or distance < 0:
+        raise ValueError("v_init and distance must be non-negative")
+    if a_max <= 0 or d_max <= 0:
+        raise ValueError("a_max and d_max must be positive")
+    builder = ProfileBuilder(start_time, start_position, v_init)
+    builder.accelerate_to(vt, a_max if vt >= v_init else d_max)
+    covered = builder.build().length
+    if covered < distance:
+        # Cover the rest explicitly so the profile always contains the
+        # line (a no-op speed change would otherwise yield an empty,
+        # uninvertible profile).
+        builder.hold_distance(distance - covered)
+    profile = builder.build()
+    line = start_position + distance
+    arrival_time = profile.time_at_position(line)
+    if arrival_time is None:
+        # Decelerating to vt stops short?  Cannot happen with vt > 0 —
+        # the constant-velocity extension always reaches the line.
+        return None
+    return ArrivalPlan(
+        profile=profile,
+        arrival_time=arrival_time,
+        arrival_velocity=profile.velocity_at(arrival_time),
+        stop_and_go=False,
+    )
+
+
+def solve_vt_for_toa(
+    distance: float,
+    v_init: float,
+    start_time: float,
+    toa: float,
+    a_max: float,
+    d_max: float,
+    v_max: float,
+    v_min: float = 0.25,
+    tol: float = 1e-6,
+) -> Optional[ArrivalPlan]:
+    """Find the VT whose :func:`vt_plan` arrives at the line at ``toa``.
+
+    The arrival time is strictly decreasing in ``vt``, so bisection
+    over ``[v_min, v_max]`` converges.  Requests earlier than the
+    ``v_max`` bound are infeasible (``None``); requests later than the
+    ``v_min`` bound return the ``v_min`` plan, which arrives *early* —
+    callers that care (the scheduler) must check ``arrival_time``.
+    """
+    if not 0 < v_min <= v_max:
+        raise ValueError("need 0 < v_min <= v_max")
+    fast = vt_plan(distance, v_init, v_max, start_time, a_max, d_max)
+    if fast is None or toa < fast.arrival_time - 1e-9:
+        return None
+    if toa <= fast.arrival_time + 1e-9:
+        # Arrival time plateaus once the line is crossed mid-ramp (any
+        # vt above the line-crossing speed arrives at the same moment);
+        # prefer the fastest — shortest box occupancy wins.
+        return fast
+    slow = vt_plan(distance, v_init, v_min, start_time, a_max, d_max)
+    if slow is not None and toa >= slow.arrival_time:
+        return slow
+    lo, hi = v_min, v_max  # T(lo) >= toa >= T(hi)
+    for _ in range(100):
+        mid = 0.5 * (lo + hi)
+        plan = vt_plan(distance, v_init, mid, start_time, a_max, d_max)
+        if plan is None or plan.arrival_time > toa:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < tol:
+            break
+    return vt_plan(distance, v_init, hi, start_time, a_max, d_max)

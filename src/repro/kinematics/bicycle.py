@@ -1,0 +1,196 @@
+"""Kinematic bicycle model — the paper's Eq 7.1 — with RK4 integration.
+
+::
+
+    x'   = v * cos(phi)
+    y'   = v * sin(phi)
+    phi' = (v / l) * tan(psi)
+
+where ``(x, y)`` is the rear-axle position, ``phi`` the heading, ``v``
+the speed, ``l`` the wheelbase and ``psi`` the steering angle.  The
+Matlab simulators in the paper integrate exactly these equations; we use
+them for 2-D traversal of the intersection box (turning movements) and
+for validating that the 1-D profile abstraction is conservative.
+
+A :class:`PurePursuitTracker` provides the steering input needed to
+follow a geometric path, so a vehicle can be driven through any
+:class:`repro.geometry` turn path by commanding only speed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+__all__ = ["BicycleModel", "BicycleState", "PurePursuitTracker"]
+
+
+@dataclass(frozen=True)
+class BicycleState:
+    """Instantaneous state of the bicycle model."""
+
+    x: float
+    y: float
+    heading: float
+    speed: float
+
+    def position(self) -> Tuple[float, float]:
+        """``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+
+class BicycleModel:
+    """RK4 integrator for the kinematic bicycle.
+
+    Parameters
+    ----------
+    wheelbase:
+        Distance between axles, metres (testbed Traxxas Slash: 0.335 m).
+    max_steer:
+        Steering-angle limit, radians.
+    max_speed:
+        Speed limit; commanded accelerations saturate at this speed.
+    """
+
+    def __init__(self, wheelbase: float, max_steer: float = 0.6, max_speed: float = math.inf):
+        if wheelbase <= 0:
+            raise ValueError("wheelbase must be positive")
+        if max_steer <= 0 or max_steer >= math.pi / 2:
+            raise ValueError("max_steer must be in (0, pi/2)")
+        self.wheelbase = wheelbase
+        self.max_steer = max_steer
+        self.max_speed = max_speed
+
+    def _derivatives(
+        self, state: np.ndarray, accel: float, steer: float
+    ) -> np.ndarray:
+        x, y, phi, v = state
+        return np.array(
+            [
+                v * math.cos(phi),
+                v * math.sin(phi),
+                (v / self.wheelbase) * math.tan(steer),
+                accel,
+            ]
+        )
+
+    def step(
+        self, state: BicycleState, accel: float, steer: float, dt: float
+    ) -> BicycleState:
+        """Advance one RK4 step of length ``dt``."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        steer = float(np.clip(steer, -self.max_steer, self.max_steer))
+        y0 = np.array([state.x, state.y, state.heading, state.speed])
+        k1 = self._derivatives(y0, accel, steer)
+        k2 = self._derivatives(y0 + 0.5 * dt * k1, accel, steer)
+        k3 = self._derivatives(y0 + 0.5 * dt * k2, accel, steer)
+        k4 = self._derivatives(y0 + dt * k3, accel, steer)
+        y1 = y0 + (dt / 6.0) * (k1 + 2 * k2 + 2 * k3 + k4)
+        speed = float(np.clip(y1[3], 0.0, self.max_speed))
+        heading = math.atan2(math.sin(y1[2]), math.cos(y1[2]))
+        return BicycleState(x=float(y1[0]), y=float(y1[1]), heading=heading, speed=speed)
+
+    def simulate(
+        self,
+        state: BicycleState,
+        control: Callable[[float, BicycleState], Tuple[float, float]],
+        duration: float,
+        dt: float = 0.01,
+    ) -> List[Tuple[float, BicycleState]]:
+        """Integrate under a ``control(t, state) -> (accel, steer)`` law.
+
+        Returns ``(t, state)`` samples including both endpoints.
+        """
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        samples = [(0.0, state)]
+        t = 0.0
+        while t < duration - 1e-12:
+            h = min(dt, duration - t)
+            accel, steer = control(t, state)
+            state = self.step(state, accel, steer, h)
+            t += h
+            samples.append((t, state))
+        return samples
+
+
+class PurePursuitTracker:
+    """Pure-pursuit steering along a polyline path.
+
+    Parameters
+    ----------
+    path:
+        ``(N, 2)`` array of waypoints with monotonically increasing arc
+        length; the vehicle chases a point ``lookahead`` metres ahead of
+        its projection onto the path.
+    lookahead:
+        Chase distance, metres.
+    wheelbase:
+        Same wheelbase as the model being steered.
+    """
+
+    def __init__(self, path: np.ndarray, lookahead: float, wheelbase: float):
+        path = np.asarray(path, dtype=float)
+        if path.ndim != 2 or path.shape[1] != 2 or len(path) < 2:
+            raise ValueError("path must be an (N>=2, 2) array")
+        if lookahead <= 0:
+            raise ValueError("lookahead must be positive")
+        self.path = path
+        self.lookahead = lookahead
+        self.wheelbase = wheelbase
+        seg = np.diff(path, axis=0)
+        self._cumlen = np.concatenate([[0.0], np.cumsum(np.hypot(seg[:, 0], seg[:, 1]))])
+
+    @property
+    def length(self) -> float:
+        """Total path arc length."""
+        return float(self._cumlen[-1])
+
+    def point_at(self, s: float) -> np.ndarray:
+        """Point on the path at arc length ``s`` (clamped to ends)."""
+        s = float(np.clip(s, 0.0, self.length))
+        i = int(np.searchsorted(self._cumlen, s, side="right")) - 1
+        i = min(max(i, 0), len(self.path) - 2)
+        seg_len = self._cumlen[i + 1] - self._cumlen[i]
+        frac = 0.0 if seg_len <= 0 else (s - self._cumlen[i]) / seg_len
+        return self.path[i] + frac * (self.path[i + 1] - self.path[i])
+
+    def project(self, x: float, y: float) -> float:
+        """Arc length of the closest path point to ``(x, y)``."""
+        p = np.array([x, y])
+        best_s, best_d = 0.0, math.inf
+        for i in range(len(self.path) - 1):
+            a, b = self.path[i], self.path[i + 1]
+            ab = b - a
+            denom = float(ab @ ab)
+            t = 0.0 if denom <= 0 else float(np.clip((p - a) @ ab / denom, 0.0, 1.0))
+            q = a + t * ab
+            d = float(np.hypot(*(p - q)))
+            if d < best_d:
+                best_d = d
+                best_s = self._cumlen[i] + t * math.sqrt(denom)
+        return best_s
+
+    def steering(self, state: BicycleState) -> float:
+        """Pure-pursuit steering angle for the current state."""
+        s = self.project(state.x, state.y)
+        target = self.point_at(s + self.lookahead)
+        dx = target[0] - state.x
+        dy = target[1] - state.y
+        # Angle of the chase point in the vehicle frame.
+        alpha = math.atan2(dy, dx) - state.heading
+        alpha = math.atan2(math.sin(alpha), math.cos(alpha))
+        ld = math.hypot(dx, dy)
+        if ld < 1e-9:
+            return 0.0
+        return math.atan2(2.0 * self.wheelbase * math.sin(alpha), ld)
+
+    def cross_track_error(self, state: BicycleState) -> float:
+        """Distance from the vehicle to the path."""
+        s = self.project(state.x, state.y)
+        q = self.point_at(s)
+        return float(math.hypot(state.x - q[0], state.y - q[1]))

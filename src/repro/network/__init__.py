@@ -1,0 +1,56 @@
+"""V2I network substrate: messages, delay models, channels, radios.
+
+The testbed used NRF24L01+ 2.4 GHz serial adapters with a measured
+worst-case one-way delay of 7.5 ms (15 ms round trip).  We model the
+medium as a :class:`Channel` that delivers messages to per-node
+:class:`Radio` inboxes after a sampled delay, with optional loss.  All
+traffic is counted by :class:`NetworkStats`, which feeds the Ch 7.2
+"network overhead" comparison (AIM generates up to ~20X more messages
+than Crossroads because of its re-request storms).
+"""
+
+from repro.network.channel import Channel, NetworkStats, Radio
+from repro.network.delay import (
+    ConstantDelay,
+    DelayModel,
+    GammaDelay,
+    UniformDelay,
+    testbed_delay_model,
+)
+from repro.network.messages import (
+    Ack,
+    AimAccept,
+    AimReject,
+    AimRequest,
+    CancelReservation,
+    CrossingRequest,
+    CrossroadsCommand,
+    ExitNotification,
+    Message,
+    SyncRequest,
+    SyncResponse,
+    VelocityCommand,
+)
+
+__all__ = [
+    "Ack",
+    "AimAccept",
+    "AimReject",
+    "AimRequest",
+    "CancelReservation",
+    "Channel",
+    "ConstantDelay",
+    "CrossingRequest",
+    "CrossroadsCommand",
+    "DelayModel",
+    "ExitNotification",
+    "GammaDelay",
+    "Message",
+    "NetworkStats",
+    "Radio",
+    "SyncRequest",
+    "SyncResponse",
+    "UniformDelay",
+    "VelocityCommand",
+    "testbed_delay_model",
+]

@@ -1,0 +1,139 @@
+"""Shared wireless channel and per-node radios.
+
+The :class:`Channel` is the medium; each node owns a :class:`Radio`
+registered under a unique address.  ``radio.send(msg)`` hands the message
+to the channel, which delivers it into the destination radio's inbox
+after a delay drawn from the channel's :class:`~repro.network.delay.DelayModel`
+(unless the message is lost).  Receiving is a blocking DES ``get`` on the
+inbox store.
+
+The channel also keeps :class:`NetworkStats` — message and byte counters
+per message type — which the Ch 7.2 overhead comparison reads.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.des import Environment, Event, Store
+from repro.network.delay import ConstantDelay, DelayModel
+from repro.network.messages import Message
+
+__all__ = ["Channel", "NetworkStats", "Radio"]
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters for one channel."""
+
+    sent: int = 0
+    delivered: int = 0
+    lost: int = 0
+    bytes_sent: int = 0
+    by_type: Counter = field(default_factory=Counter)
+
+    def record_send(self, message: Message) -> None:
+        self.sent += 1
+        self.bytes_sent += message.size
+        self.by_type[type(message).__name__] += 1
+
+    def record_delivery(self) -> None:
+        self.delivered += 1
+
+    def record_loss(self) -> None:
+        self.lost += 1
+
+
+class Radio:
+    """A network endpoint with an address and a FIFO inbox."""
+
+    def __init__(self, channel: "Channel", address: str):
+        self.channel = channel
+        self.address = address
+        self.inbox: Store = Store(channel.env)
+
+    def send(self, message: Message) -> None:
+        """Transmit ``message`` (fire and forget, like the testbed)."""
+        if message.sender != self.address:
+            raise ValueError(
+                f"radio {self.address!r} cannot send on behalf of "
+                f"{message.sender!r}"
+            )
+        self.channel.transmit(message)
+
+    def receive(self) -> Event:
+        """DES event yielding the next delivered message."""
+        return self.inbox.get()
+
+    def pending(self) -> int:
+        """Number of delivered-but-unread messages."""
+        return len(self.inbox)
+
+    def __repr__(self) -> str:
+        return f"Radio({self.address!r})"
+
+
+class Channel:
+    """Broadcast medium with per-message delay and loss.
+
+    Parameters
+    ----------
+    env:
+        DES environment.
+    delay_model:
+        One-way delay model (default: zero delay).
+    loss_probability:
+        Independent per-message loss probability in ``[0, 1)``.
+    rng:
+        Random generator for delay/loss draws.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        delay_model: Optional[DelayModel] = None,
+        loss_probability: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError("loss_probability must be in [0, 1)")
+        self.env = env
+        self.delay_model = delay_model if delay_model is not None else ConstantDelay(0.0)
+        self.loss_probability = loss_probability
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.stats = NetworkStats()
+        self._radios: Dict[str, Radio] = {}
+
+    def attach(self, address: str) -> Radio:
+        """Create and register a radio under ``address``."""
+        if address in self._radios:
+            raise ValueError(f"address {address!r} already attached")
+        radio = Radio(self, address)
+        self._radios[address] = radio
+        return radio
+
+    def detach(self, address: str) -> None:
+        """Remove a radio; in-flight messages to it are dropped."""
+        self._radios.pop(address, None)
+
+    def transmit(self, message: Message) -> None:
+        """Schedule delivery of ``message`` to its receiver."""
+        self.stats.record_send(message)
+        if self.loss_probability and self.rng.random() < self.loss_probability:
+            self.stats.record_loss()
+            return
+        delay = self.delay_model.sample(self.rng)
+        self.env.process(self._deliver(message, delay))
+
+    def _deliver(self, message: Message, delay: float):
+        yield self.env.timeout(delay)
+        radio = self._radios.get(message.receiver)
+        if radio is None:
+            self.stats.record_loss()
+            return
+        radio.inbox.put_nowait(message)
+        self.stats.record_delivery()

@@ -1,0 +1,100 @@
+"""One-way network delay models.
+
+Each model exposes ``sample(rng)`` for the stochastic per-message delay
+and ``worst_case`` for the bound the protocol designer assumes (the
+"WC" in WC-RTD).  Samples are always clipped to ``worst_case`` because
+the testbed's retransmit clause makes deliveries later than the bound
+look like losses, which the channel models separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ConstantDelay", "DelayModel", "GammaDelay", "UniformDelay"]
+
+
+class DelayModel:
+    """Base class for one-way delay models."""
+
+    #: Worst-case one-way delay in seconds.
+    worst_case: float
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one delay value in ``[0, worst_case]``."""
+        raise NotImplementedError
+
+    def _clip(self, value: float) -> float:
+        return float(min(max(value, 0.0), self.worst_case))
+
+
+@dataclass
+class ConstantDelay(DelayModel):
+    """Every message takes exactly ``delay`` seconds."""
+
+    delay: float
+
+    def __post_init__(self):
+        if self.delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.worst_case = self.delay
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.delay
+
+
+@dataclass
+class UniformDelay(DelayModel):
+    """Delay uniform in ``[low, high]``; ``high`` is the worst case."""
+
+    low: float
+    high: float
+
+    def __post_init__(self):
+        if not 0 <= self.low <= self.high:
+            raise ValueError("need 0 <= low <= high")
+        self.worst_case = self.high
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self._clip(rng.uniform(self.low, self.high))
+
+
+@dataclass
+class GammaDelay(DelayModel):
+    """Gamma-distributed delay clipped at ``worst``.
+
+    A right-skewed distribution is the usual empirical fit for wireless
+    MAC delays: most packets are fast, a tail queues behind retries.
+
+    Parameters
+    ----------
+    shape, scale:
+        Gamma parameters; the mean is ``shape * scale``.
+    worst:
+        Hard clip / protocol bound.
+    """
+
+    shape: float
+    scale: float
+    worst: float
+
+    def __post_init__(self):
+        if self.shape <= 0 or self.scale <= 0:
+            raise ValueError("shape and scale must be positive")
+        if self.worst <= 0:
+            raise ValueError("worst must be positive")
+        self.worst_case = self.worst
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self._clip(rng.gamma(self.shape, self.scale))
+
+
+def testbed_delay_model() -> GammaDelay:
+    """Delay model matching the testbed's NRF24L01+ measurements.
+
+    The paper reports 15 ms worst-case *round-trip* network delay, i.e.
+    7.5 ms one-way.  We use a gamma with ~2 ms mean and the 7.5 ms clip.
+    """
+    return GammaDelay(shape=2.0, scale=1.0e-3, worst=7.5e-3)

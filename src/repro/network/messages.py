@@ -1,0 +1,198 @@
+"""Protocol message types exchanged between vehicles and the IM.
+
+These mirror the packets described in the paper:
+
+* ``SyncRequest`` / ``SyncResponse`` — the NTP exchange of the vehicle's
+  *Sync* state (Ch 2).
+* ``CrossingRequest`` — the VT-IM / Crossroads request carrying the
+  transmission timestamp ``TT``, distance to intersection ``DT``,
+  current velocity ``VC`` and the ``VehicleInfo`` packet (Ch 4, Ch 6).
+* ``VelocityCommand`` — the plain VT-IM reply (a target velocity the
+  vehicle executes *on receipt*).
+* ``CrossroadsCommand`` — the time-sensitive reply ``(TE, ToA, VT)``
+  executed exactly at ``TE`` (Ch 6).
+* ``AimRequest`` / ``AimAccept`` / ``AimReject`` — the query-based AIM
+  exchange: the vehicle proposes a time of arrival at its current speed
+  and the IM answers yes/no (Ch 5.2).
+* ``ExitNotification`` — the exit timestamp that lets the IM free the
+  intersection and track per-vehicle wait time.
+* ``Ack`` — link-level acknowledgement used to *measure* network delay
+  (Ch 4).
+
+Sizes are representative on-air byte counts used only for the network
+overhead metric.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "Ack",
+    "AimAccept",
+    "AimReject",
+    "AimRequest",
+    "CancelReservation",
+    "CrossingRequest",
+    "CrossroadsCommand",
+    "ExitNotification",
+    "Message",
+    "SyncRequest",
+    "SyncResponse",
+    "VelocityCommand",
+]
+
+_seq = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """Base class: addressing plus a unique sequence number."""
+
+    sender: str
+    receiver: str
+    seq: int = field(default_factory=lambda: next(_seq), init=False)
+
+    #: Representative on-air size in bytes (header only for the base).
+    SIZE = 8
+
+    @property
+    def size(self) -> int:
+        """On-air size in bytes (class constant)."""
+        return self.SIZE
+
+
+@dataclass
+class SyncRequest(Message):
+    """NTP request; ``t0`` is the client clock at transmission."""
+
+    t0: float = 0.0
+    SIZE = 16
+
+
+@dataclass
+class SyncResponse(Message):
+    """NTP reply; echoes ``t0`` and adds server receive/send stamps."""
+
+    t0: float = 0.0
+    t1: float = 0.0
+    t2: float = 0.0
+    SIZE = 32
+
+
+@dataclass
+class CrossingRequest(Message):
+    """VT-IM / Crossroads entrance request.
+
+    Attributes
+    ----------
+    tt:
+        Transmission timestamp on the *vehicle's* (synced) clock.
+    dt:
+        Distance to the intersection stop line, metres.
+    vc:
+        Current velocity, m/s.
+    vehicle_info:
+        The ``VehicleInfo`` packet (a :class:`repro.vehicle.VehicleSpec`
+        plus movement), opaque to the network layer.
+    """
+
+    tt: float = 0.0
+    dt: float = 0.0
+    vc: float = 0.0
+    vehicle_info: Any = None
+    SIZE = 48
+
+
+@dataclass
+class VelocityCommand(Message):
+    """Plain VT-IM reply: target velocity ``vt``, executed on receipt."""
+
+    vt: float = 0.0
+    toa: float = 0.0
+    #: seq of the request this answers (stale replies are discarded).
+    in_reply_to: int = 0
+    SIZE = 24
+
+
+@dataclass
+class CrossroadsCommand(Message):
+    """Time-sensitive reply: actuate at ``te``, arrive at ``toa``."""
+
+    te: float = 0.0
+    toa: float = 0.0
+    vt: float = 0.0
+    #: seq of the request this answers (stale replies are discarded).
+    in_reply_to: int = 0
+    SIZE = 32
+
+
+@dataclass
+class AimRequest(Message):
+    """Query-based request: "may I arrive at ``toa`` at speed ``vc``?".
+
+    ``accelerate`` marks a launch-from-stop proposal: at time ``toa``
+    the vehicle starts accelerating at its ``a_max`` toward ``v_max``
+    from rest, ``standoff`` metres before the stop line (AIM vehicles
+    that were forced to stop propose this; for launch proposals ``toa``
+    is the *launch* time, not the line-crossing time).
+    """
+
+    toa: float = 0.0
+    vc: float = 0.0
+    vehicle_info: Any = None
+    accelerate: bool = False
+    standoff: float = 0.0
+    SIZE = 48
+
+
+@dataclass
+class AimAccept(Message):
+    """Reservation confirmed for the proposed ``toa``/``vc``."""
+
+    toa: float = 0.0
+    vc: float = 0.0
+    #: seq of the request this answers (stale replies are discarded).
+    in_reply_to: int = 0
+    SIZE = 16
+
+
+@dataclass
+class AimReject(Message):
+    """Reservation denied; the vehicle slows down and re-requests."""
+
+    #: seq of the request this answers (stale replies are discarded).
+    in_reply_to: int = 0
+    SIZE = 12
+
+
+@dataclass
+class CancelReservation(Message):
+    """Withdraw a previously granted slot/reservation.
+
+    Sent when a vehicle abandons its committed plan (e.g. it is stuck
+    behind a slower leader and must renegotiate) so the IM can free the
+    slot immediately instead of letting a ghost reservation block
+    cross traffic.  AIM's original protocol (Dresner & Stone 2008) has
+    an equivalent CANCEL message.
+    """
+
+    SIZE = 12
+
+
+@dataclass
+class ExitNotification(Message):
+    """Sent when the vehicle clears the intersection box."""
+
+    exit_time: float = 0.0
+    SIZE = 16
+
+
+@dataclass
+class Ack(Message):
+    """Link-level acknowledgement of message ``acked_seq``."""
+
+    acked_seq: int = 0
+    SIZE = 10

@@ -1,0 +1,44 @@
+"""Sensing, actuation error and safety-buffer estimation (paper Ch 3).
+
+The paper sizes the longitudinal safety buffer empirically: run the
+hold / accelerate / hold velocity profile of Fig 3.1 on the real car 20
+times, measure the worst final-position error ``Elong`` (+-75 mm), add
+the time-synchronisation contribution (1 ms @ 3 m/s = 3 mm) for a total
+of +-78 mm.  VT-IM must *additionally* cover the worst-case round-trip
+delay (150 ms @ 3 m/s = 0.45 m); Crossroads does not.
+
+This package provides the sensor noise models (encoder, GPS, IMU), a
+noisy longitudinal plant (actuation lag + process noise + quantised
+encoder), a constant-velocity Kalman fusion filter, the Fig 3.1
+experiment as a reusable procedure, and the buffer calculator that
+turns the measured errors into per-policy buffer sizes.
+"""
+
+from repro.sensors.buffer import BufferBreakdown, SafetyBufferCalculator
+from repro.sensors.error_experiment import (
+    ErrorExperimentConfig,
+    ErrorExperimentResult,
+    TrialResult,
+    run_error_experiment,
+    worst_case_elong,
+)
+from repro.sensors.fusion import KalmanEstimate, LongitudinalKalman
+from repro.sensors.models import EncoderModel, GpsModel, ImuModel
+from repro.sensors.plant import LongitudinalPlant, PlantConfig
+
+__all__ = [
+    "BufferBreakdown",
+    "EncoderModel",
+    "ErrorExperimentConfig",
+    "ErrorExperimentResult",
+    "GpsModel",
+    "ImuModel",
+    "KalmanEstimate",
+    "LongitudinalKalman",
+    "LongitudinalPlant",
+    "PlantConfig",
+    "SafetyBufferCalculator",
+    "TrialResult",
+    "run_error_experiment",
+    "worst_case_elong",
+]

@@ -1,0 +1,92 @@
+"""Safety-buffer sizing (paper Ch 3 + the VT-IM RTD buffer of Ch 4).
+
+The longitudinal buffer a policy must assume around each vehicle is::
+
+    buffer = Elong_control_sensing          # Fig 3.1 experiment
+           + sync_error * v_max             # Ch 3.2 (1 ms -> 3 mm)
+           + [ wc_rtd * v_max ]             # VT-IM only (Ch 4)
+
+The testbed numbers: 75 mm + 3 mm (+ 450 mm for plain VT-IM).
+Lateral error is assumed absorbed by lane keeping (Ch 3.2), as in the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BufferBreakdown", "SafetyBufferCalculator"]
+
+
+@dataclass(frozen=True)
+class BufferBreakdown:
+    """Per-source buffer contributions, metres."""
+
+    sensing: float
+    sync: float
+    rtd: float
+
+    @property
+    def base(self) -> float:
+        """Buffer every policy needs (sensing + sync)."""
+        return self.sensing + self.sync
+
+    @property
+    def total(self) -> float:
+        """Buffer a plain VT-IM needs (base + RTD)."""
+        return self.base + self.rtd
+
+
+class SafetyBufferCalculator:
+    """Turns measured error bounds into per-policy buffer sizes.
+
+    Parameters
+    ----------
+    elong:
+        Worst-case control/sensing longitudinal error, metres
+        (testbed: 0.075).
+    sync_error:
+        Residual clock-sync error, seconds (testbed: 1e-3).
+    wc_rtd:
+        Worst-case round-trip delay, seconds (testbed: 0.150).
+    v_max:
+        Maximum approach speed, m/s (testbed: 3.0).
+    """
+
+    def __init__(
+        self,
+        elong: float = 0.075,
+        sync_error: float = 1e-3,
+        wc_rtd: float = 0.150,
+        v_max: float = 3.0,
+    ):
+        if elong < 0 or sync_error < 0 or wc_rtd < 0:
+            raise ValueError("error terms must be non-negative")
+        if v_max <= 0:
+            raise ValueError("v_max must be positive")
+        self.elong = elong
+        self.sync_error = sync_error
+        self.wc_rtd = wc_rtd
+        self.v_max = v_max
+
+    def breakdown(self) -> BufferBreakdown:
+        """All contributions at once."""
+        return BufferBreakdown(
+            sensing=self.elong,
+            sync=self.sync_error * self.v_max,
+            rtd=self.wc_rtd * self.v_max,
+        )
+
+    def for_policy(self, policy: str) -> float:
+        """Buffer a given policy must assume.
+
+        ``"vt-im"`` pays sensing + sync + RTD; ``"crossroads"`` and
+        ``"aim"`` pay only sensing + sync (Ch 7.2).
+        """
+        b = self.breakdown()
+        key = policy.lower().replace("_", "-")
+        if key in ("vt-im", "vtim"):
+            return b.total
+        if key in ("crossroads", "aim", "qb-im", "qbim"):
+            return b.base
+        raise ValueError(f"unknown policy {policy!r}")

@@ -1,0 +1,101 @@
+"""Constant-velocity Kalman filter for longitudinal state estimation.
+
+Ch 3.1 notes that the safety buffer depends not only on raw sensor
+errors but on "the data fusion and control algorithms" — so the library
+includes the fusion stage.  The filter estimates ``[position,
+velocity]`` from encoder velocity updates and (optionally) absolute
+position fixes, and reports its 3-sigma position bound, which is an
+analytic cross-check on the empirically estimated buffer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["KalmanEstimate", "LongitudinalKalman"]
+
+
+@dataclass(frozen=True)
+class KalmanEstimate:
+    """Filter output: state estimate plus covariance diagonal."""
+
+    position: float
+    velocity: float
+    var_position: float
+    var_velocity: float
+
+    @property
+    def position_bound(self) -> float:
+        """3-sigma position uncertainty, metres."""
+        return 3.0 * math.sqrt(max(self.var_position, 0.0))
+
+
+class LongitudinalKalman:
+    """Discrete constant-velocity KF with velocity and position updates.
+
+    Parameters
+    ----------
+    q_accel:
+        Process-noise acceleration spectral density (m/s^2)^2.
+    r_velocity:
+        Encoder measurement variance (m/s)^2.
+    r_position:
+        Position-fix variance m^2.
+    """
+
+    def __init__(
+        self,
+        position: float = 0.0,
+        velocity: float = 0.0,
+        q_accel: float = 0.04,
+        r_velocity: float = 4e-4,
+        r_position: float = 4e-4,
+        p0: float = 1e-4,
+    ):
+        if q_accel <= 0 or r_velocity <= 0 or r_position <= 0:
+            raise ValueError("noise parameters must be positive")
+        self.x = np.array([position, velocity], dtype=float)
+        self.P = np.eye(2) * p0
+        self.q_accel = q_accel
+        self.r_velocity = r_velocity
+        self.r_position = r_position
+
+    def predict(self, dt: float) -> None:
+        """Propagate the state ``dt`` seconds."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        F = np.array([[1.0, dt], [0.0, 1.0]])
+        # Discrete white-noise-acceleration process covariance.
+        Q = self.q_accel * np.array(
+            [[dt ** 4 / 4.0, dt ** 3 / 2.0], [dt ** 3 / 2.0, dt ** 2]]
+        )
+        self.x = F @ self.x
+        self.P = F @ self.P @ F.T + Q
+
+    def _update(self, H: np.ndarray, z: float, r: float) -> None:
+        y = z - float(H @ self.x)
+        S = float(H @ self.P @ H.T) + r
+        K = (self.P @ H.T) / S
+        self.x = self.x + K * y
+        self.P = (np.eye(2) - np.outer(K, H)) @ self.P
+
+    def update_velocity(self, measured_velocity: float) -> None:
+        """Fuse one encoder velocity measurement."""
+        self._update(np.array([0.0, 1.0]), measured_velocity, self.r_velocity)
+
+    def update_position(self, measured_position: float) -> None:
+        """Fuse one absolute position fix."""
+        self._update(np.array([1.0, 0.0]), measured_position, self.r_position)
+
+    @property
+    def estimate(self) -> KalmanEstimate:
+        """Current state estimate."""
+        return KalmanEstimate(
+            position=float(self.x[0]),
+            velocity=float(self.x[1]),
+            var_position=float(self.P[0, 0]),
+            var_velocity=float(self.P[1, 1]),
+        )

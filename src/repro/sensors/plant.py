@@ -1,0 +1,138 @@
+"""Noisy longitudinal plant: what the vehicle's speed loop actually does.
+
+The IM's world model assumes commanded velocity changes happen at
+exactly the specified acceleration.  The physical car differs: motor
+response is first-order, the controller tracks with finite gain, and
+the encoder it closes the loop on is quantised and slippy.  The gap
+between the two is precisely the control/sensing error of Fig 3.1 that
+the safety buffer has to absorb.
+
+:class:`LongitudinalPlant` integrates::
+
+    v' = clamp((v_cmd - v) / tau, -d_max, a_max) + process noise
+
+with ``v_cmd`` supplied by the caller each ``dt`` step.  It also exposes
+the encoder's noisy view of the state, which is what the vehicle
+*reports to the IM* as ``VC``/``DT``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.sensors.models import EncoderModel
+
+__all__ = ["LongitudinalPlant", "PlantConfig"]
+
+
+@dataclass
+class PlantConfig:
+    """Physical parameters of the longitudinal plant.
+
+    Defaults match a Traxxas Slash class RC car at testbed limits
+    (3 m/s top speed).
+    """
+
+    a_max: float = 3.0
+    d_max: float = 4.0
+    v_max: float = 3.0
+    #: Closed-loop velocity-response time constant, seconds.  A tuned
+    #: 50 Hz speed loop with feedforward responds within ~25 ms; the
+    #: residual lag times the worst ramp (0.1 -> 3.0 m/s) reproduces the
+    #: testbed's ~75 mm worst-case Elong.
+    tau: float = 0.025
+    #: Acceleration process-noise standard deviation, m/s^2.
+    accel_noise_std: float = 0.10
+    encoder: EncoderModel = field(default_factory=EncoderModel)
+
+    def __post_init__(self):
+        if self.a_max <= 0 or self.d_max <= 0 or self.v_max <= 0:
+            raise ValueError("a_max, d_max and v_max must be positive")
+        if self.tau <= 0:
+            raise ValueError("tau must be positive")
+        if self.accel_noise_std < 0:
+            raise ValueError("accel_noise_std must be non-negative")
+
+
+class LongitudinalPlant:
+    """Stateful 1-D vehicle plant with noisy actuation and sensing.
+
+    Parameters
+    ----------
+    config:
+        Plant parameters.
+    position, velocity:
+        Initial true state.
+    rng:
+        Random generator driving actuation and encoder noise.
+    ideal:
+        When True, disables all noise and makes the response
+        instantaneous-slew (``tau`` ignored, ramp at exactly the
+        acceleration limits) — the IM's idealised world model.  Used to
+        compute the *expected* trajectory of the Fig 3.1 experiment.
+    """
+
+    def __init__(
+        self,
+        config: PlantConfig,
+        position: float = 0.0,
+        velocity: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        ideal: bool = False,
+    ):
+        if velocity < 0:
+            raise ValueError("velocity must be non-negative")
+        self.config = config
+        self.position = float(position)
+        self.velocity = float(velocity)
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.ideal = ideal
+        self._measured_position = self.position
+        self.time = 0.0
+
+    def step(self, v_cmd: float, dt: float) -> None:
+        """Advance the plant ``dt`` seconds tracking ``v_cmd``."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        cfg = self.config
+        v_cmd = float(np.clip(v_cmd, 0.0, cfg.v_max))
+        if self.ideal:
+            accel = np.clip((v_cmd - self.velocity) / dt, -cfg.d_max, cfg.a_max)
+        elif v_cmd < 0.01 and self.velocity < 0.05:
+            # Brake hold: a commanded stop at near-rest pins the wheels.
+            # Without this, clipping negative velocities at zero turns
+            # the actuation noise into a one-directional random walk
+            # that creeps a "stopped" vehicle over the line.
+            accel = -self.velocity / dt
+        else:
+            accel = np.clip((v_cmd - self.velocity) / cfg.tau, -cfg.d_max, cfg.a_max)
+            accel += self.rng.normal(0.0, cfg.accel_noise_std)
+        new_v = float(np.clip(self.velocity + accel * dt, 0.0, cfg.v_max))
+        # Trapezoidal position update.
+        self.position += 0.5 * (self.velocity + new_v) * dt
+        self.velocity = new_v
+        self.time += dt
+        # Odometry integrates the *measured* velocity.
+        self._measured_position += self.measured_velocity() * dt
+
+    def measured_velocity(self) -> float:
+        """Encoder's view of the current velocity."""
+        if self.ideal:
+            return self.velocity
+        return self.config.encoder.measure(self.velocity, self.rng)
+
+    def measured_position(self) -> float:
+        """Odometry position (integrated measured velocity)."""
+        return self._measured_position
+
+    def reset(self, position: float = 0.0, velocity: float = 0.0) -> None:
+        """Reset the true and measured state."""
+        if velocity < 0:
+            raise ValueError("velocity must be non-negative")
+        self.position = float(position)
+        self.velocity = float(velocity)
+        self._measured_position = float(position)
+        self.time = 0.0

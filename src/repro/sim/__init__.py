@@ -1,0 +1,36 @@
+"""Simulation engines and metrics.
+
+:class:`World` is the micro-simulator: vehicles with noisy plants and
+protocol state machines, a delayed/lossy channel, a real IM process,
+per-node clocks, and a ground-truth safety monitor — the software twin
+of the 1/10-scale testbed.  :func:`run_scenario` / :func:`run_flow`
+are the two workload entry points (fixed arrival lists for Fig 7.1,
+Poisson flows for Fig 7.2), and :mod:`repro.sim.flowsweep` drives the
+full policy-by-flow grid of the Matlab evaluation.
+"""
+
+from repro.sim.analytic import AnalyticConfig, run_analytic
+from repro.sim.flowsweep import FlowPoint, run_flow, run_flow_sweep
+from repro.sim.metrics import SimResult, compare_policies
+from repro.sim.replication import MetricStats, Replication, replicate, run_replicated
+from repro.sim.trace import TraceRecorder, TraceSample
+from repro.sim.world import World, WorldConfig, run_scenario
+
+__all__ = [
+    "AnalyticConfig",
+    "FlowPoint",
+    "MetricStats",
+    "Replication",
+    "TraceRecorder",
+    "TraceSample",
+    "replicate",
+    "run_replicated",
+    "SimResult",
+    "World",
+    "WorldConfig",
+    "compare_policies",
+    "run_analytic",
+    "run_flow",
+    "run_flow_sweep",
+    "run_scenario",
+]

@@ -1,0 +1,149 @@
+"""Run-level metrics.
+
+The paper's headline quantities:
+
+* **average wait time** (Fig 7.1) — mean per-vehicle delay, where a
+  vehicle's delay is its actual spawn-to-box-exit time minus its
+  free-flow time;
+* **throughput** (Fig 7.2) — "number of managed vehicles divided by
+  total wait time";
+* **computation overhead / network traffic** (Ch 7.2) — total IM
+  compute seconds and total messages, where AIM's trial-and-error
+  costs up to 16-20X Crossroads'.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.vehicle.agent import VehicleRecord
+
+__all__ = ["SimResult", "compare_policies"]
+
+
+@dataclass
+class SimResult:
+    """Everything measured in one simulation run."""
+
+    policy: str
+    records: List[VehicleRecord]
+    sim_duration: float
+    compute_time: float = 0.0
+    compute_requests: int = 0
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    messages_by_type: Dict[str, int] = field(default_factory=dict)
+    rejects: int = 0
+    collisions: int = 0
+    buffer_violations: int = 0
+    min_separation: float = float("inf")
+    worst_service_time: float = 0.0
+
+    # -- vehicle-level aggregates ------------------------------------------
+    @property
+    def finished(self) -> List[VehicleRecord]:
+        """Vehicles that cleared the box."""
+        return [r for r in self.records if r.finished]
+
+    @property
+    def n_finished(self) -> int:
+        return len(self.finished)
+
+    @property
+    def delays(self) -> np.ndarray:
+        """Per-finished-vehicle wait times."""
+        return np.array([r.delay for r in self.finished], dtype=float)
+
+    @property
+    def total_delay(self) -> float:
+        """Summed excess wait time, seconds."""
+        return float(self.delays.sum()) if self.n_finished else 0.0
+
+    @property
+    def average_delay(self) -> float:
+        """Mean excess wait time (the Fig 7.1 y-axis)."""
+        return float(self.delays.mean()) if self.n_finished else 0.0
+
+    @property
+    def transit_times(self) -> np.ndarray:
+        """Per-finished-vehicle time in the managed area (spawn->exit)."""
+        return np.array(
+            [r.exit_time - r.spawn_time for r in self.finished], dtype=float
+        )
+
+    @property
+    def total_transit(self) -> float:
+        """Summed time-in-system, seconds."""
+        return float(self.transit_times.sum()) if self.n_finished else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Vehicles per second of total wait (the Fig 7.2 y-axis).
+
+        "Wait time" is each vehicle's total time in the managed area
+        (transmission line to box exit): at low flow every policy sits
+        at 1/free-flow-transit, and the curves diverge downward as
+        congestion stretches transits — the Fig 7.2 shape.
+        """
+        if not self.n_finished or self.total_transit <= 0:
+            return 0.0
+        return self.n_finished / self.total_transit
+
+    @property
+    def worst_rtd(self) -> float:
+        """Largest request->response round trip any vehicle saw."""
+        rtds = [r.worst_rtd for r in self.records if r.rtds]
+        return max(rtds) if rtds else 0.0
+
+    @property
+    def requests_total(self) -> int:
+        return sum(r.requests_sent for r in self.records)
+
+    @property
+    def stops(self) -> int:
+        """Vehicles that came to a complete stop."""
+        return sum(1 for r in self.records if r.came_to_stop)
+
+    @property
+    def safe(self) -> bool:
+        """True when no ground-truth body overlap ever occurred."""
+        return self.collisions == 0
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of the headline numbers (for tables/benches)."""
+        return {
+            "policy_vehicles": float(self.n_finished),
+            "avg_delay_s": self.average_delay,
+            "total_delay_s": self.total_delay,
+            "throughput": self.throughput,
+            "compute_s": self.compute_time,
+            "messages": float(self.messages_sent),
+            "requests": float(self.requests_total),
+            "rejects": float(self.rejects),
+            "stops": float(self.stops),
+            "collisions": float(self.collisions),
+            "worst_rtd_s": self.worst_rtd,
+        }
+
+
+def compare_policies(
+    results: Sequence[SimResult], baseline: str, metric: str = "throughput"
+) -> Dict[str, float]:
+    """Ratio of each policy's metric to the baseline policy's.
+
+    ``compare_policies(results, "vt-im")["crossroads"]`` is the
+    paper's "Crossroads has 1.62X better throughput than VT-IM" style
+    number.
+    """
+    by_policy: Dict[str, float] = {}
+    for result in results:
+        by_policy[result.policy] = float(getattr(result, metric))
+    if baseline not in by_policy:
+        raise ValueError(f"baseline {baseline!r} not among results")
+    base = by_policy[baseline]
+    if base == 0:
+        raise ValueError("baseline metric is zero")
+    return {policy: value / base for policy, value in by_policy.items()}

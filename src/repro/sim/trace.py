@@ -1,0 +1,123 @@
+"""Trajectory tracing for the micro-simulator.
+
+A :class:`TraceRecorder` samples every live vehicle's kinematic state
+on a fixed period and keeps the samples queryable (and exportable as
+CSV).  It is how the examples draw space–time diagrams and how tests
+assert trajectory-level properties that the aggregate metrics hide.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.world import World
+
+__all__ = ["TraceRecorder", "TraceSample"]
+
+
+@dataclass(frozen=True)
+class TraceSample:
+    """One vehicle's state at one instant."""
+
+    time: float
+    vehicle_id: int
+    movement_key: str
+    #: Front-bumper route coordinate (0 = transmission line).
+    position: float
+    velocity: float
+    state: str
+    has_plan: bool
+
+    @property
+    def in_box(self) -> bool:
+        """True while any part of the body can be inside the box.
+
+        Uses the testbed's 3 m approach; exact membership is the
+        world's job — this is a display helper.
+        """
+        return self.position >= 3.0
+
+
+class TraceRecorder:
+    """Samples a :class:`~repro.sim.World`'s vehicles periodically.
+
+    Parameters
+    ----------
+    world:
+        The world to record (attach *before* running it).
+    period:
+        Sampling period, seconds.
+    """
+
+    def __init__(self, world: World, period: float = 0.1):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.world = world
+        self.period = period
+        self.samples: List[TraceSample] = []
+        world.env.process(self._sampler())
+
+    def _sampler(self):
+        while True:
+            now = self.world.env.now
+            for vehicle in self.world.vehicles:
+                if vehicle.done:
+                    continue
+                self.samples.append(
+                    TraceSample(
+                        time=now,
+                        vehicle_id=vehicle.info.vehicle_id,
+                        movement_key=vehicle.info.movement.key,
+                        position=vehicle.front,
+                        velocity=vehicle.speed,
+                        state=vehicle.state.value,
+                        has_plan=vehicle.plan is not None,
+                    )
+                )
+            yield self.world.env.timeout(self.period)
+
+    # -- queries ---------------------------------------------------------------
+    @property
+    def vehicle_ids(self) -> List[int]:
+        """Ids seen in the trace, ascending."""
+        return sorted({s.vehicle_id for s in self.samples})
+
+    def trajectory(self, vehicle_id: int) -> List[TraceSample]:
+        """All samples of one vehicle, time-ordered."""
+        return [s for s in self.samples if s.vehicle_id == vehicle_id]
+
+    def at(self, time: float, tolerance: Optional[float] = None) -> List[TraceSample]:
+        """Samples from the tick nearest ``time``."""
+        tolerance = tolerance if tolerance is not None else self.period / 2
+        return [s for s in self.samples if abs(s.time - time) <= tolerance]
+
+    def by_lane(self) -> Dict[str, List[TraceSample]]:
+        """Samples grouped by entry approach (the movement key prefix)."""
+        lanes: Dict[str, List[TraceSample]] = {}
+        for sample in self.samples:
+            lanes.setdefault(sample.movement_key.split("-")[0], []).append(sample)
+        return lanes
+
+    # -- export -----------------------------------------------------------------
+    FIELDS = ("time", "vehicle_id", "movement_key", "position", "velocity",
+              "state", "has_plan")
+
+    def to_csv(self, path: Optional[str] = None) -> str:
+        """Write the trace as CSV; returns the text (and writes ``path``)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.FIELDS)
+        for s in self.samples:
+            writer.writerow([
+                f"{s.time:.3f}", s.vehicle_id, s.movement_key,
+                f"{s.position:.4f}", f"{s.velocity:.4f}", s.state,
+                int(s.has_plan),
+            ])
+        text = buffer.getvalue()
+        if path is not None:
+            with open(path, "w") as handle:
+                handle.write(text)
+        return text

@@ -1,0 +1,327 @@
+"""The micro-simulator: vehicles + network + IM + safety monitor.
+
+A :class:`World` assembles one complete experiment:
+
+* the intersection geometry and (for VT-style policies) its conflict
+  table;
+* a wireless :class:`~repro.network.Channel` with the testbed's delay
+  distribution and optional loss;
+* one IM process of the chosen policy;
+* a spawner that turns an arrival list into protocol-running
+  :class:`~repro.vehicle.BaseVehicle` agents, each with its own
+  drifting clock and noisy plant, registered into per-lane queues for
+  the car-following clamp;
+* a ground-truth safety monitor sampling all in-box footprints and
+  recording body collisions, buffered near-misses and the minimum
+  separation seen.
+
+``world.run()`` advances the DES until every vehicle has despawned (or
+a hard time limit is hit) and returns a
+:class:`~repro.sim.metrics.SimResult`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.aim import AimConfig
+from repro.core.base import IMConfig
+from repro.core.policy import make_im, normalize_policy
+from repro.des import Environment
+from repro.geometry.collision import OrientedRect, rects_overlap
+from repro.geometry.conflicts import ConflictTable
+from repro.geometry.layout import IntersectionGeometry
+from repro.network.channel import Channel
+from repro.network.delay import DelayModel, testbed_delay_model
+from repro.sensors.plant import PlantConfig
+from repro.sim.metrics import SimResult
+from repro.timesync.clock import Clock
+from repro.traffic.generator import Arrival
+from repro.vehicle.agent import AgentConfig, BaseVehicle, make_vehicle
+from repro.vehicle.spec import VehicleInfo
+
+__all__ = ["World", "WorldConfig", "run_scenario"]
+
+
+@dataclass
+class WorldConfig:
+    """Experiment-level knobs (testbed defaults throughout)."""
+
+    im: IMConfig = field(default_factory=IMConfig)
+    agent: AgentConfig = field(default_factory=AgentConfig)
+    plant: PlantConfig = field(default_factory=PlantConfig)
+    aim: AimConfig = field(default_factory=AimConfig)
+    #: One-way network delay model (None -> testbed gamma, 7.5 ms WC).
+    delay_model: Optional[DelayModel] = None
+    message_loss: float = 0.0
+    #: Initial clock offsets are uniform in +-this, seconds.
+    clock_offset_bound: float = 0.5
+    #: Clock drifts are uniform in +-this (fractional).
+    clock_drift_bound: float = 20e-6
+    #: Safety-monitor sampling period, seconds.
+    safety_dt: float = 0.05
+    #: Hard wall on simulated seconds (runaway guard).
+    max_sim_time: float = 3600.0
+    #: Disable plant/sensor noise (for deterministic unit tests).
+    ideal_vehicles: bool = False
+    #: Physical actuation margin over the *advertised* limits: plans
+    #: use ``spec.a_max``; the plant can do slightly more, so the
+    #: tracking loop can recover lag even on full-throttle launches.
+    plant_headroom: float = 1.15
+
+
+class World:
+    """One wired-up simulation run.
+
+    Parameters
+    ----------
+    policy:
+        ``"vt-im"``, ``"crossroads"`` or ``"aim"``.
+    arrivals:
+        The workload (time-sorted :class:`~repro.traffic.Arrival` s).
+    geometry:
+        Intersection layout (testbed default when omitted).
+    conflicts:
+        Reusable conflict table (recomputed when omitted; pass one in
+        when sweeping to amortise the geometry analysis).
+    config:
+        World knobs.
+    seed:
+        Master seed: spawns per-vehicle RNGs and clock parameters.
+    """
+
+    def __init__(
+        self,
+        policy: str,
+        arrivals: Sequence[Arrival],
+        geometry: Optional[IntersectionGeometry] = None,
+        conflicts: Optional[ConflictTable] = None,
+        config: Optional[WorldConfig] = None,
+        seed: Optional[int] = None,
+    ):
+        self.policy = normalize_policy(policy)
+        self.arrivals = sorted(arrivals, key=lambda a: a.time)
+        self.config = config if config is not None else WorldConfig()
+        self.geometry = geometry if geometry is not None else IntersectionGeometry()
+        self.rng = np.random.default_rng(seed)
+
+        self.env = Environment()
+        delay = (
+            self.config.delay_model
+            if self.config.delay_model is not None
+            else testbed_delay_model()
+        )
+        self.channel = Channel(
+            self.env,
+            delay_model=delay,
+            loss_probability=self.config.message_loss,
+            rng=np.random.default_rng(self.rng.integers(2 ** 63)),
+        )
+        if self.policy != "aim" and conflicts is None:
+            conflicts = ConflictTable(self.geometry)
+        self.conflicts = conflicts
+        self.im = make_im(
+            self.policy,
+            self.env,
+            self.channel,
+            self.geometry,
+            conflicts=conflicts,
+            config=self.config.im,
+            aim_config=self.config.aim,
+        )
+        self.vehicles: List[BaseVehicle] = []
+        self._lanes: Dict[str, List[BaseVehicle]] = {}
+        self.collisions = 0
+        self.buffer_violations = 0
+        self.min_separation = math.inf
+        self._collided_pairs = set()
+        self.env.process(self._spawner())
+        self.env.process(self._safety_monitor())
+
+    # -- spawning -----------------------------------------------------------
+    def _spawner(self):
+        for index, arrival in enumerate(self.arrivals):
+            wait = arrival.time - self.env.now
+            if wait > 0:
+                yield self.env.timeout(wait)
+            self._spawn(index, arrival)
+
+    def _spawn(self, index: int, arrival: Arrival) -> BaseVehicle:
+        cfg = self.config
+        info = VehicleInfo(
+            vehicle_id=index,
+            spec=arrival.spec,
+            movement=arrival.movement,
+            buffer=cfg.im.base_buffer,
+        )
+        radio = self.channel.attach(f"V{index}")
+        clock = Clock(
+            offset=float(self.rng.uniform(-cfg.clock_offset_bound, cfg.clock_offset_bound)),
+            drift=float(self.rng.uniform(-cfg.clock_drift_bound, cfg.clock_drift_bound)),
+            epoch=self.env.now,
+            rng=np.random.default_rng(self.rng.integers(2 ** 63)),
+        )
+        lane_key = arrival.movement.entry.value
+        lane = self._lanes.setdefault(lane_key, [])
+
+        def predecessor(lane=lane, me_index=len(lane)):
+            for earlier in reversed(lane[:me_index]):
+                if not earlier.done:
+                    return earlier
+            return None
+
+        plant_config = cfg.plant
+        if cfg.ideal_vehicles:
+            plant_config = PlantConfig(
+                a_max=plant_config.a_max,
+                d_max=plant_config.d_max,
+                v_max=plant_config.v_max,
+                tau=1e-3,
+                accel_noise_std=0.0,
+                encoder=plant_config.encoder,
+            )
+        vehicle = make_vehicle(
+            self.policy,
+            self.env,
+            info,
+            radio,
+            clock,
+            path_length=self.geometry.crossing_distance(arrival.movement),
+            approach_length=self.geometry.approach_length,
+            spawn_speed=min(arrival.speed, arrival.spec.v_max),
+            plant_config=plant_config,
+            im_address=cfg.im.address,
+            predecessor=predecessor,
+            config=cfg.agent,
+            rng=np.random.default_rng(self.rng.integers(2 ** 63)),
+            plant_headroom=1.0 if cfg.ideal_vehicles else cfg.plant_headroom,
+        )
+        if cfg.ideal_vehicles:
+            vehicle.plant.ideal = True
+        lane.append(vehicle)
+        self.vehicles.append(vehicle)
+        return vehicle
+
+    # -- ground-truth poses -----------------------------------------------------
+    def pose_of(self, vehicle: BaseVehicle) -> OrientedRect:
+        """World-frame footprint of a vehicle's *body* (no buffer)."""
+        movement = vehicle.info.movement
+        spec = vehicle.info.spec
+        path = self.geometry.path(movement)
+        approach = self.geometry.approach_length
+        centre_s = vehicle.front - spec.length / 2.0
+        if centre_s < approach:
+            entry = self.geometry.entry_point(movement.entry)
+            fwd = np.array(movement.entry.inbound_unit)
+            point = entry - (approach - centre_s) * fwd
+            heading = movement.entry.heading
+        else:
+            s = centre_s - approach
+            if s <= path.length:
+                point = path.point_at(s)
+                heading = path.heading_at(s)
+            else:
+                end = path.point_at(path.length)
+                heading = path.heading_at(path.length)
+                point = end + (s - path.length) * np.array(
+                    [math.cos(heading), math.sin(heading)]
+                )
+        return OrientedRect(
+            cx=float(point[0]),
+            cy=float(point[1]),
+            heading=float(heading),
+            length=spec.length,
+            width=spec.width,
+        )
+
+    def _in_box(self, vehicle: BaseVehicle) -> bool:
+        approach = self.geometry.approach_length
+        path_len = vehicle.path_length
+        return (
+            vehicle.front + vehicle.info.buffer >= approach
+            and vehicle.rear - vehicle.info.buffer <= approach + path_len
+        )
+
+    def _safety_monitor(self):
+        while True:
+            active = [
+                v for v in self.vehicles if not v.done and self._in_box(v)
+            ]
+            for a, b in itertools.combinations(active, 2):
+                rect_a, rect_b = self.pose_of(a), self.pose_of(b)
+                gap = math.hypot(rect_a.cx - rect_b.cx, rect_a.cy - rect_b.cy)
+                self.min_separation = min(self.min_separation, gap)
+                pair = (min(a.info.vehicle_id, b.info.vehicle_id),
+                        max(a.info.vehicle_id, b.info.vehicle_id))
+                if rects_overlap(rect_a, rect_b):
+                    if pair not in self._collided_pairs:
+                        self._collided_pairs.add(pair)
+                        self.collisions += 1
+                elif a.info.movement.entry != b.info.movement.entry and rects_overlap(
+                    rect_a.inflated_longitudinal(a.info.buffer),
+                    rect_b.inflated_longitudinal(b.info.buffer),
+                ):
+                    # Buffered-footprint contact between *cross-traffic*
+                    # vehicles: the planned-safety margin was consumed.
+                    # Same-lane pairs queueing at the line are expected
+                    # to sit closer than two buffers and are excluded.
+                    self.buffer_violations += 1
+            yield self.env.timeout(self.config.safety_dt)
+
+    # -- execution ---------------------------------------------------------------
+    @property
+    def all_done(self) -> bool:
+        return bool(self.vehicles) and all(v.done for v in self.vehicles) and len(
+            self.vehicles
+        ) == len(self.arrivals)
+
+    def run(self) -> SimResult:
+        """Run to completion (all vehicles despawned) and collect results."""
+        step = 1.0
+        while not self.all_done and self.env.now < self.config.max_sim_time:
+            self.env.run(until=self.env.now + step)
+        return self.result()
+
+    def result(self) -> SimResult:
+        """Snapshot the metrics of the current state."""
+        stats = self.channel.stats
+        return SimResult(
+            policy=self.policy,
+            records=[v.record for v in self.vehicles],
+            sim_duration=self.env.now,
+            compute_time=self.im.compute.total_time,
+            compute_requests=self.im.compute.requests,
+            messages_sent=stats.sent,
+            bytes_sent=stats.bytes_sent,
+            messages_by_type=dict(stats.by_type),
+            rejects=self.im.stats.rejects,
+            collisions=self.collisions,
+            buffer_violations=self.buffer_violations,
+            min_separation=self.min_separation,
+            worst_service_time=self.im.stats.worst_service_time,
+        )
+
+
+def run_scenario(
+    policy: str,
+    arrivals: Sequence[Arrival],
+    config: Optional[WorldConfig] = None,
+    conflicts: Optional[ConflictTable] = None,
+    geometry: Optional[IntersectionGeometry] = None,
+    seed: Optional[int] = None,
+) -> SimResult:
+    """One-call wrapper: build a :class:`World`, run it, return results."""
+    world = World(
+        policy,
+        arrivals,
+        geometry=geometry,
+        conflicts=conflicts,
+        config=config,
+        seed=seed,
+    )
+    return world.run()

@@ -1,0 +1,94 @@
+"""Local clock model: offset + linear drift + read jitter.
+
+A node's clock reading at true time ``t`` is::
+
+    local(t) = t + offset + drift * (t - epoch) + jitter
+
+``drift`` is dimensionless (seconds of error per second of true time;
+crystal oscillators are typically within +-50 ppm, i.e. ``5e-5``).
+``jitter`` models read/readout quantisation noise and is redrawn on every
+read, so it does not accumulate.
+
+Corrections (from NTP) *step* the offset; we do not model slewing because
+the testbed protocol syncs once per intersection approach, before any
+command is issued.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["Clock"]
+
+
+class Clock:
+    """A drifting local clock.
+
+    Parameters
+    ----------
+    offset:
+        Initial offset from true time, in seconds.
+    drift:
+        Fractional frequency error (dimensionless, e.g. ``20e-6`` for
+        20 ppm fast).
+    jitter_std:
+        Standard deviation of per-read gaussian noise, seconds.
+    epoch:
+        True time at which the drift term is zero.
+    rng:
+        Numpy random generator for jitter (a fresh default generator is
+        created if omitted, but passing one keeps runs reproducible).
+    """
+
+    def __init__(
+        self,
+        offset: float = 0.0,
+        drift: float = 0.0,
+        jitter_std: float = 0.0,
+        epoch: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if jitter_std < 0:
+            raise ValueError("jitter_std must be non-negative")
+        self.offset = float(offset)
+        self.drift = float(drift)
+        self.jitter_std = float(jitter_std)
+        self.epoch = float(epoch)
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def read(self, true_time: float) -> float:
+        """Local time shown by this clock at ``true_time``."""
+        jitter = self._rng.normal(0.0, self.jitter_std) if self.jitter_std else 0.0
+        return true_time + self.offset + self.drift * (true_time - self.epoch) + jitter
+
+    def error(self, true_time: float) -> float:
+        """Deterministic clock error (excludes read jitter)."""
+        return self.offset + self.drift * (true_time - self.epoch)
+
+    def step(self, correction: float) -> None:
+        """Apply an NTP-style step: *add* ``correction`` to the clock.
+
+        NTP's theta estimate is the amount the client clock must be
+        advanced to match the server, so a sync applies ``step(theta)``.
+        """
+        self.offset += float(correction)
+
+    def worst_case_error(self, true_time: float, horizon: float) -> float:
+        """Bound on |error| over ``[true_time, true_time + horizon]``.
+
+        Includes 3-sigma read jitter; used to size the sync component of
+        the safety buffer.
+        """
+        if horizon < 0:
+            raise ValueError("horizon must be non-negative")
+        at_start = abs(self.error(true_time))
+        at_end = abs(self.error(true_time + horizon))
+        return max(at_start, at_end) + 3.0 * self.jitter_std
+
+    def __repr__(self) -> str:
+        return (
+            f"Clock(offset={self.offset:.6g}, drift={self.drift:.3g}, "
+            f"jitter_std={self.jitter_std:.3g})"
+        )

@@ -1,0 +1,130 @@
+"""NTP four-timestamp offset/delay estimation (Mills 1991).
+
+An NTP exchange produces four timestamps:
+
+* ``t0`` — client clock when the request leaves,
+* ``t1`` — server clock when the request arrives,
+* ``t2`` — server clock when the reply leaves,
+* ``t3`` — client clock when the reply arrives.
+
+The classic estimators are::
+
+    theta = ((t1 - t0) + (t2 - t3)) / 2       # server minus client: the
+                                              # correction to ADD to the
+                                              # client clock
+    delay = (t3 - t0) - (t2 - t1)             # round-trip network time
+
+The offset estimate is exact when the path is symmetric; its error is
+bounded by half the delay asymmetry, so NTP clients keep the sample with
+the *smallest* round-trip delay.  :class:`NtpClient` implements that
+filter and drives a :class:`~repro.timesync.clock.Clock`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.timesync.clock import Clock
+
+__all__ = ["NtpClient", "NtpSample", "ntp_delay", "ntp_offset", "sync_buffer"]
+
+
+def ntp_offset(t0: float, t1: float, t2: float, t3: float) -> float:
+    """Estimated server-minus-client offset (theta) from one exchange.
+
+    This is the correction the client must *add* to its clock.
+    """
+    return ((t1 - t0) + (t2 - t3)) / 2.0
+
+
+def ntp_delay(t0: float, t1: float, t2: float, t3: float) -> float:
+    """Round-trip network delay (server turnaround excluded)."""
+    return (t3 - t0) - (t2 - t1)
+
+
+def sync_buffer(sync_error: float, speed: float) -> float:
+    """Safety-buffer length a residual sync error costs at ``speed``.
+
+    Paper Ch 3.2: a 1 ms NTP error at the 3 m/s top speed adds 3 mm.
+    """
+    if sync_error < 0 or speed < 0:
+        raise ValueError("sync_error and speed must be non-negative")
+    return sync_error * speed
+
+
+@dataclass(frozen=True)
+class NtpSample:
+    """One completed NTP exchange."""
+
+    t0: float
+    t1: float
+    t2: float
+    t3: float
+
+    @property
+    def offset(self) -> float:
+        """Estimated client-minus-server offset for this sample."""
+        return ntp_offset(self.t0, self.t1, self.t2, self.t3)
+
+    @property
+    def delay(self) -> float:
+        """Round-trip delay for this sample."""
+        return ntp_delay(self.t0, self.t1, self.t2, self.t3)
+
+    @property
+    def error_bound(self) -> float:
+        """Worst-case offset-estimate error: half the round-trip delay."""
+        return abs(self.delay) / 2.0
+
+
+class NtpClient:
+    """Minimum-delay NTP sample filter bound to a local clock.
+
+    Feed completed exchanges with :meth:`add_sample`; :meth:`synchronize`
+    steps the clock by the best (minimum-delay) sample's offset, which is
+    exactly what the testbed's sync state does once per approach.
+    """
+
+    def __init__(self, clock: Clock, max_samples: int = 8):
+        if max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
+        self.clock = clock
+        self.max_samples = max_samples
+        self._samples: List[NtpSample] = []
+
+    @property
+    def samples(self) -> List[NtpSample]:
+        """Collected samples, oldest first."""
+        return list(self._samples)
+
+    @property
+    def best(self) -> Optional[NtpSample]:
+        """Sample with the smallest round-trip delay, if any."""
+        if not self._samples:
+            return None
+        return min(self._samples, key=lambda s: s.delay)
+
+    def add_sample(self, sample: NtpSample) -> None:
+        """Record one exchange, keeping at most ``max_samples``."""
+        self._samples.append(sample)
+        if len(self._samples) > self.max_samples:
+            self._samples.pop(0)
+
+    def synchronize(self) -> float:
+        """Step the clock by the best sample's offset.
+
+        Returns the applied correction.  Raises if no samples were added.
+        """
+        best = self.best
+        if best is None:
+            raise RuntimeError("synchronize() before any NTP sample")
+        self.clock.step(best.offset)
+        return best.offset
+
+    def residual_error_bound(self) -> float:
+        """Worst-case post-sync error (half best round-trip delay)."""
+        best = self.best
+        if best is None:
+            raise RuntimeError("no NTP samples collected")
+        return best.error_bound

@@ -1,0 +1,126 @@
+"""The ten scale-model traffic scenarios of Ch 7.1 / Fig 7.1.
+
+The paper pre-designs two of the ten cases:
+
+* **Scenario 1** — the VT-IM worst case: "all the cars arrive at the
+  intersection at almost the same time", so the extra RTD buffer
+  directly serialises them.
+* **Scenario 10** — the best case: "the traffic is so sparse that the
+  presence/absence of the safety buffer does not matter much".
+
+Scenarios 2-9 use randomly selected orders and spacings, reproduced
+here with fixed seeds so every run sees the same workloads.  Each
+scenario routes five vehicles (the physical test of Fig 1.1 uses five
+cars) at the 3 m/s testbed speed limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.geometry.layout import Approach, Movement, Turn
+from repro.traffic.generator import Arrival, TurnMix
+from repro.vehicle.spec import VehicleSpec
+
+__all__ = ["Scenario", "scale_model_scenarios"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, fixed arrival list."""
+
+    name: str
+    arrivals: "tuple[Arrival, ...]"
+
+    @property
+    def n_vehicles(self) -> int:
+        return len(self.arrivals)
+
+    @property
+    def duration(self) -> float:
+        """Time of the last arrival."""
+        return max(a.time for a in self.arrivals) if self.arrivals else 0.0
+
+
+_APPROACH_CYCLE = [
+    Approach.NORTH,
+    Approach.EAST,
+    Approach.SOUTH,
+    Approach.WEST,
+    Approach.NORTH,
+]
+
+
+def _worst_case(spec: VehicleSpec, n: int) -> Scenario:
+    """Scenario 1: near-simultaneous arrivals on every approach."""
+    arrivals = tuple(
+        Arrival(
+            time=0.01 * i,  # "almost the same time"
+            movement=Movement(_APPROACH_CYCLE[i % len(_APPROACH_CYCLE)], Turn.STRAIGHT),
+            speed=spec.v_max,
+            spec=spec,
+        )
+        for i in range(n)
+    )
+    return Scenario(name="S1-worst", arrivals=arrivals)
+
+
+def _best_case(spec: VehicleSpec, n: int, spacing: float = 4.0) -> Scenario:
+    """Scenario 10: arrivals so sparse that buffers never interact."""
+    arrivals = tuple(
+        Arrival(
+            time=spacing * i,
+            movement=Movement(_APPROACH_CYCLE[i % len(_APPROACH_CYCLE)], Turn.STRAIGHT),
+            speed=spec.v_max,
+            spec=spec,
+        )
+        for i in range(n)
+    )
+    return Scenario(name="S10-best", arrivals=arrivals)
+
+
+def _random_case(
+    index: int, spec: VehicleSpec, n: int, rng: np.random.Generator
+) -> Scenario:
+    """Scenarios 2-9: random order and spacing over a short window."""
+    mix = TurnMix()
+    times = np.sort(rng.uniform(0.0, 2.5 * n / 4.0, size=n))
+    approaches = rng.permutation(
+        [_APPROACH_CYCLE[i % 4] for i in range(n)]
+    )
+    arrivals = []
+    last_per_lane = {}
+    for t, approach in zip(times, approaches):
+        # Keep a physical same-lane headway.
+        t = max(t, last_per_lane.get(approach, -1.0) + 0.6)
+        last_per_lane[approach] = t
+        arrivals.append(
+            Arrival(
+                time=float(t),
+                movement=Movement(approach, mix.draw(rng)),
+                speed=float(rng.uniform(2.0, spec.v_max)),
+                spec=spec,
+            )
+        )
+    arrivals.sort(key=lambda a: a.time)
+    return Scenario(name=f"S{index}", arrivals=tuple(arrivals))
+
+
+def scale_model_scenarios(
+    n_vehicles: int = 5,
+    spec: Optional[VehicleSpec] = None,
+    seed: int = 2017,
+) -> List[Scenario]:
+    """The ten Fig 7.1 scenarios, S1 (worst) ... S10 (best)."""
+    if n_vehicles < 1:
+        raise ValueError("n_vehicles must be >= 1")
+    spec = spec if spec is not None else VehicleSpec()
+    rng = np.random.default_rng(seed)
+    scenarios = [_worst_case(spec, n_vehicles)]
+    for i in range(2, 10):
+        scenarios.append(_random_case(i, spec, n_vehicles, rng))
+    scenarios.append(_best_case(spec, n_vehicles))
+    return scenarios

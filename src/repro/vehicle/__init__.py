@@ -1,0 +1,41 @@
+"""Vehicle layer: specs, the protocol state machine, motion control.
+
+A vehicle in this system is (Ch 2):
+
+* a :class:`VehicleSpec` — the static ``VehicleInfo`` packet contents
+  (dimensions, acceleration limits, movement through the intersection);
+* a noisy longitudinal plant (:mod:`repro.sensors.plant`) the agent
+  steers by commanding velocities;
+* a protocol state machine — *Arriving -> Sync -> Request -> Follow* —
+  with the retransmit and safe-stop clauses of Algorithms 2/4/6/8.
+
+Three agent subclasses implement the vehicle side of the three IM
+protocols: :class:`VtimVehicle` (execute velocity command on receipt),
+:class:`CrossroadsVehicle` (execute at the commanded time ``TE``) and
+:class:`AimVehicle` (propose/slow-down/retry).
+"""
+
+from repro.vehicle.agent import (
+    AgentConfig,
+    AimVehicle,
+    BaseVehicle,
+    CrossroadsVehicle,
+    VehicleRecord,
+    VehicleState,
+    VtimVehicle,
+    make_vehicle,
+)
+from repro.vehicle.spec import VehicleInfo, VehicleSpec
+
+__all__ = [
+    "AgentConfig",
+    "AimVehicle",
+    "BaseVehicle",
+    "CrossroadsVehicle",
+    "VehicleInfo",
+    "VehicleRecord",
+    "VehicleSpec",
+    "VehicleState",
+    "VtimVehicle",
+    "make_vehicle",
+]

@@ -1,0 +1,730 @@
+"""Vehicle agents: the Arriving/Sync/Request/Follow protocol machines.
+
+Each agent couples three things on the DES:
+
+* a **drive loop** stepping the noisy longitudinal plant every control
+  period — tracking the committed plan if one exists, otherwise holding
+  the approach speed, always subject to the *safe-stop clause* (brake
+  when the stop line is closer than the braking distance and no plan
+  has been received) and a *car-following clamp* against the vehicle
+  ahead in the lane;
+* a **protocol loop** implementing the vehicle side of Algorithms
+  2 / 6 / 8 — NTP sync on crossing the transmission line, then the
+  policy-specific request/response exchange with retransmission;
+* **bookkeeping** — enter/exit times, measured RTDs, request counts —
+  collected into a :class:`VehicleRecord` the metrics layer reads.
+
+The route coordinate ``s`` is 1-D: the *front bumper* starts at 0 on
+the transmission line; the stop line is at ``approach_length``; the box
+exit is ``approach_length + path.length``; the vehicle despawns a short
+outrun later.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.des import AnyOf, Environment
+from repro.kinematics.arrival import plan_arrival
+from repro.kinematics.profiles import MotionProfile, ProfileBuilder, brake_distance
+from repro.network.channel import Radio
+from repro.network.messages import (
+    AimAccept,
+    AimReject,
+    AimRequest,
+    CancelReservation,
+    CrossingRequest,
+    CrossroadsCommand,
+    ExitNotification,
+    SyncRequest,
+    SyncResponse,
+    VelocityCommand,
+)
+from repro.sensors.plant import LongitudinalPlant, PlantConfig
+from repro.timesync.clock import Clock
+from repro.timesync.ntp import NtpClient, NtpSample
+from repro.vehicle.spec import VehicleInfo
+
+__all__ = [
+    "AgentConfig",
+    "AimVehicle",
+    "BaseVehicle",
+    "CrossroadsVehicle",
+    "VehicleRecord",
+    "VehicleState",
+    "VtimVehicle",
+    "make_vehicle",
+]
+
+
+class VehicleState(enum.Enum):
+    """Protocol states of Ch 2."""
+
+    ARRIVING = "arriving"
+    SYNC = "sync"
+    REQUEST = "request"
+    FOLLOW = "follow"
+    DONE = "done"
+
+
+@dataclass
+class AgentConfig:
+    """Vehicle-side tunables."""
+
+    #: Control period, seconds (testbed Arduinos ran ~50 Hz).
+    dt: float = 0.02
+    #: Response timeout before retransmitting, seconds (> WC-RTD).
+    retry_timeout: float = 0.25
+    #: AIM: pause between a reject and the next request, seconds.
+    aim_retry_interval: float = 0.15
+    #: AIM: speed reduction applied after each reject, m/s.
+    aim_speed_step: float = 0.5
+    #: AIM: slowest speed worth proposing a constant-speed crossing at;
+    #: below this the vehicle stops at the line and proposes a launch.
+    aim_propose_min_speed: float = 0.5
+    #: Crawl-speed floor, m/s.
+    v_crawl: float = 0.10
+    #: Minimum bumper-to-bumper gap kept by the follower clamp, metres.
+    gap_min: float = 0.30
+    #: Extra margin added to the safe-stop distance, metres.
+    stop_margin: float = 0.05
+    #: Distance driven past the box before despawning, metres.
+    outrun: float = 1.0
+    #: Proportional gain of the plan-position tracking loop, 1/s.
+    position_gain: float = 3.0
+    #: Feedforward lead, seconds: command the plan velocity this far
+    #: ahead to cancel the plant's first-order response lag.
+    velocity_lead: float = 0.025
+    #: Crossroads: cruise floor below which a launch is planned; must
+    #: match the IM's ``IMConfig.v_arrive_floor``.
+    arrive_floor: float = 1.2
+    #: Slowest plannable cruise speed; must match ``IMConfig.v_min`` so
+    #: the vehicle reconstructs exactly the trajectory the IM booked.
+    plan_v_min: float = 0.25
+    #: Drop the plan and re-request when lagging it by more than this
+    #: (a blocked vehicle cannot honour its slot; renegotiate).
+    replan_lag: float = 0.30
+
+    def __post_init__(self):
+        if self.dt <= 0:
+            raise ValueError("dt must be positive")
+        if self.retry_timeout <= 0:
+            raise ValueError("retry_timeout must be positive")
+        if self.v_crawl <= 0:
+            raise ValueError("v_crawl must be positive")
+
+
+@dataclass
+class VehicleRecord:
+    """Per-vehicle outcome, filled in as the run progresses."""
+
+    vehicle_id: int
+    movement_key: str
+    spawn_time: float
+    spawn_speed: float
+    enter_time: Optional[float] = None
+    exit_time: Optional[float] = None
+    despawn_time: Optional[float] = None
+    #: Free-flow transit time from spawn to box exit (delay baseline).
+    ideal_transit: float = 0.0
+    requests_sent: int = 0
+    rejects_received: int = 0
+    replans: int = 0
+    #: Worst |planned - actual| position while following a plan, metres
+    #: (should stay within the claimed safety buffer).
+    max_tracking_error: float = 0.0
+    #: Measured request->response round trips, seconds.
+    rtds: List[float] = field(default_factory=list)
+    came_to_stop: bool = False
+
+    @property
+    def finished(self) -> bool:
+        """True once the vehicle cleared the box."""
+        return self.exit_time is not None
+
+    @property
+    def delay(self) -> Optional[float]:
+        """Wait time: actual transit minus free-flow transit (Ch 7)."""
+        if self.exit_time is None:
+            return None
+        return max((self.exit_time - self.spawn_time) - self.ideal_transit, 0.0)
+
+    @property
+    def worst_rtd(self) -> float:
+        return max(self.rtds) if self.rtds else 0.0
+
+
+class BaseVehicle:
+    """Common agent machinery; subclasses add the request protocol.
+
+    Parameters
+    ----------
+    env:
+        DES environment.
+    info:
+        The vehicle's :class:`~repro.vehicle.spec.VehicleInfo`.
+    radio:
+        Attached radio (address ``V<id>``).
+    clock:
+        Local clock (offset/drift set by the spawner; NTP fixes it).
+    path_length:
+        Arc length of the movement's path through the box.
+    approach_length:
+        Transmission line to stop line distance.
+    spawn_speed:
+        Speed when crossing the transmission line.
+    plant_config:
+        Noise/limits of the longitudinal plant.
+    im_address:
+        Where to send protocol messages.
+    predecessor:
+        Callable returning the vehicle ahead in the lane (or None);
+        supplied by the world for the car-following clamp.
+    config:
+        Agent tunables.
+    rng:
+        Randomness for the plant.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        info: VehicleInfo,
+        radio: Radio,
+        clock: Clock,
+        path_length: float,
+        approach_length: float = 3.0,
+        spawn_speed: float = 3.0,
+        plant_config: Optional[PlantConfig] = None,
+        im_address: str = "IM",
+        predecessor: Optional[Callable[[], Optional["BaseVehicle"]]] = None,
+        config: Optional[AgentConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+        plant_headroom: float = 1.0,
+    ):
+        if spawn_speed < 0 or spawn_speed > info.spec.v_max + 1e-9:
+            raise ValueError("spawn_speed must be in [0, v_max]")
+        self.env = env
+        self.info = info
+        self.radio = radio
+        self.clock = clock
+        self.ntp = NtpClient(clock)
+        self.config = config if config is not None else AgentConfig()
+        self.im_address = im_address
+        self.predecessor = predecessor if predecessor is not None else (lambda: None)
+        self.approach_length = approach_length
+        self.path_length = path_length
+        self.route_length = approach_length + path_length + self.config.outrun
+        spec = info.spec
+        if plant_headroom < 1.0:
+            raise ValueError("plant_headroom must be >= 1.0")
+        base_plant = plant_config if plant_config is not None else PlantConfig()
+        # The physical car keeps a little authority above the limits it
+        # *advertises* in VehicleInfo, so the tracking loop can recover
+        # lag even when the plan uses the advertised maxima throughout.
+        self.plant = LongitudinalPlant(
+            PlantConfig(
+                a_max=spec.a_max * plant_headroom,
+                d_max=spec.d_max * plant_headroom,
+                v_max=spec.v_max * min(plant_headroom, 1.03),
+                tau=base_plant.tau,
+                accel_noise_std=base_plant.accel_noise_std,
+                encoder=base_plant.encoder,
+            ),
+            position=0.0,
+            velocity=spawn_speed,
+            rng=rng,
+        )
+        self.state = VehicleState.SYNC
+        self.approach_speed = spawn_speed
+        self.plan: Optional[MotionProfile] = None
+        self._retry_timeout = self.config.retry_timeout
+        #: Safe-stop latch: once the stop clause fires, stay stopped
+        #: until a plan is committed (prevents creeping over the line).
+        self._hold = False
+        self.record = VehicleRecord(
+            vehicle_id=info.vehicle_id,
+            movement_key=info.movement.key,
+            spawn_time=env.now,
+            spawn_speed=spawn_speed,
+            ideal_transit=self._free_flow_transit(spawn_speed),
+        )
+        self._drive_proc = env.process(self._drive_loop())
+        self._protocol_proc = env.process(self._protocol_loop())
+
+    # -- geometry helpers -----------------------------------------------------
+    @property
+    def front(self) -> float:
+        """True front-bumper route coordinate."""
+        return self.plant.position
+
+    @property
+    def rear(self) -> float:
+        """True rear-bumper route coordinate."""
+        return self.plant.position - self.info.spec.length
+
+    @property
+    def speed(self) -> float:
+        """True speed."""
+        return self.plant.velocity
+
+    @property
+    def done(self) -> bool:
+        return self.state is VehicleState.DONE
+
+    def measured_distance_to_line(self) -> float:
+        """Odometry estimate of the distance to the stop line."""
+        return max(self.approach_length - self.plant.measured_position(), 0.0)
+
+    def local_time(self) -> float:
+        """Current local clock reading."""
+        return self.clock.read(self.env.now)
+
+    def _free_flow_transit(self, v0: float) -> float:
+        """Unimpeded spawn-to-box-exit time at full throttle."""
+        from repro.kinematics.arrival import earliest_arrival_time
+
+        spec = self.info.spec
+        total = self.approach_length + self.path_length + spec.length
+        return earliest_arrival_time(total, v0, spec.v_max, spec.a_max)
+
+    # -- drive loop ---------------------------------------------------------
+    def _commanded_velocity(self) -> float:
+        """Velocity command for this control period."""
+        cfg = self.config
+        spec = self.info.spec
+        now = self.env.now
+        if self.plan is not None and now >= self.plan.start_time:
+            # Track the plan in the *odometry* frame — the plan was
+            # anchored on measured state and the real car has no access
+            # to ground truth.  Feedforward leads the plant's response
+            # lag; the P-term absorbs start-of-plan and actuation error.
+            v_ff = self.plan.velocity_at(now + cfg.velocity_lead)
+            err = self.plan.position_at(now) - self.plant.measured_position()
+            v_cmd = v_ff + cfg.position_gain * err
+            self.record.max_tracking_error = max(
+                self.record.max_tracking_error, abs(err)
+            )
+        elif self._hold:
+            v_cmd = 0.0
+        else:
+            v_cmd = self.approach_speed
+            # Safe-stop clause: no committed plan and the line is near.
+            dist = self.measured_distance_to_line()
+            stop_dist = brake_distance(self.speed, spec.d_max) + cfg.stop_margin
+            if dist <= stop_dist:
+                self._hold = True
+                v_cmd = 0.0
+        # Clip at the *plant's* limit (advertised v_max plus headroom),
+        # so the tracking loop may briefly exceed the plan speed to
+        # recover lag.
+        return float(np.clip(v_cmd, 0.0, self.plant.config.v_max))
+
+    def _follow_clamp(self, v_cmd: float) -> float:
+        """Never command a speed the leader's position cannot absorb."""
+        leader = self.predecessor()
+        if leader is None or leader.done:
+            return v_cmd
+        gap = leader.rear - self.front - self.config.gap_min
+        if gap <= 0:
+            return 0.0
+        spec = self.info.spec
+        # Gipps-style bound: we can always stop behind the leader even
+        # if it brakes as hard as we can, given its current speed.
+        v_safe = float(np.sqrt(leader.speed ** 2 + 2.0 * spec.d_max * gap))
+        return min(v_cmd, v_safe)
+
+    def _drive_loop(self):
+        cfg = self.config
+        while not self.done:
+            v_cmd = self._follow_clamp(self._commanded_velocity())
+            was_moving = self.speed > 0.02
+            self.plant.step(v_cmd, cfg.dt)
+            if was_moving and self.speed <= 0.02:
+                self.record.came_to_stop = True
+            self._maybe_replan()
+            self._check_milestones()
+            yield self.env.timeout(cfg.dt)
+
+    def _maybe_replan(self) -> None:
+        """Abandon a plan the vehicle can no longer honour.
+
+        A vehicle blocked by its leader falls behind its committed
+        trajectory; entering the box late would consume another
+        vehicle's slot, so while still on the approach it drops the
+        plan and renegotiates from its actual state.
+        """
+        if self.plan is None or self.env.now < self.plan.start_time:
+            return
+        if self.front >= self.approach_length:
+            return  # physically inside the box: committed
+        dist = self.approach_length - self.front
+        # Only abandon the plan if the vehicle can still stop before
+        # the line — dropping it any later would send an unscheduled
+        # vehicle into the box.
+        can_stop = (
+            brake_distance(self.speed, self.info.spec.d_max)
+            + self.config.stop_margin
+            <= dist
+        )
+        if not can_stop:
+            return
+        lag = self.plan.position_at(self.env.now) - self.plant.measured_position()
+        # Far from the line a moderate lag is recoverable; close to it
+        # the tolerance is the safety buffer itself — entering the box
+        # further off-plan than the buffer would consume another
+        # vehicle's slot.
+        threshold = self.info.buffer if dist < 0.6 else self.config.replan_lag
+        if lag > threshold:
+            self.plan = None
+            self._hold = False
+            self.state = VehicleState.REQUEST
+            self.record.replans += 1
+            # Free the now-unusable slot right away: a ghost reservation
+            # would block cross traffic until it times out.
+            self.radio.send(
+                CancelReservation(sender=self.radio.address, receiver=self.im_address)
+            )
+
+    def _check_milestones(self) -> None:
+        now = self.env.now
+        if self.record.enter_time is None and self.front >= self.approach_length:
+            self.record.enter_time = now
+        box_end = self.approach_length + self.path_length
+        if self.record.exit_time is None and self.rear >= box_end:
+            self.record.exit_time = now
+            self.radio.send(
+                ExitNotification(
+                    sender=self.radio.address,
+                    receiver=self.im_address,
+                    exit_time=self.local_time(),
+                )
+            )
+        if self.front >= self.route_length:
+            self.record.despawn_time = now
+            self.state = VehicleState.DONE
+
+    # -- protocol loop ----------------------------------------------------------
+    def _protocol_loop(self):
+        yield from self._sync_phase()
+        while not self.done:
+            if self.plan is None:
+                self.state = VehicleState.REQUEST
+                yield from self._request_phase()
+            else:
+                # Following a plan; poll for a replan-triggered drop.
+                yield self.env.timeout(5 * self.config.dt)
+
+    def _sync_phase(self):
+        """One NTP exchange (retransmitted until answered)."""
+        cfg = self.config
+        while not self.done:
+            t0 = self.local_time()
+            self.radio.send(
+                SyncRequest(sender=self.radio.address, receiver=self.im_address, t0=t0)
+            )
+            response = yield from self._await_response(cfg.retry_timeout, SyncResponse)
+            if response is not None:
+                t3 = self.local_time()
+                self.ntp.add_sample(
+                    NtpSample(t0=response.t0, t1=response.t1, t2=response.t2, t3=t3)
+                )
+                self.ntp.synchronize()
+                return
+
+    def _blocked_by_leader(self) -> bool:
+        """True while stuck in a queue behind a stopped leader.
+
+        Requesting a slot the vehicle physically cannot use only stuffs
+        the IM's book with ghost reservations (and its queue with
+        work), so the protocol loops defer until the leader moves or
+        commits into the box.
+        """
+        leader = self.predecessor()
+        if leader is None or leader.done:
+            return False
+        if leader.front >= self.approach_length:
+            return False  # leader is entering/inside the box
+        gap = leader.rear - self.front
+        return gap < 1.2 and leader.speed < 0.15
+
+    def _next_retry_timeout(self) -> float:
+        """Current retransmit timeout; backs off while unanswered."""
+        return self._retry_timeout
+
+    def _backoff(self) -> None:
+        """Grow the retransmit timeout (capped).
+
+        The IM keeps only the newest request per sender, so polling is
+        cheap; the cap mainly bounds how long a parked vehicle can miss
+        a free window.
+        """
+        self._retry_timeout = min(self._retry_timeout * 1.5, 0.8)
+
+    def _reset_backoff(self) -> None:
+        self._retry_timeout = self.config.retry_timeout
+
+    def _await_response(self, timeout: float, *types, reply_to=None):
+        """Wait up to ``timeout`` for a message of one of ``types``.
+
+        Non-matching messages are discarded, as are replies correlated
+        to a *superseded* request (``in_reply_to`` mismatch) — acting on
+        a stale grant would commit the vehicle to a reservation window
+        that has already drifted away.  Returns the message or ``None``
+        on timeout.
+        """
+        deadline = self.env.now + timeout
+        while True:
+            remaining = deadline - self.env.now
+            if remaining <= 0:
+                return None
+            get = self.radio.receive()
+            expiry = self.env.timeout(remaining)
+            result = yield AnyOf(self.env, [get, expiry])
+            if get in result:
+                message = result[get]
+                if isinstance(message, types):
+                    tag = getattr(message, "in_reply_to", 0)
+                    if reply_to is None or tag in (0, reply_to):
+                        return message
+                continue  # stale or foreign message; keep waiting
+            # Timed out: withdraw the pending get so it cannot swallow
+            # a later delivery meant for the next exchange.
+            self.radio.inbox.cancel_get(get)
+            return None
+
+    def _request_phase(self):
+        """Policy-specific request/response exchange (subclass hook)."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes this a generator
+
+    # -- plan helpers ----------------------------------------------------------
+    def _extend_through_box(self, builder: ProfileBuilder, v_cross: float) -> MotionProfile:
+        """Continue a stop-line plan through the box and outrun."""
+        if v_cross <= 0:
+            v_cross = self.config.v_crawl
+        builder.accelerate_to(v_cross, self.info.spec.a_max)
+        remaining = self.route_length + self.info.spec.length - builder.build().end_position
+        if remaining > 0:
+            builder.hold_for(remaining / v_cross)
+        return builder.build()
+
+    def _set_plan(self, plan: MotionProfile) -> None:
+        """Commit a plan and release the safe-stop latch."""
+        self.plan = plan
+        self._hold = False
+        self.state = VehicleState.FOLLOW
+
+    def _commit_cruise_plan(self, v_target: float) -> None:
+        """VT-IM style: accelerate to ``v_target`` now and maintain."""
+        spec = self.info.spec
+        v_now = max(self.speed, 0.0)
+        rate = spec.a_max if v_target >= v_now else spec.d_max
+        builder = ProfileBuilder(self.env.now, self.plant.position, v_now)
+        builder.accelerate_to(v_target, rate)
+        self._set_plan(self._extend_through_box(builder, v_target))
+
+
+class VtimVehicle(BaseVehicle):
+    """Vehicle side of the plain VT-IM (Algorithm 2).
+
+    Executes the commanded velocity *the instant it is received* — the
+    behaviour whose position nondeterminism forces the RTD buffer.
+    """
+
+    def _request_phase(self):
+        cfg = self.config
+        while not self.done and self.plan is None:
+            if self._blocked_by_leader():
+                yield self.env.timeout(cfg.retry_timeout)
+                continue
+            sent_at = self.env.now
+            self.record.requests_sent += 1
+            request = CrossingRequest(
+                sender=self.radio.address,
+                receiver=self.im_address,
+                tt=self.local_time(),
+                dt=self.measured_distance_to_line(),
+                vc=self.plant.measured_velocity(),
+                vehicle_info=self.info,
+            )
+            self.radio.send(request)
+            response = yield from self._await_response(
+                self._next_retry_timeout(), VelocityCommand, reply_to=request.seq
+            )
+            if response is None:
+                self._backoff()
+                continue  # retransmit clause
+            self._reset_backoff()
+            self.record.rtds.append(self.env.now - sent_at)
+            self._commit_cruise_plan(min(response.vt, self.info.spec.v_max))
+
+
+class CrossroadsVehicle(BaseVehicle):
+    """Vehicle side of Crossroads (Algorithm 8).
+
+    Holds the reported velocity until the commanded execution time
+    ``TE`` (on the *synchronised local clock*), then runs the planned
+    trajectory to arrive at ``ToA`` with velocity ``VT``.
+    """
+
+    def _request_phase(self):
+        cfg = self.config
+        spec = self.info.spec
+        while not self.done and self.plan is None:
+            if self._blocked_by_leader():
+                yield self.env.timeout(cfg.retry_timeout)
+                continue
+            sent_at = self.env.now
+            tt = self.local_time()
+            dt_measured = self.measured_distance_to_line()
+            vc = min(self.plant.measured_velocity(), spec.v_max)
+            self.record.requests_sent += 1
+            request = CrossingRequest(
+                sender=self.radio.address,
+                receiver=self.im_address,
+                tt=tt,
+                dt=dt_measured,
+                vc=vc,
+                vehicle_info=self.info,
+            )
+            self.radio.send(request)
+            response = yield from self._await_response(
+                self._next_retry_timeout(), CrossroadsCommand, reply_to=request.seq
+            )
+            if response is None:
+                self._backoff()
+                continue
+            self._reset_backoff()
+            self.record.rtds.append(self.env.now - sent_at)
+            # Wait until the local clock reads TE; the vehicle keeps
+            # holding its approach speed meanwhile (the drive loop's
+            # default behaviour).
+            wait = response.te - self.local_time()
+            if wait > 0:
+                yield self.env.timeout(wait)
+            # Deterministic state at TE, as the IM computed it.
+            de = max(dt_measured - vc * (response.te - tt), 0.01)
+            start_pos = self.approach_length - de
+            plan = plan_arrival(
+                distance=de,
+                v_init=vc,
+                start_time=self.env.now,
+                toa=self.env.now + max(response.toa - response.te, 0.0),
+                a_max=spec.a_max,
+                d_max=spec.d_max,
+                v_max=spec.v_max,
+                v_min=cfg.plan_v_min,
+                start_position=start_pos,
+                launch_below=cfg.arrive_floor,
+            )
+            if plan is None:
+                continue  # unreachable command; re-request
+            builder = ProfileBuilder(
+                plan.profile.end_time, plan.profile.end_position, plan.arrival_velocity
+            )
+            box_plan = self._extend_through_box(builder, max(response.vt, cfg.v_crawl))
+            self._set_plan(plan.profile.concat(box_plan))
+
+
+class AimVehicle(BaseVehicle):
+    """Vehicle side of the query-based AIM protocol (Algorithm 6).
+
+    Proposes arrival at its current speed; on rejection slows one step
+    and retries; when forced to a stop at the line, proposes a
+    launch-from-stop reservation.
+    """
+
+    def _request_phase(self):
+        cfg = self.config
+        spec = self.info.spec
+        while not self.done and self.plan is None:
+            if self._blocked_by_leader():
+                yield self.env.timeout(cfg.retry_timeout)
+                continue
+            vc = min(max(self.plant.measured_velocity(), 0.0), spec.v_max)
+            dist = self.measured_distance_to_line()
+            # Launch proposals are made once the safe-stop latch has
+            # parked the vehicle near the line; the measured standoff is
+            # sent so the IM simulates from the true stop position.
+            stopped = vc < 0.05 and self._hold and dist < 0.5
+            if stopped:
+                # Propose the earliest launch the round trip allows (the
+                # IM rejects anything inside WC-RTD); a larger margin
+                # would be pure dead time at the line.
+                toa_local = self.local_time() + 0.20
+                request = AimRequest(
+                    sender=self.radio.address,
+                    receiver=self.im_address,
+                    toa=toa_local,
+                    vc=0.0,
+                    vehicle_info=self.info,
+                    accelerate=True,
+                    standoff=float(min(max(dist, 0.0), 0.5)),
+                )
+            elif vc < cfg.aim_propose_min_speed:
+                # Too slow for a constant-speed crossing to be worth
+                # reserving; let the safe-stop clause bring the vehicle
+                # to rest at the line, then propose a launch.
+                yield self.env.timeout(cfg.aim_retry_interval)
+                continue
+            else:
+                toa_local = self.local_time() + dist / vc
+                request = AimRequest(
+                    sender=self.radio.address,
+                    receiver=self.im_address,
+                    toa=toa_local,
+                    vc=vc,
+                    vehicle_info=self.info,
+                    accelerate=False,
+                )
+            sent_at = self.env.now
+            self.record.requests_sent += 1
+            self.radio.send(request)
+            response = yield from self._await_response(
+                self._next_retry_timeout(), AimAccept, AimReject,
+                reply_to=request.seq,
+            )
+            if response is None:
+                self._backoff()
+                continue  # lost message; retransmit
+            self._reset_backoff()
+            self.record.rtds.append(self.env.now - sent_at)
+            if isinstance(response, AimReject):
+                self.record.rejects_received += 1
+                if not stopped:
+                    # Slow down one step and re-request (Ch 5.2).
+                    self.approach_speed = max(
+                        self.approach_speed - cfg.aim_speed_step, cfg.v_crawl
+                    )
+                yield self.env.timeout(cfg.aim_retry_interval)
+                continue
+            # Accepted: follow through at the reserved speed/time.
+            delay_to_toa = response.toa - self.local_time()
+            if request.accelerate:
+                # ``toa`` is the launch time: wait it out, then floor it.
+                if delay_to_toa > 0:
+                    yield self.env.timeout(delay_to_toa)
+                builder = ProfileBuilder(self.env.now, self.plant.position, self.speed)
+                self._set_plan(self._extend_through_box(builder, spec.v_max))
+            else:
+                # Keep cruising at the accepted speed; the reservation
+                # was made for exactly this profile.
+                self._commit_cruise_plan(min(response.vc, spec.v_max))
+
+
+def make_vehicle(policy: str, *args, **kwargs) -> BaseVehicle:
+    """Instantiate the agent class matching an IM policy name."""
+    from repro.core.policy import normalize_policy
+
+    classes = {
+        "vt-im": VtimVehicle,
+        "crossroads": CrossroadsVehicle,
+        "batch-crossroads": CrossroadsVehicle,  # same vehicle protocol
+        "aim": AimVehicle,
+    }
+    return classes[normalize_policy(policy)](*args, **kwargs)

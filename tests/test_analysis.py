@@ -1,0 +1,97 @@
+"""Tests for tables and report builders."""
+
+import pytest
+
+from repro.analysis import (
+    flow_sweep_rows,
+    format_value,
+    geometric_mean,
+    overhead_rows,
+    render_table,
+    scenario_rows,
+    speedup_summary,
+)
+from repro.sim.flowsweep import FlowPoint
+from repro.sim.metrics import SimResult
+from repro.vehicle.agent import VehicleRecord
+
+
+def fake_result(policy, delays):
+    records = []
+    for i, d in enumerate(delays):
+        r = VehicleRecord(
+            vehicle_id=i, movement_key="S-straight", spawn_time=0.0, spawn_speed=3.0
+        )
+        r.ideal_transit = 1.0
+        r.exit_time = 1.0 + d
+        records.append(r)
+    return SimResult(policy=policy, records=records, sim_duration=100.0)
+
+
+class TestTables:
+    def test_render_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines)
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(0.0) == "0"
+        assert format_value(1.23456) == "1.235"
+        assert format_value("x") == "x"
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+
+class TestReports:
+    def make_sweep(self):
+        sweep = {}
+        for policy, thr in (("crossroads", [3.0, 0.2]), ("vt-im", [2.0, 0.05])):
+            points = []
+            for flow, t in zip((0.1, 1.0), thr):
+                result = fake_result(policy, [1.0 / t] * 4)
+                points.append(FlowPoint(policy=policy, flow_rate=flow, result=result))
+            sweep[policy] = points
+        return sweep
+
+    def test_scenario_rows(self):
+        per_scenario = {
+            "S1": {"crossroads": fake_result("crossroads", [1.0]),
+                   "vt-im": fake_result("vt-im", [2.0])},
+        }
+        headers, rows = scenario_rows(per_scenario)
+        assert rows[0][0] == "S1"
+        assert rows[0][-1] == "crossroads"
+
+    def test_flow_sweep_rows(self):
+        headers, rows = flow_sweep_rows(self.make_sweep())
+        assert headers[0] == "flow (car/lane/s)"
+        assert len(rows) == 2
+        assert rows[0][0] == 0.1
+
+    def test_overhead_rows(self):
+        headers, rows = overhead_rows(self.make_sweep())
+        assert len(rows) == 2
+        assert len(headers) == 1 + 2 + 2
+
+    def test_speedup_summary(self):
+        sweep = self.make_sweep()
+        summary = speedup_summary(sweep, subject="crossroads")
+        assert "vt-im" in summary
+        stats = summary["vt-im"]
+        assert stats["worst_case"] >= stats["average"] >= stats["best_case"]
+        assert stats["worst_case"] > 1.0
+
+    def test_speedup_unknown_subject(self):
+        with pytest.raises(ValueError):
+            speedup_summary({}, subject="crossroads")

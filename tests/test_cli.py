@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.policy == "crossroads"
+        assert args.scenario is None and args.flow is None
+
+    def test_run_flow_and_scenario_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--flow", "0.5", "--scenario", "1"])
+
+    def test_sweep_flows_parsed(self):
+        args = build_parser().parse_args(["sweep", "--flows", "0.1", "0.5"])
+        assert args.flows == [0.1, 0.5]
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "crossroads" in out
+        assert "150 ms" in out
+
+    def test_run_scenario(self, capsys):
+        assert main(["run", "--scenario", "10", "--policy", "crossroads"]) == 0
+        out = capsys.readouterr().out
+        assert "avg wait" in out
+        assert "safe True" in out
+
+    def test_run_flow(self, capsys):
+        assert main(["run", "--flow", "0.2", "--cars", "6", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+
+    def test_run_bad_scenario_number(self, capsys):
+        assert main(["run", "--scenario", "11"]) == 2
+
+    def test_sweep_analytic(self, capsys):
+        code = main([
+            "sweep", "--engine", "analytic",
+            "--policies", "vt-im", "crossroads",
+            "--flows", "0.1", "0.8", "--cars", "24",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "crossroads thr" in out
+        assert "Crossroads advantage" in out
+
+    def test_buffer(self, capsys):
+        assert main(["buffer"]) == 0
+        out = capsys.readouterr().out
+        assert "Elong bound" in out
+
+    def test_scenarios_small(self, capsys):
+        assert main(["scenarios", "--repeats", "1",
+                     "--policies", "crossroads"]) == 0
+        out = capsys.readouterr().out
+        assert "S1-worst" in out
+        assert "S10-best" in out

@@ -1,0 +1,58 @@
+"""Tests for the IM computation-delay models."""
+
+import pytest
+
+from repro.core import AimComputeModel, LinearComputeModel
+
+
+class TestLinearComputeModel:
+    def test_base_cost(self):
+        model = LinearComputeModel(base=0.030, per_reservation=0.002)
+        assert model.service_time(reservations=0) == pytest.approx(0.030)
+
+    def test_per_reservation_cost(self):
+        model = LinearComputeModel(base=0.030, per_reservation=0.002)
+        assert model.service_time(reservations=5) == pytest.approx(0.040)
+
+    def test_charge_accumulates(self):
+        model = LinearComputeModel(base=0.030, per_reservation=0.0)
+        model.charge(reservations=0)
+        model.charge(reservations=0)
+        assert model.total_time == pytest.approx(0.060)
+        assert model.requests == 2
+
+    def test_four_simultaneous_arrivals_near_paper_worst_case(self):
+        """Ch 4: four simultaneous arrivals -> ~135 ms worst-case delay.
+
+        With the calibrated defaults, the fourth queued request waits
+        three earlier services plus its own.
+        """
+        model = LinearComputeModel()
+        total = sum(model.service_time(reservations=k) for k in range(4))
+        assert 0.10 < total < 0.16
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            LinearComputeModel(base=-1.0)
+        with pytest.raises(ValueError):
+            LinearComputeModel().service_time(reservations=-1)
+
+
+class TestAimComputeModel:
+    def test_cost_scales_with_cells(self):
+        model = AimComputeModel(base=0.005, per_cell=5e-5)
+        assert model.service_time(cells=1000) == pytest.approx(0.055)
+        assert model.service_time(cells=0) == pytest.approx(0.005)
+
+    def test_more_expensive_than_linear_for_typical_request(self):
+        """A typical AIM request sweeps hundreds of cells and costs a
+        multiple of a VT/Crossroads request (Ch 7.2's overhead gap)."""
+        aim = AimComputeModel()
+        linear = LinearComputeModel()
+        assert aim.service_time(cells=800) > linear.service_time(reservations=5)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            AimComputeModel(per_cell=-1.0)
+        with pytest.raises(ValueError):
+            AimComputeModel().service_time(cells=-1)

@@ -1,0 +1,346 @@
+"""Unit tests for the three IM policies at the protocol level.
+
+These drive the IMs directly over a zero-delay channel with scripted
+requests — no vehicle agents — to pin down the protocol semantics:
+what each IM replies, with which fields, and how its buffers differ.
+"""
+
+import pytest
+
+from repro.core import (
+    AimIM,
+    CrossroadsIM,
+    IMConfig,
+    VtimIM,
+    make_im,
+    normalize_policy,
+)
+from repro.core.scheduler import ConflictScheduler
+from repro.des import Environment
+from repro.geometry import Approach, ConflictTable, IntersectionGeometry, Movement, Turn
+from repro.network import (
+    AimAccept,
+    AimReject,
+    AimRequest,
+    Channel,
+    CrossingRequest,
+    CrossroadsCommand,
+    ExitNotification,
+    SyncRequest,
+    SyncResponse,
+    VelocityCommand,
+)
+from repro.vehicle import VehicleInfo, VehicleSpec
+
+
+@pytest.fixture
+def geometry():
+    return IntersectionGeometry()
+
+
+@pytest.fixture
+def conflicts(geometry):
+    return ConflictTable(geometry)
+
+
+def build(policy, geometry, conflicts):
+    env = Environment()
+    channel = Channel(env)
+    im = make_im(policy, env, channel, geometry, conflicts=conflicts)
+    radio = channel.attach("V0")
+    return env, channel, im, radio
+
+
+def info(vid=0, movement=None, buffer=0.078):
+    return VehicleInfo(
+        vehicle_id=vid,
+        spec=VehicleSpec(),
+        movement=movement or Movement(Approach.SOUTH, Turn.STRAIGHT),
+        buffer=buffer,
+    )
+
+
+def rx(env, radio, timeout=1.0):
+    """Run until the radio has a message (or fail)."""
+    env.run(until=env.now + timeout)
+    assert radio.pending() > 0, "no response received"
+    return radio.inbox.get_nowait()
+
+
+class TestPolicyFactory:
+    def test_normalize(self):
+        assert normalize_policy("VTIM") == "vt-im"
+        assert normalize_policy("qb-im") == "aim"
+        assert normalize_policy("Crossroads") == "crossroads"
+        with pytest.raises(ValueError):
+            normalize_policy("nonsense")
+
+    def test_make_im_types(self, geometry, conflicts):
+        env = Environment()
+        channel = Channel(env)
+        assert isinstance(
+            make_im("vt-im", env, channel, geometry, conflicts), VtimIM
+        )
+        env2 = Environment()
+        channel2 = Channel(env2)
+        assert isinstance(
+            make_im("aim", env2, channel2, geometry), AimIM
+        )
+
+
+class TestSyncResponder:
+    def test_sync_round_trip(self, geometry, conflicts):
+        env, channel, im, radio = build("crossroads", geometry, conflicts)
+        radio.send(SyncRequest(sender="V0", receiver="IM", t0=123.0))
+        msg = rx(env, radio)
+        assert isinstance(msg, SyncResponse)
+        assert msg.t0 == 123.0
+        assert msg.t1 == msg.t2  # instantaneous responder
+
+
+class TestVtim:
+    def test_reply_is_velocity_command(self, geometry, conflicts):
+        env, channel, im, radio = build("vt-im", geometry, conflicts)
+        radio.send(
+            CrossingRequest(
+                sender="V0", receiver="IM", tt=0.0, dt=3.0, vc=2.0, vehicle_info=info()
+            )
+        )
+        msg = rx(env, radio)
+        assert isinstance(msg, VelocityCommand)
+        assert 0 < msg.vt <= 3.0
+        assert msg.toa > 0
+
+    def test_rtd_buffer_applied(self, geometry, conflicts):
+        env, channel, im, radio = build("vt-im", geometry, conflicts)
+        assert im.rtd_buffer == pytest.approx(0.45)
+
+    def test_exit_releases_reservation(self, geometry, conflicts):
+        env, channel, im, radio = build("vt-im", geometry, conflicts)
+        radio.send(
+            CrossingRequest(
+                sender="V0", receiver="IM", tt=0.0, dt=3.0, vc=2.0, vehicle_info=info()
+            )
+        )
+        rx(env, radio)
+        assert len(im.scheduler) == 1
+        radio.send(ExitNotification(sender="V0", receiver="IM", exit_time=env.now))
+        env.run(until=env.now + 0.1)
+        assert len(im.scheduler) == 0
+
+
+class TestCrossroads:
+    def test_te_is_tt_plus_wcrtd(self, geometry, conflicts):
+        env, channel, im, radio = build("crossroads", geometry, conflicts)
+        tt = 0.0
+        radio.send(
+            CrossingRequest(
+                sender="V0", receiver="IM", tt=tt, dt=3.0, vc=2.0, vehicle_info=info()
+            )
+        )
+        msg = rx(env, radio)
+        assert isinstance(msg, CrossroadsCommand)
+        assert msg.te == pytest.approx(tt + im.config.wc_rtd)
+        assert msg.toa >= msg.te
+
+    def test_te_guard_under_backlog(self, geometry, conflicts):
+        """A very stale TT cannot produce a TE in the past."""
+        env, channel, im, radio = build("crossroads", geometry, conflicts)
+        env.run(until=10.0)
+        te = im.execution_time(tt=0.0)
+        assert te >= 10.0
+
+    def test_no_rtd_buffer_means_tighter_schedule(self, geometry, conflicts):
+        """Second conflicting vehicle is admitted sooner than under VT-IM."""
+
+        def second_toa(policy):
+            env = Environment()
+            channel = Channel(env)
+            im = make_im(policy, env, channel, geometry, conflicts=ConflictTable(geometry))
+            r0 = channel.attach("V0")
+            r1 = channel.attach("V1")
+            m_a = Movement(Approach.SOUTH, Turn.STRAIGHT)
+            m_b = Movement(Approach.EAST, Turn.STRAIGHT)
+            r0.send(
+                CrossingRequest(
+                    sender="V0", receiver="IM", tt=0.0, dt=3.0, vc=3.0,
+                    vehicle_info=info(0, m_a),
+                )
+            )
+            env.run(until=0.5)
+            r1.send(
+                CrossingRequest(
+                    sender="V1", receiver="IM", tt=0.5, dt=3.0, vc=3.0,
+                    vehicle_info=info(1, m_b),
+                )
+            )
+            env.run(until=1.5)
+            assert r1.pending() > 0
+            return r1.inbox.get_nowait().toa
+
+        assert second_toa("crossroads") < second_toa("vt-im")
+
+
+class TestAim:
+    def test_accept_then_conflicting_reject(self, geometry):
+        env = Environment()
+        channel = Channel(env)
+        im = make_im("aim", env, channel, geometry)
+        r0 = channel.attach("V0")
+        r1 = channel.attach("V1")
+        m_a = Movement(Approach.SOUTH, Turn.STRAIGHT)
+        m_b = Movement(Approach.EAST, Turn.STRAIGHT)
+        r0.send(
+            AimRequest(
+                sender="V0", receiver="IM", toa=1.0, vc=3.0, vehicle_info=info(0, m_a)
+            )
+        )
+        env.run(until=0.5)
+        assert isinstance(r0.inbox.get_nowait(), AimAccept)
+        # Conflicting trajectory at the same time: rejected.
+        r1.send(
+            AimRequest(
+                sender="V1", receiver="IM", toa=1.0, vc=3.0, vehicle_info=info(1, m_b)
+            )
+        )
+        env.run(until=0.9)
+        assert isinstance(r1.inbox.get_nowait(), AimReject)
+
+    def test_non_conflicting_both_accepted(self, geometry):
+        env = Environment()
+        channel = Channel(env)
+        im = make_im("aim", env, channel, geometry)
+        r0 = channel.attach("V0")
+        r1 = channel.attach("V1")
+        m_a = Movement(Approach.SOUTH, Turn.STRAIGHT)
+        m_b = Movement(Approach.NORTH, Turn.STRAIGHT)
+        r0.send(
+            AimRequest(
+                sender="V0", receiver="IM", toa=1.0, vc=3.0, vehicle_info=info(0, m_a)
+            )
+        )
+        env.run(until=0.5)
+        assert isinstance(r0.inbox.get_nowait(), AimAccept)
+        r1.send(
+            AimRequest(
+                sender="V1", receiver="IM", toa=1.0, vc=3.0, vehicle_info=info(1, m_b)
+            )
+        )
+        env.run(until=0.9)
+        assert isinstance(r1.inbox.get_nowait(), AimAccept)
+
+    def test_stale_toa_rejected(self, geometry):
+        env = Environment()
+        channel = Channel(env)
+        im = make_im("aim", env, channel, geometry)
+        r0 = channel.attach("V0")
+        env.run(until=5.0)
+        r0.send(
+            AimRequest(
+                sender="V0", receiver="IM", toa=1.0, vc=3.0, vehicle_info=info(0)
+            )
+        )
+        env.run(until=5.5)
+        assert isinstance(r0.inbox.get_nowait(), AimReject)
+
+    def test_beyond_horizon_rejected(self, geometry):
+        env = Environment()
+        channel = Channel(env)
+        im = make_im("aim", env, channel, geometry)
+        r0 = channel.attach("V0")
+        r0.send(
+            AimRequest(
+                sender="V0", receiver="IM", toa=1e6, vc=3.0, vehicle_info=info(0)
+            )
+        )
+        env.run(until=0.5)
+        assert isinstance(r0.inbox.get_nowait(), AimReject)
+
+    def test_exit_releases_tiles(self, geometry):
+        env = Environment()
+        channel = Channel(env)
+        im = make_im("aim", env, channel, geometry)
+        r0 = channel.attach("V0")
+        r0.send(
+            AimRequest(
+                sender="V0", receiver="IM", toa=1.0, vc=3.0, vehicle_info=info(0)
+            )
+        )
+        env.run(until=0.5)
+        r0.inbox.get_nowait()
+        assert im.reservations.claim_count > 0
+        r0.send(ExitNotification(sender="V0", receiver="IM", exit_time=env.now))
+        env.run(until=0.7)
+        assert im.reservations.claim_count == 0
+
+    def test_launch_proposal_accepted_after_stop(self, geometry):
+        env = Environment()
+        channel = Channel(env)
+        im = make_im("aim", env, channel, geometry)
+        r0 = channel.attach("V0")
+        r0.send(
+            AimRequest(
+                sender="V0",
+                receiver="IM",
+                toa=1.0,
+                vc=0.0,
+                vehicle_info=info(0),
+                accelerate=True,
+                standoff=0.05,
+            )
+        )
+        env.run(until=0.5)
+        assert isinstance(r0.inbox.get_nowait(), AimAccept)
+
+    def test_compute_cost_counts_cells(self, geometry):
+        env = Environment()
+        channel = Channel(env)
+        im = make_im("aim", env, channel, geometry)
+        r0 = channel.attach("V0")
+        r0.send(
+            AimRequest(
+                sender="V0", receiver="IM", toa=1.0, vc=3.0, vehicle_info=info(0)
+            )
+        )
+        env.run(until=0.5)
+        assert im.cells_simulated > 100
+        assert im.compute.total_time > 0
+
+
+class TestQueueing:
+    def test_duplicate_requests_deduplicated(self, geometry, conflicts):
+        env, channel, im, radio = build("crossroads", geometry, conflicts)
+        for _ in range(5):
+            radio.send(
+                CrossingRequest(
+                    sender="V0", receiver="IM", tt=0.0, dt=3.0, vc=2.0,
+                    vehicle_info=info(),
+                )
+            )
+        env.run(until=1.0)
+        # Five copies arrive; at most one may slip in while the worker
+        # is idle in the same instant, the rest coalesce.
+        assert im.compute.requests <= 2
+        assert radio.pending() == im.compute.requests
+
+    def test_fifo_service_order_creates_queueing_delay(self, geometry, conflicts):
+        """Simultaneous arrivals queue behind one compute core (Ch 4)."""
+        env = Environment()
+        channel = Channel(env)
+        im = make_im("crossroads", env, channel, geometry, conflicts=conflicts)
+        radios = [channel.attach(f"V{i}") for i in range(4)]
+        movements = [
+            Movement(a, Turn.STRAIGHT)
+            for a in (Approach.NORTH, Approach.EAST, Approach.SOUTH, Approach.WEST)
+        ]
+        for i, (r, m) in enumerate(zip(radios, movements)):
+            r.send(
+                CrossingRequest(
+                    sender=f"V{i}", receiver="IM", tt=0.0, dt=3.0, vc=3.0,
+                    vehicle_info=info(i, m),
+                )
+            )
+        env.run(until=1.0)
+        # All four served; total compute is the paper's WC-CD ballpark.
+        assert im.compute.requests == 4
+        assert 0.08 < im.compute.total_time < 0.25

@@ -1,0 +1,171 @@
+"""Tests for arrival planning (the paper's Ch 6 equations)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kinematics import (
+    earliest_arrival_time,
+    latest_arrival_time,
+    plan_arrival,
+    solve_cruise_velocity,
+)
+
+
+class TestEarliestArrival:
+    def test_already_at_line(self):
+        assert earliest_arrival_time(0.0, 2.0, 3.0, 3.0) == 0.0
+
+    def test_accelerate_then_cruise_matches_paper_formula(self):
+        # Paper Ch 6: EToA = T_acc + (DE - dX) / v_max.
+        v_init, v_max, a_max, de = 1.0, 3.0, 3.0, 3.0
+        t_acc = (v_max - v_init) / a_max
+        dx = 0.5 * a_max * t_acc ** 2 + v_init * t_acc
+        expected = t_acc + (de - dx) / v_max
+        assert earliest_arrival_time(de, v_init, v_max, a_max) == pytest.approx(expected)
+
+    def test_short_distance_never_reaches_vmax(self):
+        # 0.5*3*t^2 = 0.1 from rest -> t = sqrt(0.2/3)
+        t = earliest_arrival_time(0.1, 0.0, 3.0, 3.0)
+        assert t == pytest.approx(math.sqrt(0.2 / 3.0))
+
+    def test_at_vmax_already(self):
+        assert earliest_arrival_time(3.0, 3.0, 3.0, 3.0) == pytest.approx(1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            earliest_arrival_time(-1.0, 1.0, 3.0, 3.0)
+        with pytest.raises(ValueError):
+            earliest_arrival_time(1.0, 5.0, 3.0, 3.0)  # v_init > v_max
+
+    @given(
+        st.floats(0.1, 10.0),
+        st.floats(0.0, 3.0),
+        st.floats(0.5, 5.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_faster_start_never_slower(self, distance, v_init, a_max):
+        v_max = 3.0
+        v_init = min(v_init, v_max)
+        slow = earliest_arrival_time(distance, v_init * 0.5, v_max, a_max)
+        fast = earliest_arrival_time(distance, v_init, v_max, a_max)
+        assert fast <= slow + 1e-9
+
+
+class TestLatestArrival:
+    def test_zero_crawl_is_infinite(self):
+        assert latest_arrival_time(3.0, 2.0, 0.0, 4.0) == math.inf
+
+    def test_crawl_bound(self):
+        # Decelerate 3 -> 0.5 at 4 m/s^2, crawl the rest.
+        t = latest_arrival_time(3.0, 3.0, 0.5, 4.0)
+        t_dec = 2.5 / 4.0
+        dx = 3.0 * t_dec - 0.5 * 4.0 * t_dec ** 2
+        expected = t_dec + (3.0 - dx) / 0.5
+        assert t == pytest.approx(expected)
+
+    def test_later_than_earliest(self):
+        e = earliest_arrival_time(3.0, 2.0, 3.0, 3.0)
+        l = latest_arrival_time(3.0, 2.0, 0.5, 4.0)
+        assert l > e
+
+
+class TestSolveCruise:
+    def test_exact_cruise_round_trip(self):
+        v = solve_cruise_velocity(3.0, 1.0, 2.0, 3.0, 4.0, 3.0)
+        assert v is not None
+        # Verify: two-phase plan at v takes 2.0 s.
+        rate = 3.0 if v >= 1.0 else 4.0
+        t_chg = abs(v - 1.0) / rate
+        dx = 0.5 * (v + 1.0) * t_chg
+        t_total = t_chg + (3.0 - dx) / v
+        assert t_total == pytest.approx(2.0, abs=1e-4)
+
+    def test_too_fast_request_returns_none(self):
+        assert solve_cruise_velocity(3.0, 1.0, 0.5, 3.0, 4.0, 3.0) is None
+
+    def test_too_slow_request_returns_none(self):
+        assert solve_cruise_velocity(3.0, 1.0, 1000.0, 3.0, 4.0, 3.0, v_min=0.5) is None
+
+    @given(st.floats(1.0, 6.0), st.floats(0.5, 3.0), st.floats(1.2, 10.0))
+    @settings(max_examples=200, deadline=None)
+    def test_solution_within_bounds(self, distance, v_init, t_total):
+        v = solve_cruise_velocity(distance, v_init, t_total, 3.0, 4.0, 3.0, v_min=0.05)
+        if v is not None:
+            assert 0.05 - 1e-6 <= v <= 3.0 + 1e-6
+
+
+class TestPlanArrival:
+    def test_unreachable_toa_returns_none(self):
+        assert plan_arrival(3.0, 1.0, 0.0, 0.1, 3.0, 4.0, 3.0) is None
+
+    def test_cruise_plan_hits_toa(self):
+        plan = plan_arrival(3.0, 1.0, 10.0, 12.0, 3.0, 4.0, 3.0)
+        assert plan is not None
+        assert not plan.stop_and_go
+        assert plan.arrival_time == pytest.approx(12.0, abs=1e-3)
+        assert plan.profile.position_at(plan.arrival_time) == pytest.approx(3.0, abs=1e-3)
+
+    def test_vt_semantics_never_stop_and_go(self):
+        # launch_below=0 (plain VT-IM): even very late slots must be
+        # cruised to, never launched.
+        plan = plan_arrival(3.0, 2.0, 0.0, 20.0, 3.0, 4.0, 3.0, launch_below=0.0)
+        assert plan is not None
+        assert not plan.stop_and_go
+
+    def test_crossroads_prefers_launch_for_late_slots(self):
+        plan = plan_arrival(3.0, 2.0, 0.0, 20.0, 3.0, 4.0, 3.0, launch_below=1.2)
+        assert plan is not None
+        assert plan.stop_and_go
+        assert plan.arrival_time == pytest.approx(20.0, abs=1e-3)
+        assert plan.arrival_velocity >= 1.2
+
+    def test_launch_arrival_velocity_is_fast(self):
+        plan = plan_arrival(3.0, 3.0, 0.0, 30.0, 3.0, 4.0, 3.0, launch_below=1.2)
+        assert plan is not None
+        # d_launch = 3 - 9/8 = 1.875 -> v = sqrt(2*3*1.875) = 3.354 -> capped 3.0
+        assert plan.arrival_velocity == pytest.approx(3.0, abs=1e-6)
+
+    def test_profile_starts_at_given_anchor(self):
+        plan = plan_arrival(
+            2.0, 1.0, 5.0, 8.0, 3.0, 4.0, 3.0, start_position=7.5
+        )
+        assert plan.profile.start_time == 5.0
+        assert plan.profile.start_position == 7.5
+        assert plan.profile.position_at(plan.arrival_time) == pytest.approx(9.5, abs=1e-3)
+
+    @given(
+        st.floats(0.5, 8.0),
+        st.floats(0.0, 3.0),
+        st.floats(0.0, 30.0),
+        st.sampled_from([0.0, 1.2]),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_feasible_plans_arrive_on_time_or_early(
+        self, distance, v_init, slack, launch_below
+    ):
+        etoa = earliest_arrival_time(distance, v_init, 3.0, 3.0)
+        toa = etoa + slack
+        plan = plan_arrival(
+            distance, v_init, 0.0, toa, 3.0, 4.0, 3.0, launch_below=launch_below
+        )
+        assert plan is not None
+        # Arrival never later than requested (early only in the
+        # documented crawl-band fallback).
+        assert plan.arrival_time <= toa + 1e-3
+        # The profile really covers the distance by the arrival time.
+        assert plan.profile.position_at(plan.arrival_time) == pytest.approx(
+            distance, abs=1e-3
+        )
+
+    @given(st.floats(0.5, 8.0), st.floats(0.0, 3.0), st.floats(0.5, 30.0))
+    @settings(max_examples=200, deadline=None)
+    def test_velocity_limits_respected(self, distance, v_init, slack):
+        etoa = earliest_arrival_time(distance, v_init, 3.0, 3.0)
+        plan = plan_arrival(
+            distance, v_init, 0.0, etoa + slack, 3.0, 4.0, 3.0, launch_below=1.2
+        )
+        assert plan is not None
+        assert plan.profile.max_velocity() <= 3.0 + 1e-6

@@ -1,0 +1,138 @@
+"""Tests for the bicycle model (Eq 7.1) and pure-pursuit tracking."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.kinematics import BicycleModel, BicycleState, PurePursuitTracker
+
+
+class TestBicycleModel:
+    def test_straight_line_integration(self):
+        model = BicycleModel(wheelbase=0.335)
+        state = BicycleState(x=0.0, y=0.0, heading=0.0, speed=2.0)
+        for _ in range(100):
+            state = model.step(state, accel=0.0, steer=0.0, dt=0.01)
+        assert state.x == pytest.approx(2.0, abs=1e-6)
+        assert state.y == pytest.approx(0.0, abs=1e-9)
+        assert state.speed == pytest.approx(2.0)
+
+    def test_acceleration(self):
+        model = BicycleModel(wheelbase=0.335)
+        state = BicycleState(x=0.0, y=0.0, heading=0.0, speed=0.0)
+        for _ in range(100):
+            state = model.step(state, accel=1.0, steer=0.0, dt=0.01)
+        assert state.speed == pytest.approx(1.0, abs=1e-6)
+        assert state.x == pytest.approx(0.5, abs=1e-3)
+
+    def test_constant_steer_traces_circle(self):
+        """Eq 7.1 with constant steer: radius = L / tan(psi)."""
+        wheelbase = 0.335
+        steer = 0.3
+        radius = wheelbase / math.tan(steer)
+        model = BicycleModel(wheelbase=wheelbase)
+        state = BicycleState(x=0.0, y=0.0, heading=0.0, speed=1.0)
+        points = []
+        for _ in range(2000):
+            state = model.step(state, accel=0.0, steer=steer, dt=0.005)
+            points.append((state.x, state.y))
+        pts = np.array(points)
+        # Circle centre should be at (0, radius); check radial distance.
+        dists = np.hypot(pts[:, 0] - 0.0, pts[:, 1] - radius)
+        assert np.allclose(dists, radius, atol=radius * 0.02)
+
+    def test_speed_never_negative(self):
+        model = BicycleModel(wheelbase=0.335)
+        state = BicycleState(x=0.0, y=0.0, heading=0.0, speed=0.5)
+        state = model.step(state, accel=-10.0, steer=0.0, dt=1.0)
+        assert state.speed == 0.0
+
+    def test_max_speed_respected(self):
+        model = BicycleModel(wheelbase=0.335, max_speed=3.0)
+        state = BicycleState(x=0.0, y=0.0, heading=0.0, speed=2.9)
+        state = model.step(state, accel=100.0, steer=0.0, dt=1.0)
+        assert state.speed == 3.0
+
+    def test_steer_clipped(self):
+        model = BicycleModel(wheelbase=0.335, max_steer=0.2)
+        s_big = model.step(
+            BicycleState(0, 0, 0.0, 1.0), accel=0.0, steer=5.0, dt=0.1
+        )
+        s_lim = model.step(
+            BicycleState(0, 0, 0.0, 1.0), accel=0.0, steer=0.2, dt=0.1
+        )
+        assert s_big.heading == pytest.approx(s_lim.heading)
+
+    def test_simulate_collects_samples(self):
+        model = BicycleModel(wheelbase=0.335)
+        samples = model.simulate(
+            BicycleState(0, 0, 0, 1.0),
+            control=lambda t, s: (0.0, 0.0),
+            duration=1.0,
+            dt=0.1,
+        )
+        assert len(samples) == 11
+        assert samples[-1][0] == pytest.approx(1.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BicycleModel(wheelbase=0.0)
+        with pytest.raises(ValueError):
+            BicycleModel(wheelbase=1.0, max_steer=2.0)
+        model = BicycleModel(wheelbase=0.335)
+        with pytest.raises(ValueError):
+            model.step(BicycleState(0, 0, 0, 1.0), 0.0, 0.0, dt=0.0)
+
+
+class TestPurePursuit:
+    def test_follows_straight_path(self):
+        path = np.array([[0.0, 0.0], [10.0, 0.0]])
+        tracker = PurePursuitTracker(path, lookahead=0.5, wheelbase=0.335)
+        model = BicycleModel(wheelbase=0.335)
+        # Start offset from the path; it should converge.
+        state = BicycleState(x=0.0, y=0.3, heading=0.0, speed=1.5)
+        for _ in range(400):
+            steer = tracker.steering(state)
+            state = model.step(state, accel=0.0, steer=steer, dt=0.01)
+        assert abs(state.y) < 0.05
+
+    def test_follows_quarter_circle(self):
+        """Drive the testbed's left-turn arc; stay within lane width."""
+        from repro.geometry import Approach, IntersectionGeometry, Movement, Turn
+
+        geometry = IntersectionGeometry()
+        path = geometry.path(Movement(Approach.SOUTH, Turn.LEFT))
+        tracker = PurePursuitTracker(path.points, lookahead=0.3, wheelbase=0.335)
+        model = BicycleModel(wheelbase=0.335)
+        start = path.point_at(0.0)
+        state = BicycleState(
+            x=float(start[0]), y=float(start[1]),
+            heading=path.heading_at(0.0), speed=1.0,
+        )
+        worst = 0.0
+        for _ in range(300):
+            steer = tracker.steering(state)
+            state = model.step(state, accel=0.0, steer=steer, dt=0.01)
+            worst = max(worst, tracker.cross_track_error(state))
+            if tracker.project(state.x, state.y) > tracker.length - 0.05:
+                break
+        assert worst < 0.08  # stays well inside the 0.45 m lane
+
+    def test_point_at_and_length(self):
+        path = np.array([[0.0, 0.0], [3.0, 4.0]])
+        tracker = PurePursuitTracker(path, lookahead=0.5, wheelbase=0.3)
+        assert tracker.length == pytest.approx(5.0)
+        mid = tracker.point_at(2.5)
+        assert mid == pytest.approx([1.5, 2.0])
+
+    def test_project(self):
+        path = np.array([[0.0, 0.0], [10.0, 0.0]])
+        tracker = PurePursuitTracker(path, lookahead=0.5, wheelbase=0.3)
+        assert tracker.project(4.0, 2.0) == pytest.approx(4.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PurePursuitTracker(np.array([[0.0, 0.0]]), 0.5, 0.3)
+        with pytest.raises(ValueError):
+            PurePursuitTracker(np.array([[0.0, 0.0], [1.0, 0.0]]), 0.0, 0.3)

@@ -1,0 +1,188 @@
+"""Tests for the network substrate: delays, channels, radios, stats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des import Environment
+from repro.network import (
+    Ack,
+    Channel,
+    ConstantDelay,
+    CrossingRequest,
+    GammaDelay,
+    Message,
+    UniformDelay,
+    testbed_delay_model as make_testbed_delay,
+)
+
+
+class TestDelayModels:
+    def test_constant(self):
+        model = ConstantDelay(0.005)
+        rng = np.random.default_rng(0)
+        assert model.sample(rng) == 0.005
+        assert model.worst_case == 0.005
+
+    def test_constant_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantDelay(-1.0)
+
+    def test_uniform_bounds(self):
+        model = UniformDelay(0.001, 0.004)
+        rng = np.random.default_rng(0)
+        samples = [model.sample(rng) for _ in range(500)]
+        assert all(0.001 <= s <= 0.004 for s in samples)
+        assert model.worst_case == 0.004
+
+    def test_uniform_invalid(self):
+        with pytest.raises(ValueError):
+            UniformDelay(0.01, 0.001)
+
+    def test_gamma_clipped_at_worst(self):
+        model = GammaDelay(shape=2.0, scale=0.01, worst=0.005)
+        rng = np.random.default_rng(0)
+        samples = [model.sample(rng) for _ in range(500)]
+        assert all(0.0 <= s <= 0.005 for s in samples)
+
+    def test_testbed_model_matches_paper(self):
+        # Ch 4: 15 ms worst-case round trip -> 7.5 ms one way.
+        model = make_testbed_delay()
+        assert model.worst_case == pytest.approx(0.0075)
+
+    @given(st.floats(0.1, 5.0), st.floats(1e-4, 1e-2), st.integers(0, 2 ** 31))
+    @settings(max_examples=100, deadline=None)
+    def test_gamma_samples_never_exceed_worst(self, shape, scale, seed):
+        model = GammaDelay(shape=shape, scale=scale, worst=0.005)
+        rng = np.random.default_rng(seed)
+        assert 0.0 <= model.sample(rng) <= 0.005
+
+
+class TestMessages:
+    def test_sequence_numbers_unique(self):
+        a = Ack(sender="A", receiver="B")
+        b = Ack(sender="A", receiver="B")
+        assert a.seq != b.seq
+
+    def test_sizes_positive(self):
+        for cls in (Ack, CrossingRequest, Message):
+            msg = cls(sender="A", receiver="B")
+            assert msg.size > 0
+
+
+class TestChannel:
+    def test_delivery_after_delay(self):
+        env = Environment()
+        channel = Channel(env, delay_model=ConstantDelay(0.5))
+        a = channel.attach("A")
+        b = channel.attach("B")
+        received = []
+
+        def rx(env):
+            msg = yield b.receive()
+            received.append((env.now, msg.sender))
+
+        env.process(rx(env))
+        a.send(Message(sender="A", receiver="B"))
+        env.run()
+        assert received == [(0.5, "A")]
+
+    def test_wrong_sender_rejected(self):
+        env = Environment()
+        channel = Channel(env)
+        a = channel.attach("A")
+        with pytest.raises(ValueError):
+            a.send(Message(sender="X", receiver="B"))
+
+    def test_duplicate_address_rejected(self):
+        env = Environment()
+        channel = Channel(env)
+        channel.attach("A")
+        with pytest.raises(ValueError):
+            channel.attach("A")
+
+    def test_unknown_receiver_counts_as_loss(self):
+        env = Environment()
+        channel = Channel(env)
+        a = channel.attach("A")
+        a.send(Message(sender="A", receiver="GHOST"))
+        env.run()
+        assert channel.stats.lost == 1
+        assert channel.stats.delivered == 0
+
+    def test_lossy_channel_drops_messages(self):
+        env = Environment()
+        channel = Channel(
+            env, loss_probability=0.5, rng=np.random.default_rng(3)
+        )
+        a = channel.attach("A")
+        channel.attach("B")
+        for _ in range(200):
+            a.send(Message(sender="A", receiver="B"))
+        env.run()
+        assert channel.stats.lost > 30
+        assert channel.stats.delivered > 30
+        assert channel.stats.lost + channel.stats.delivered == 200
+
+    def test_stats_by_type(self):
+        env = Environment()
+        channel = Channel(env)
+        a = channel.attach("A")
+        channel.attach("B")
+        a.send(Ack(sender="A", receiver="B"))
+        a.send(Ack(sender="A", receiver="B"))
+        a.send(CrossingRequest(sender="A", receiver="B"))
+        env.run()
+        assert channel.stats.by_type["Ack"] == 2
+        assert channel.stats.by_type["CrossingRequest"] == 1
+        assert channel.stats.bytes_sent == 2 * Ack.SIZE + CrossingRequest.SIZE
+
+    def test_fifo_not_guaranteed_but_all_delivered(self):
+        """Random delays may reorder, but nothing is lost."""
+        env = Environment()
+        channel = Channel(
+            env,
+            delay_model=UniformDelay(0.0, 0.01),
+            rng=np.random.default_rng(0),
+        )
+        a = channel.attach("A")
+        b = channel.attach("B")
+        n = 50
+        for _ in range(n):
+            a.send(Message(sender="A", receiver="B"))
+        env.run()
+        assert b.pending() == n
+
+    def test_detach_drops_inflight(self):
+        env = Environment()
+        channel = Channel(env, delay_model=ConstantDelay(1.0))
+        a = channel.attach("A")
+        channel.attach("B")
+        a.send(Message(sender="A", receiver="B"))
+        channel.detach("B")
+        env.run()
+        assert channel.stats.lost == 1
+
+    def test_round_trip_delay_measurement(self):
+        """Ack-based delay measurement as in Ch 4."""
+        env = Environment()
+        channel = Channel(env, delay_model=ConstantDelay(0.003))
+        a = channel.attach("A")
+        b = channel.attach("B")
+        measured = []
+
+        def responder(env):
+            msg = yield b.receive()
+            b.send(Ack(sender="B", receiver="A", acked_seq=msg.seq))
+
+        def requester(env):
+            sent = env.now
+            a.send(Message(sender="A", receiver="B"))
+            yield a.receive()
+            measured.append(env.now - sent)
+
+        env.process(responder(env))
+        env.process(requester(env))
+        env.run()
+        assert measured[0] == pytest.approx(0.006)

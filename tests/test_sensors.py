@@ -1,0 +1,220 @@
+"""Tests for sensor models, the plant, fusion and buffer sizing (Ch 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sensors import (
+    BufferBreakdown,
+    EncoderModel,
+    ErrorExperimentConfig,
+    GpsModel,
+    ImuModel,
+    LongitudinalKalman,
+    LongitudinalPlant,
+    PlantConfig,
+    SafetyBufferCalculator,
+    run_error_experiment,
+    worst_case_elong,
+)
+
+
+class TestEncoder:
+    def test_quantisation(self):
+        enc = EncoderModel(counts_per_metre=100.0, sample_interval=0.1, slip_noise_std=0.0)
+        # Resolution = 1/(100*0.1) = 0.1 m/s.
+        assert enc.velocity_resolution == pytest.approx(0.1)
+        rng = np.random.default_rng(0)
+        assert enc.measure(0.24, rng) == pytest.approx(0.2)
+        assert enc.measure(0.26, rng) == pytest.approx(0.3)
+
+    def test_zero_velocity(self):
+        enc = EncoderModel()
+        assert enc.measure(0.0, np.random.default_rng(0)) == 0.0
+
+    def test_slip_noise_statistics(self):
+        enc = EncoderModel(slip_noise_std=0.05)
+        rng = np.random.default_rng(1)
+        samples = [enc.measure(3.0, rng) for _ in range(500)]
+        assert np.mean(samples) == pytest.approx(3.0, abs=0.05)
+        assert np.std(samples) > 0.05
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            EncoderModel(counts_per_metre=-1)
+        with pytest.raises(ValueError):
+            EncoderModel(sample_interval=0)
+
+
+class TestGpsImu:
+    def test_gps_unbiased(self):
+        gps = GpsModel(sigma_long=0.01, sigma_lat=0.02)
+        rng = np.random.default_rng(2)
+        fixes = [gps.measure(5.0, -2.0, rng) for _ in range(500)]
+        longs, lats = zip(*fixes)
+        assert np.mean(longs) == pytest.approx(5.0, abs=0.005)
+        assert np.mean(lats) == pytest.approx(-2.0, abs=0.01)
+
+    def test_imu_bias(self):
+        imu = ImuModel(bias=0.1, sigma=0.0)
+        assert imu.measure(1.0) == pytest.approx(1.1)
+
+
+class TestPlant:
+    def test_tracks_constant_command(self):
+        plant = LongitudinalPlant(PlantConfig(accel_noise_std=0.0), velocity=0.0)
+        for _ in range(200):
+            plant.step(2.0, 0.01)
+        assert plant.velocity == pytest.approx(2.0, abs=0.05)
+
+    def test_acceleration_limited(self):
+        cfg = PlantConfig(a_max=3.0, accel_noise_std=0.0, tau=1e-3)
+        plant = LongitudinalPlant(cfg, velocity=0.0)
+        plant.step(3.0, 0.1)
+        assert plant.velocity <= 0.3 + 1e-6
+
+    def test_velocity_never_negative(self):
+        plant = LongitudinalPlant(PlantConfig(), velocity=0.5, rng=np.random.default_rng(0))
+        for _ in range(500):
+            plant.step(0.0, 0.02)
+            assert plant.velocity >= 0.0
+
+    def test_brake_hold_prevents_creep(self):
+        """A commanded stop must not random-walk the vehicle forward."""
+        plant = LongitudinalPlant(PlantConfig(), velocity=2.0, rng=np.random.default_rng(7))
+        for _ in range(100):
+            plant.step(0.0, 0.02)
+        parked = plant.position
+        for _ in range(50_000):  # 1000 simulated seconds
+            plant.step(0.0, 0.02)
+        assert plant.position - parked < 0.01
+
+    def test_ideal_mode_is_exact(self):
+        plant = LongitudinalPlant(PlantConfig(), velocity=1.0, ideal=True)
+        for _ in range(100):
+            plant.step(1.0, 0.01)
+        assert plant.position == pytest.approx(1.0, abs=1e-9)
+        assert plant.measured_velocity() == plant.velocity
+
+    def test_odometry_tracks_position_roughly(self):
+        plant = LongitudinalPlant(PlantConfig(), velocity=2.0, rng=np.random.default_rng(3))
+        for _ in range(500):
+            plant.step(2.0, 0.02)
+        assert plant.measured_position() == pytest.approx(plant.position, abs=0.3)
+
+    def test_reset(self):
+        plant = LongitudinalPlant(PlantConfig(), velocity=2.0)
+        plant.step(2.0, 0.1)
+        plant.reset(position=1.0, velocity=0.5)
+        assert plant.position == 1.0
+        assert plant.velocity == 0.5
+        assert plant.time == 0.0
+
+
+class TestKalman:
+    def test_converges_on_constant_velocity(self):
+        kf = LongitudinalKalman(position=0.0, velocity=0.0)
+        rng = np.random.default_rng(4)
+        true_v = 2.0
+        pos = 0.0
+        for _ in range(300):
+            kf.predict(0.02)
+            pos += true_v * 0.02
+            kf.update_velocity(true_v + rng.normal(0, 0.02))
+            kf.update_position(pos + rng.normal(0, 0.02))
+        est = kf.estimate
+        assert est.velocity == pytest.approx(true_v, abs=0.05)
+        assert est.position == pytest.approx(pos, abs=0.05)
+
+    def test_uncertainty_grows_without_updates(self):
+        kf = LongitudinalKalman()
+        kf.predict(0.02)
+        var0 = kf.estimate.var_position
+        for _ in range(100):
+            kf.predict(0.02)
+        assert kf.estimate.var_position > var0
+
+    def test_position_bound_positive(self):
+        kf = LongitudinalKalman()
+        kf.predict(1.0)
+        assert kf.estimate.position_bound > 0
+
+    def test_invalid_noise(self):
+        with pytest.raises(ValueError):
+            LongitudinalKalman(q_accel=-1.0)
+
+
+class TestErrorExperiment:
+    def test_ideal_profile_position(self):
+        cfg = ErrorExperimentConfig(v0=0.1, v1=3.0, hold1=1.0, hold2=1.0, ramp_accel=3.0)
+        # 0.1*1 + 0.5*(0.1+3.0)*(2.9/3) + 3.0*1
+        expected = 0.1 + 0.5 * 3.1 * (2.9 / 3.0) + 3.0
+        assert cfg.ideal_final_position() == pytest.approx(expected)
+
+    def test_command_profile_shape(self):
+        cfg = ErrorExperimentConfig(v0=1.0, v1=2.0)
+        assert cfg.command_at(0.0) == 1.0
+        assert cfg.command_at(cfg.hold1 + cfg.ramp_duration / 2) == pytest.approx(1.5)
+        assert cfg.command_at(cfg.total_duration) == 2.0
+
+    def test_experiment_reproducible(self):
+        cfg = ErrorExperimentConfig(trials=5)
+        a = run_error_experiment(cfg, np.random.default_rng(9))
+        b = run_error_experiment(cfg, np.random.default_rng(9))
+        assert a.elongs == pytest.approx(b.elongs)
+
+    def test_accelerating_profile_positive_error(self):
+        """Tracking lag makes the real car fall short when speeding up."""
+        result = run_error_experiment(
+            ErrorExperimentConfig(v0=0.1, v1=3.0, trials=10),
+            np.random.default_rng(11),
+        )
+        assert result.mean_elong > 0
+
+    def test_decelerating_profile_negative_error(self):
+        result = run_error_experiment(
+            ErrorExperimentConfig(v0=3.0, v1=0.1, trials=10),
+            np.random.default_rng(11),
+        )
+        assert result.mean_elong < 0
+
+    def test_worst_case_in_testbed_range(self):
+        """The calibrated plant lands near the paper's +-75 mm."""
+        bound, up, down = worst_case_elong(trials=20, rng=np.random.default_rng(2017))
+        assert 0.03 < bound < 0.15
+
+    @given(st.integers(1, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_trial_count_respected(self, trials):
+        result = run_error_experiment(
+            ErrorExperimentConfig(trials=trials), np.random.default_rng(0)
+        )
+        assert len(result.trials) == trials
+
+
+class TestBufferCalculator:
+    def test_paper_numbers(self):
+        calc = SafetyBufferCalculator(
+            elong=0.075, sync_error=1e-3, wc_rtd=0.150, v_max=3.0
+        )
+        b = calc.breakdown()
+        assert b.sensing == pytest.approx(0.075)
+        assert b.sync == pytest.approx(0.003)   # Ch 3.2
+        assert b.base == pytest.approx(0.078)   # Ch 3.2 total
+        assert b.rtd == pytest.approx(0.45)     # Ch 4 (0.45 m, typo-fixed)
+        assert b.total == pytest.approx(0.528)
+
+    def test_policy_buffers(self):
+        calc = SafetyBufferCalculator()
+        assert calc.for_policy("vt-im") > calc.for_policy("crossroads")
+        assert calc.for_policy("aim") == calc.for_policy("crossroads")
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            SafetyBufferCalculator().for_policy("magic")
+
+    def test_breakdown_is_frozen(self):
+        b = BufferBreakdown(sensing=0.1, sync=0.0, rtd=0.0)
+        with pytest.raises(Exception):
+            b.sensing = 0.2

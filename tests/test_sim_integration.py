@@ -1,0 +1,181 @@
+"""End-to-end integration tests: full worlds, all three policies.
+
+These are the system-level guarantees the reproduction rests on:
+every vehicle eventually crosses, ground-truth safety holds, the
+metrics are self-consistent, and the paper's qualitative orderings
+appear.
+"""
+
+import pytest
+
+from repro.geometry import Approach, Movement, Turn
+from repro.sim import World, WorldConfig, compare_policies, run_scenario
+from repro.traffic import Arrival, PoissonTraffic, scale_model_scenarios
+from repro.vehicle import VehicleSpec
+
+POLICIES = ("crossroads", "vt-im", "aim")
+
+
+def single_arrival():
+    return [
+        Arrival(
+            time=0.0,
+            movement=Movement(Approach.SOUTH, Turn.STRAIGHT),
+            speed=3.0,
+        )
+    ]
+
+
+class TestSingleVehicle:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_lone_vehicle_crosses_at_free_flow(self, policy):
+        result = run_scenario(policy, single_arrival(), seed=1)
+        assert result.n_finished == 1
+        record = result.finished[0]
+        assert record.delay == pytest.approx(0.0, abs=0.5)
+        assert result.collisions == 0
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_protocol_message_types(self, policy):
+        result = run_scenario(policy, single_arrival(), seed=1)
+        types = result.messages_by_type
+        assert types.get("SyncRequest", 0) >= 1
+        assert types.get("SyncResponse", 0) >= 1
+        assert types.get("ExitNotification", 0) == 1
+        if policy == "aim":
+            assert types.get("AimRequest", 0) >= 1
+            assert types.get("AimAccept", 0) >= 1
+        else:
+            assert types.get("CrossingRequest", 0) >= 1
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_rtd_measured_within_bound(self, policy):
+        result = run_scenario(policy, single_arrival(), seed=1)
+        assert 0.0 < result.worst_rtd < 0.2
+
+
+class TestScenarioRuns:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_worst_case_scenario_safe_and_complete(self, policy):
+        scenario = scale_model_scenarios()[0]
+        result = run_scenario(policy, scenario.arrivals, seed=3)
+        assert result.n_finished == scenario.n_vehicles
+        assert result.collisions == 0
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_best_case_scenario_near_free_flow(self, policy):
+        scenario = scale_model_scenarios()[9]
+        result = run_scenario(policy, scenario.arrivals, seed=3)
+        assert result.n_finished == scenario.n_vehicles
+        assert result.average_delay < 0.5
+
+    def test_crossroads_beats_vtim_on_worst_case(self):
+        scenario = scale_model_scenarios()[0]
+        cr = run_scenario("crossroads", scenario.arrivals, seed=3)
+        vt = run_scenario("vt-im", scenario.arrivals, seed=3)
+        assert cr.average_delay < vt.average_delay
+
+    def test_exit_order_fcfs_same_lane(self):
+        """Two same-lane vehicles exit in spawn order."""
+        arrivals = [
+            Arrival(time=0.0, movement=Movement(Approach.SOUTH, Turn.STRAIGHT), speed=3.0),
+            Arrival(time=1.0, movement=Movement(Approach.SOUTH, Turn.STRAIGHT), speed=3.0),
+        ]
+        result = run_scenario("crossroads", arrivals, seed=2)
+        records = sorted(result.finished, key=lambda r: r.vehicle_id)
+        assert records[0].exit_time < records[1].exit_time
+
+
+class TestModerateFlow:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_sustained_flow_safe_and_complete(self, policy):
+        arrivals = PoissonTraffic(0.3, seed=11).generate(20)
+        result = run_scenario(policy, arrivals, seed=11)
+        assert result.n_finished == 20
+        assert result.collisions == 0
+        assert result.buffer_violations == 0
+
+    def test_same_traffic_for_fair_comparison(self):
+        """The same seed gives every policy identical arrivals."""
+        a = PoissonTraffic(0.3, seed=11).generate(20)
+        b = PoissonTraffic(0.3, seed=11).generate(20)
+        assert [(x.time, x.movement.key) for x in a] == [
+            (y.time, y.movement.key) for y in b
+        ]
+
+    def test_compare_policies_helper(self):
+        arrivals = PoissonTraffic(0.5, seed=12).generate(16)
+        results = [run_scenario(p, arrivals, seed=12) for p in POLICIES]
+        ratios = compare_policies(results, baseline="vt-im")
+        assert ratios["vt-im"] == pytest.approx(1.0)
+        assert set(ratios) == set(POLICIES)
+
+    def test_compare_policies_unknown_baseline(self):
+        arrivals = single_arrival()
+        results = [run_scenario("crossroads", arrivals, seed=1)]
+        with pytest.raises(ValueError):
+            compare_policies(results, baseline="vt-im")
+
+
+class TestWorldMechanics:
+    def test_pose_of_straight_movement(self):
+        world = World("crossroads", single_arrival(), seed=1)
+        world.env.run(until=0.2)
+        vehicle = world.vehicles[0]
+        rect = world.pose_of(vehicle)
+        # South approach: on the inbound lane, south of the box.
+        assert rect.cy < -0.6
+        assert rect.cx == pytest.approx(0.225, abs=0.05)
+
+    def test_run_is_deterministic_given_seed(self):
+        scenario = scale_model_scenarios()[2]
+        r1 = run_scenario("crossroads", scenario.arrivals, seed=5)
+        r2 = run_scenario("crossroads", scenario.arrivals, seed=5)
+        assert r1.average_delay == pytest.approx(r2.average_delay)
+        assert r1.messages_sent == r2.messages_sent
+
+    def test_different_seeds_different_noise(self):
+        scenario = scale_model_scenarios()[2]
+        r1 = run_scenario("crossroads", scenario.arrivals, seed=5)
+        r2 = run_scenario("crossroads", scenario.arrivals, seed=6)
+        assert r1.average_delay != r2.average_delay
+
+    def test_ideal_vehicles_mode(self):
+        config = WorldConfig(ideal_vehicles=True)
+        result = run_scenario("crossroads", single_arrival(), config=config, seed=1)
+        assert result.n_finished == 1
+        record = result.finished[0]
+        # Noise-free tracking: only the 20 ms control-tick quantisation
+        # remains, comfortably inside the sensing buffer.
+        assert record.max_tracking_error < 0.078
+
+    def test_sim_result_summary_keys(self):
+        result = run_scenario("crossroads", single_arrival(), seed=1)
+        summary = result.summary()
+        for key in ("avg_delay_s", "throughput", "compute_s", "messages"):
+            assert key in summary
+
+    def test_message_loss_still_completes(self):
+        """Retransmission recovers from a lossy channel."""
+        config = WorldConfig(message_loss=0.2)
+        arrivals = PoissonTraffic(0.2, seed=13).generate(6)
+        result = run_scenario("crossroads", arrivals, config=config, seed=13)
+        assert result.n_finished == 6
+        assert result.collisions == 0
+
+
+class TestComputeAndNetworkOverhead:
+    def test_aim_costs_more_compute_than_crossroads(self):
+        """Ch 7.2: AIM's trial-and-error costs multiples of Crossroads."""
+        arrivals = PoissonTraffic(0.6, seed=14).generate(16)
+        aim = run_scenario("aim", arrivals, seed=14)
+        cr = run_scenario("crossroads", arrivals, seed=14)
+        assert aim.compute_time > 2.0 * cr.compute_time
+        assert aim.messages_sent > cr.messages_sent
+
+    def test_vtim_and_crossroads_similar_compute(self):
+        arrivals = PoissonTraffic(0.3, seed=15).generate(12)
+        vt = run_scenario("vt-im", arrivals, seed=15)
+        cr = run_scenario("crossroads", arrivals, seed=15)
+        assert vt.compute_time < 6.0 * cr.compute_time
+        assert cr.compute_time < 6.0 * vt.compute_time

@@ -1,0 +1,100 @@
+"""Tests for SimResult metrics arithmetic."""
+
+import pytest
+
+from repro.sim.metrics import SimResult, compare_policies
+from repro.vehicle.agent import VehicleRecord
+
+
+def record(vid, spawn, exit_time, ideal, rtds=(), requests=1, stopped=False):
+    r = VehicleRecord(
+        vehicle_id=vid, movement_key="S-straight", spawn_time=spawn, spawn_speed=3.0
+    )
+    r.ideal_transit = ideal
+    r.exit_time = exit_time
+    r.requests_sent = requests
+    r.rtds = list(rtds)
+    r.came_to_stop = stopped
+    return r
+
+
+def make_result(policy="crossroads", **kw):
+    defaults = dict(records=[], sim_duration=100.0)
+    defaults.update(kw)
+    return SimResult(policy=policy, **defaults)
+
+
+class TestSimResult:
+    def test_delay_is_excess_over_ideal(self):
+        r = record(0, spawn=10.0, exit_time=15.0, ideal=2.0)
+        assert r.delay == pytest.approx(3.0)
+
+    def test_delay_clamped_at_zero(self):
+        r = record(0, spawn=10.0, exit_time=11.0, ideal=2.0)
+        assert r.delay == 0.0
+
+    def test_unfinished_vehicle_excluded(self):
+        unfinished = VehicleRecord(
+            vehicle_id=1, movement_key="x", spawn_time=0.0, spawn_speed=3.0
+        )
+        result = make_result(records=[record(0, 0.0, 3.0, 2.0), unfinished])
+        assert result.n_finished == 1
+        assert unfinished.delay is None
+
+    def test_average_and_total_delay(self):
+        result = make_result(records=[
+            record(0, 0.0, 3.0, 2.0),   # delay 1
+            record(1, 0.0, 5.0, 2.0),   # delay 3
+        ])
+        assert result.total_delay == pytest.approx(4.0)
+        assert result.average_delay == pytest.approx(2.0)
+
+    def test_throughput_is_n_over_total_transit(self):
+        result = make_result(records=[
+            record(0, 0.0, 2.0, 2.0),
+            record(1, 0.0, 6.0, 2.0),
+        ])
+        # transits 2 and 6 -> 2/8.
+        assert result.throughput == pytest.approx(0.25)
+
+    def test_throughput_empty(self):
+        assert make_result().throughput == 0.0
+        assert make_result().average_delay == 0.0
+
+    def test_worst_rtd(self):
+        result = make_result(records=[
+            record(0, 0.0, 2.0, 2.0, rtds=[0.05, 0.12]),
+            record(1, 0.0, 2.0, 2.0, rtds=[0.03]),
+        ])
+        assert result.worst_rtd == pytest.approx(0.12)
+
+    def test_stops_and_requests(self):
+        result = make_result(records=[
+            record(0, 0.0, 2.0, 2.0, requests=3, stopped=True),
+            record(1, 0.0, 2.0, 2.0, requests=1),
+        ])
+        assert result.stops == 1
+        assert result.requests_total == 4
+
+    def test_safe_flag(self):
+        assert make_result(collisions=0).safe
+        assert not make_result(collisions=1).safe
+
+    def test_summary_is_flat_floats(self):
+        result = make_result(records=[record(0, 0.0, 2.0, 2.0)])
+        summary = result.summary()
+        assert all(isinstance(v, float) for v in summary.values())
+
+
+class TestComparePolicies:
+    def test_ratio(self):
+        a = make_result("crossroads", records=[record(0, 0.0, 2.0, 2.0)])
+        b = make_result("vt-im", records=[record(0, 0.0, 4.0, 2.0)])
+        ratios = compare_policies([a, b], baseline="vt-im")
+        assert ratios["crossroads"] == pytest.approx(2.0)
+
+    def test_zero_baseline_raises(self):
+        a = make_result("crossroads", records=[record(0, 0.0, 2.0, 2.0)])
+        b = make_result("vt-im", records=[])
+        with pytest.raises(ValueError):
+            compare_policies([a, b], baseline="vt-im")

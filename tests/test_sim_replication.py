@@ -1,0 +1,80 @@
+"""Tests for multi-seed replication statistics."""
+
+import pytest
+
+from repro.geometry import Approach, Movement, Turn
+from repro.sim import Replication, replicate, run_replicated
+from repro.sim.metrics import SimResult
+from repro.traffic import Arrival, PoissonTraffic
+from repro.vehicle.agent import VehicleRecord
+
+
+def fake_result(delay):
+    r = VehicleRecord(vehicle_id=0, movement_key="S-straight",
+                      spawn_time=0.0, spawn_speed=3.0)
+    r.ideal_transit = 1.0
+    r.exit_time = 1.0 + delay
+    return SimResult(policy="crossroads", records=[r], sim_duration=10.0)
+
+
+class TestReplication:
+    def test_stats_math(self):
+        rep = Replication([fake_result(1.0), fake_result(3.0)])
+        stats = rep.metric("avg_delay_s")
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.n == 2
+        assert stats.std == pytest.approx(1.4142, rel=1e-3)
+        assert stats.ci95 > 0
+
+    def test_single_result_no_ci(self):
+        rep = Replication([fake_result(1.0)])
+        stats = rep.metric("avg_delay_s")
+        assert stats.std == 0.0
+        assert stats.ci95 == 0.0
+
+    def test_unknown_metric(self):
+        rep = Replication([fake_result(1.0)])
+        with pytest.raises(KeyError):
+            rep.metric("nope")
+
+    def test_throughput_metric(self):
+        rep = Replication([fake_result(1.0), fake_result(1.0)])
+        assert rep.metric("throughput").mean == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Replication([])
+        with pytest.raises(ValueError):
+            replicate(lambda s: fake_result(1.0), [])
+
+    def test_summary_table_shape(self):
+        rep = Replication([fake_result(1.0), fake_result(2.0)])
+        headers, rows = rep.summary_table()
+        assert headers[0] == "metric"
+        assert len(rows) >= 5
+
+    def test_str_format(self):
+        rep = Replication([fake_result(1.0), fake_result(3.0)])
+        text = str(rep.metric("avg_delay_s"))
+        assert "±" in text and "n=2" in text
+
+
+class TestRunReplicated:
+    def test_end_to_end(self):
+        arrivals = [
+            Arrival(time=0.0, movement=Movement(Approach.SOUTH, Turn.STRAIGHT),
+                    speed=3.0),
+            Arrival(time=0.3, movement=Movement(Approach.EAST, Turn.STRAIGHT),
+                    speed=3.0),
+        ]
+        rep = run_replicated("crossroads", arrivals, seeds=(1, 2, 3))
+        assert rep.policy == "crossroads"
+        assert rep.all_safe
+        assert rep.metric("avg_delay_s").n == 3
+
+    def test_seed_variation_shows_in_stats(self):
+        arrivals = PoissonTraffic(0.5, seed=31).generate(8)
+        rep = run_replicated("crossroads", arrivals, seeds=(1, 2, 3, 4))
+        # Noise should produce *some* spread in delays across seeds.
+        assert rep.metric("avg_delay_s").std >= 0.0
+        assert len(set(rep.metric("avg_delay_s").values)) > 1

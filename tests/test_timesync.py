@@ -1,0 +1,180 @@
+"""Tests for clocks and NTP synchronisation (paper Ch 3.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.timesync import Clock, NtpClient, NtpSample, ntp_delay, ntp_offset, sync_buffer
+
+
+class TestClock:
+    def test_perfect_clock_reads_true_time(self):
+        clock = Clock()
+        assert clock.read(10.0) == 10.0
+
+    def test_offset(self):
+        clock = Clock(offset=0.5)
+        assert clock.read(10.0) == pytest.approx(10.5)
+
+    def test_drift_accumulates(self):
+        clock = Clock(drift=1e-3, epoch=0.0)
+        assert clock.read(100.0) == pytest.approx(100.1)
+
+    def test_drift_relative_to_epoch(self):
+        clock = Clock(drift=1e-3, epoch=50.0)
+        assert clock.read(50.0) == pytest.approx(50.0)
+        assert clock.read(150.0) == pytest.approx(150.1)
+
+    def test_jitter_reproducible_with_seed(self):
+        a = Clock(jitter_std=1e-3, rng=np.random.default_rng(1))
+        b = Clock(jitter_std=1e-3, rng=np.random.default_rng(1))
+        assert a.read(5.0) == b.read(5.0)
+
+    def test_step_applies_correction(self):
+        clock = Clock(offset=-0.4)
+        clock.step(0.4)
+        assert clock.read(10.0) == pytest.approx(10.0)
+
+    def test_error_excludes_jitter(self):
+        clock = Clock(offset=0.2, jitter_std=1.0)
+        assert clock.error(0.0) == pytest.approx(0.2)
+
+    def test_worst_case_error(self):
+        clock = Clock(offset=0.1, drift=1e-3, jitter_std=1e-4)
+        bound = clock.worst_case_error(0.0, 100.0)
+        assert bound == pytest.approx(0.2 + 3e-4)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            Clock(jitter_std=-1.0)
+
+
+class TestNtpEstimators:
+    def test_symmetric_path_exact(self):
+        # Client 0.3 s behind the server; 5 ms each way.
+        offset_true = -0.3
+        t_send, d = 100.0, 0.005
+        t0 = t_send + offset_true
+        t1 = t_send + d
+        t2 = t1
+        t3 = t_send + 2 * d + offset_true
+        theta = ntp_offset(t0, t1, t2, t3)
+        assert theta == pytest.approx(0.3)
+        assert ntp_delay(t0, t1, t2, t3) == pytest.approx(2 * d)
+
+    def test_asymmetry_error_bounded_by_half_delay(self):
+        offset_true = 0.123
+        d_up, d_down = 0.002, 0.009
+        t0 = 10.0 + offset_true
+        t1 = 10.0 + d_up
+        t2 = t1 + 0.001  # server turnaround
+        t3 = 10.0 + d_up + 0.001 + d_down + offset_true
+        theta = ntp_offset(t0, t1, t2, t3)
+        delay = ntp_delay(t0, t1, t2, t3)
+        assert abs(theta - (-offset_true)) <= delay / 2 + 1e-12
+
+    @given(
+        st.floats(-1.0, 1.0),
+        st.floats(1e-4, 0.02),
+        st.floats(1e-4, 0.02),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_correction_cancels_offset_within_bound(self, offset, d_up, d_down):
+        t0 = 50.0 + offset
+        t1 = 50.0 + d_up
+        t2 = t1
+        t3 = 50.0 + d_up + d_down + offset
+        theta = ntp_offset(t0, t1, t2, t3)
+        residual = abs(offset + theta)
+        assert residual <= abs(d_up - d_down) / 2 + 1e-12
+
+
+class TestSyncBuffer:
+    def test_paper_number(self):
+        # Ch 3.2: 1 ms at 3 m/s -> 3 mm.
+        assert sync_buffer(1e-3, 3.0) == pytest.approx(0.003)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            sync_buffer(-1e-3, 3.0)
+
+
+class TestNtpClient:
+    def make_sample(self, offset, delay):
+        t0 = 0.0 + offset
+        t1 = delay / 2
+        t2 = t1
+        t3 = delay + offset
+        return NtpSample(t0=t0, t1=t1, t2=t2, t3=t3)
+
+    def test_best_is_min_delay(self):
+        client = NtpClient(Clock())
+        client.add_sample(self.make_sample(0.1, 0.010))
+        client.add_sample(self.make_sample(0.1, 0.002))
+        client.add_sample(self.make_sample(0.1, 0.020))
+        assert client.best.delay == pytest.approx(0.002)
+
+    def test_synchronize_steps_clock(self):
+        clock = Clock(offset=0.25)
+        client = NtpClient(clock)
+        client.add_sample(self.make_sample(0.25, 0.004))
+        client.synchronize()
+        assert abs(clock.error(0.0)) < 1e-9
+
+    def test_synchronize_without_samples_raises(self):
+        with pytest.raises(RuntimeError):
+            NtpClient(Clock()).synchronize()
+
+    def test_sample_window_bounded(self):
+        client = NtpClient(Clock(), max_samples=3)
+        for i in range(10):
+            client.add_sample(self.make_sample(0.0, 0.001 * (i + 1)))
+        assert len(client.samples) == 3
+
+    def test_residual_error_bound(self):
+        client = NtpClient(Clock())
+        client.add_sample(self.make_sample(0.1, 0.004))
+        assert client.residual_error_bound() == pytest.approx(0.002)
+
+
+class TestEndToEndSyncOverChannel:
+    def test_sync_error_under_paper_bound(self):
+        """Full NTP exchange over the simulated radio: residual < 1 ms
+        when one-way delays are < 2 ms apart (the testbed's situation).
+        """
+        from repro.des import Environment
+        from repro.network import Channel, SyncRequest, SyncResponse, UniformDelay
+
+        env = Environment()
+        channel = Channel(
+            env, delay_model=UniformDelay(0.001, 0.002), rng=np.random.default_rng(5)
+        )
+        im_radio = channel.attach("IM")
+        v_radio = channel.attach("V")
+        clock = Clock(offset=0.37, drift=10e-6)
+        client = NtpClient(clock)
+
+        def server(env):
+            while True:
+                msg = yield im_radio.receive()
+                now = env.now
+                im_radio.send(
+                    SyncResponse(sender="IM", receiver="V", t0=msg.t0, t1=now, t2=now)
+                )
+
+        def vehicle(env):
+            for _ in range(4):
+                t0 = clock.read(env.now)
+                v_radio.send(SyncRequest(sender="V", receiver="IM", t0=t0))
+                response = yield v_radio.receive()
+                t3 = clock.read(env.now)
+                client.add_sample(
+                    NtpSample(t0=response.t0, t1=response.t1, t2=response.t2, t3=t3)
+                )
+            client.synchronize()
+
+        env.process(server(env))
+        done = env.process(vehicle(env))
+        env.run(until=done)
+        assert abs(clock.error(env.now)) < 1e-3

@@ -1,0 +1,122 @@
+"""Tests for the trace recorder and terminal visualisations."""
+
+import pytest
+
+from repro.analysis import series_plot, space_time_diagram, sparkline
+from repro.geometry import Approach, Movement, Turn
+from repro.sim import TraceRecorder, World
+from repro.sim.trace import TraceSample
+from repro.traffic import Arrival
+
+
+def small_world():
+    arrivals = [
+        Arrival(time=0.0, movement=Movement(Approach.SOUTH, Turn.STRAIGHT), speed=3.0),
+        Arrival(time=0.5, movement=Movement(Approach.EAST, Turn.STRAIGHT), speed=2.5),
+    ]
+    return World("crossroads", arrivals, seed=5)
+
+
+class TestTraceRecorder:
+    def test_records_all_vehicles(self):
+        world = small_world()
+        recorder = TraceRecorder(world, period=0.1)
+        world.run()
+        assert recorder.vehicle_ids == [0, 1]
+        assert len(recorder.samples) > 20
+
+    def test_trajectory_monotone_position(self):
+        world = small_world()
+        recorder = TraceRecorder(world, period=0.1)
+        world.run()
+        for vid in recorder.vehicle_ids:
+            positions = [s.position for s in recorder.trajectory(vid)]
+            for earlier, later in zip(positions, positions[1:]):
+                assert later >= earlier - 1e-6
+
+    def test_at_returns_one_tick(self):
+        world = small_world()
+        recorder = TraceRecorder(world, period=0.1)
+        world.run()
+        snapshot = recorder.at(1.0)
+        assert 1 <= len(snapshot) <= 2
+        assert all(abs(s.time - 1.0) <= 0.05 for s in snapshot)
+
+    def test_by_lane_grouping(self):
+        world = small_world()
+        recorder = TraceRecorder(world, period=0.1)
+        world.run()
+        lanes = recorder.by_lane()
+        assert set(lanes) == {"S", "E"}
+
+    def test_csv_export(self, tmp_path):
+        world = small_world()
+        recorder = TraceRecorder(world, period=0.2)
+        world.run()
+        path = tmp_path / "trace.csv"
+        text = recorder.to_csv(str(path))
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("time,vehicle_id")
+        assert len(lines) == len(recorder.samples) + 1
+        assert path.read_text() == text
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(small_world(), period=0.0)
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant(self):
+        assert sparkline([2.0, 2.0, 2.0]) == "▁▁▁"
+
+    def test_monotone(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 4
+
+
+class TestSeriesPlot:
+    def test_renders_grid(self):
+        out = series_plot([0, 1, 2], {"a": [0.0, 1.0, 0.5], "b": [1.0, 0.0, 0.5]})
+        assert "o=a" in out
+        assert "x=b" in out
+        assert out.count("\n") >= 12
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            series_plot([0, 1], {"a": [1.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            series_plot([], {})
+
+
+class TestSpaceTime:
+    def make_samples(self):
+        return [
+            TraceSample(time=t, vehicle_id=7, movement_key="S-straight",
+                        position=t * 2.0, velocity=2.0, state="follow",
+                        has_plan=True)
+            for t in (0.0, 0.5, 1.0, 1.5)
+        ]
+
+    def test_diagram_rows_and_line(self):
+        out = space_time_diagram(self.make_samples(), period=0.5)
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all("|" in line or "7" in line for line in lines)
+        assert "7" in lines[0]
+
+    def test_lane_filter(self):
+        out = space_time_diagram(self.make_samples(), lane="N", period=0.5)
+        assert out == "(no samples)"
+
+    def test_vehicle_moves_right(self):
+        lines = space_time_diagram(self.make_samples(), period=0.5).splitlines()
+        first = lines[0].index("7")
+        last = lines[-1].index("7")
+        assert last > first

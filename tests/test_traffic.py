@@ -1,0 +1,142 @@
+"""Tests for traffic generation and the scale-model scenarios."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Approach, Turn
+from repro.traffic import Arrival, PoissonTraffic, Scenario, TurnMix, scale_model_scenarios
+from repro.vehicle import VehicleSpec
+
+
+class TestTurnMix:
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            TurnMix(left=0.5, straight=0.5, right=0.5)
+
+    def test_draw_distribution(self):
+        mix = TurnMix(left=0.2, straight=0.6, right=0.2)
+        rng = np.random.default_rng(0)
+        draws = [mix.draw(rng) for _ in range(3000)]
+        frac_straight = sum(1 for d in draws if d is Turn.STRAIGHT) / len(draws)
+        assert frac_straight == pytest.approx(0.6, abs=0.04)
+
+    def test_degenerate_mix(self):
+        mix = TurnMix(left=0.0, straight=1.0, right=0.0)
+        rng = np.random.default_rng(0)
+        assert all(mix.draw(rng) is Turn.STRAIGHT for _ in range(50))
+
+
+class TestArrival:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Arrival(time=-1.0, movement=None, speed=1.0)
+        from repro.geometry import Movement
+
+        with pytest.raises(ValueError):
+            Arrival(
+                time=0.0,
+                movement=Movement(Approach.SOUTH, Turn.STRAIGHT),
+                speed=99.0,  # above v_max
+            )
+
+
+class TestPoissonTraffic:
+    def test_reproducible_with_seed(self):
+        a = PoissonTraffic(0.5, seed=1).generate(30)
+        b = PoissonTraffic(0.5, seed=1).generate(30)
+        assert [x.time for x in a] == [x.time for x in b]
+        assert [x.movement.key for x in a] == [x.movement.key for x in b]
+
+    def test_count(self):
+        assert len(PoissonTraffic(0.5, seed=2).generate(25)) == 25
+
+    def test_sorted_by_time(self):
+        arrivals = PoissonTraffic(0.8, seed=3).generate(50)
+        times = [a.time for a in arrivals]
+        assert times == sorted(times)
+
+    def test_min_headway_per_lane(self):
+        arrivals = PoissonTraffic(2.0, min_headway=0.5, seed=4).generate(80)
+        per_lane = {}
+        for a in arrivals:
+            per_lane.setdefault(a.movement.entry, []).append(a.time)
+        for times in per_lane.values():
+            gaps = np.diff(times)
+            assert (gaps >= 0.5 - 1e-9).all()
+
+    def test_mean_rate_roughly_matches(self):
+        """Merged arrival rate ~ 4 * flow (one process per lane)."""
+        flow = 0.5
+        arrivals = PoissonTraffic(flow, min_headway=0.0, seed=5).generate(400)
+        duration = arrivals[-1].time
+        measured = len(arrivals) / duration
+        assert measured == pytest.approx(4 * flow, rel=0.25)
+
+    def test_speeds_in_range(self):
+        arrivals = PoissonTraffic(0.5, speed_range=(2.0, 3.0), seed=6).generate(50)
+        assert all(2.0 <= a.speed <= 3.0 for a in arrivals)
+
+    def test_all_approaches_used(self):
+        arrivals = PoissonTraffic(0.5, seed=7).generate(100)
+        assert {a.movement.entry for a in arrivals} == set(Approach)
+
+    @given(st.integers(1, 60), st.integers(0, 10 ** 6))
+    @settings(max_examples=30, deadline=None)
+    def test_generate_always_returns_n(self, n, seed):
+        assert len(PoissonTraffic(0.3, seed=seed).generate(n)) == n
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PoissonTraffic(0.0)
+        with pytest.raises(ValueError):
+            PoissonTraffic(0.5, speed_range=(3.0, 2.0))
+        with pytest.raises(ValueError):
+            PoissonTraffic(0.5).generate(0)
+
+
+class TestScaleModelScenarios:
+    def test_ten_scenarios(self):
+        scenarios = scale_model_scenarios()
+        assert len(scenarios) == 10
+        assert scenarios[0].name == "S1-worst"
+        assert scenarios[-1].name == "S10-best"
+
+    def test_five_vehicles_each(self):
+        for s in scale_model_scenarios():
+            assert s.n_vehicles == 5
+
+    def test_worst_case_is_nearly_simultaneous(self):
+        s1 = scale_model_scenarios()[0]
+        assert s1.duration < 0.1
+
+    def test_best_case_is_sparse(self):
+        s10 = scale_model_scenarios()[9]
+        times = sorted(a.time for a in s10.arrivals)
+        gaps = np.diff(times)
+        assert (gaps >= 3.0).all()
+
+    def test_reproducible(self):
+        a = scale_model_scenarios(seed=2017)
+        b = scale_model_scenarios(seed=2017)
+        for sa, sb in zip(a, b):
+            assert [x.time for x in sa.arrivals] == [x.time for x in sb.arrivals]
+
+    def test_random_scenarios_keep_lane_headway(self):
+        for s in scale_model_scenarios()[1:9]:
+            per_lane = {}
+            for a in s.arrivals:
+                per_lane.setdefault(a.movement.entry, []).append(a.time)
+            for times in per_lane.values():
+                if len(times) > 1:
+                    assert (np.diff(sorted(times)) >= 0.5).all()
+
+    def test_scenario_dataclass(self):
+        s = Scenario(name="x", arrivals=())
+        assert s.n_vehicles == 0
+        assert s.duration == 0.0
+
+    def test_custom_vehicle_count(self):
+        scenarios = scale_model_scenarios(n_vehicles=8)
+        assert all(s.n_vehicles == 8 for s in scenarios)
