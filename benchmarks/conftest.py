@@ -8,6 +8,13 @@ session and shared.
 Scale: by default the benches run a reduced workload (40 cars, 4 flow
 rates) so the suite finishes in a few minutes.  Set ``REPRO_FULL=1``
 to run the paper's full 160-car, 10-flow grid.
+
+Parallelism: set ``REPRO_JOBS=N`` (or ``auto``) to spread the sweep's
+grid cells over a process pool — results are bit-identical to serial.
+
+Benchmarks marked ``@pytest.mark.perf`` (wall-clock speedup studies)
+are opt-in: they are skipped unless selected explicitly with
+``-m perf`` or forced with ``REPRO_PERF=1``.
 """
 
 import os
@@ -15,8 +22,12 @@ import os
 import pytest
 
 from repro.sim.flowsweep import run_flow_sweep
+from repro.sim.parallel import resolve_jobs
 
 FULL = os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+#: Worker processes for the session sweep (``REPRO_JOBS``, default serial).
+JOBS = resolve_jobs(None)
 
 #: Reduced grid (default) vs the paper's Fig 7.2 grid.
 FLOW_RATES = (
@@ -39,6 +50,7 @@ def get_flow_sweep():
             flow_rates=FLOW_RATES,
             n_cars=N_CARS,
             seed=7,
+            jobs=JOBS,
         )
     return _cache[key]
 
@@ -46,6 +58,20 @@ def get_flow_sweep():
 @pytest.fixture(scope="session")
 def flow_sweep():
     return get_flow_sweep()
+
+
+def pytest_collection_modifyitems(config, items):
+    """Keep ``perf``-marked benches opt-in (see module docstring)."""
+    if config.getoption("-m"):
+        return  # the user picked marks explicitly; respect them
+    if os.environ.get("REPRO_PERF", "") not in ("", "0"):
+        return
+    skip_perf = pytest.mark.skip(
+        reason="perf bench is opt-in: run with -m perf or REPRO_PERF=1"
+    )
+    for item in items:
+        if "perf" in item.keywords:
+            item.add_marker(skip_perf)
 
 
 def banner(title: str) -> str:

@@ -1,0 +1,113 @@
+"""Parallel experiment-engine speedup study (opt-in: ``-m perf``).
+
+Runs a reduced Fig 7.2 grid twice — serially and on a 2+-worker
+process pool — asserts the scientific results are **bit-identical**,
+and records the wall-clock speedup plus the hot-path ``repro.perf``
+counters (tile cells tested, footprint-cache hit rate, DES events) in
+``BENCH_parallel.json``.
+
+Speedup is *recorded, not asserted as a hard threshold*: CI boxes may
+be single-core or oversubscribed, and the acceptance property is
+determinism + measured improvement on real hardware.  Set
+``REPRO_BENCH_DIR`` to redirect the JSON artefact (default: CWD).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from conftest import banner
+from repro.sim.flowsweep import run_flow_sweep
+from repro.sim.parallel import resolve_jobs
+
+pytestmark = pytest.mark.perf
+
+POLICIES = ("aim", "vt-im", "crossroads")
+FLOWS = (0.1, 0.3, 0.6)
+N_CARS = 12
+SEED = 7
+
+
+def _summaries(sweep):
+    return {
+        policy: [point.result.summary() for point in points]
+        for policy, points in sweep.items()
+    }
+
+
+def _perf_totals(sweep):
+    """Sum every per-run perf counter across the grid."""
+    totals = {}
+    for points in sweep.values():
+        for point in points:
+            for name, value in point.result.perf.items():
+                if name.startswith("count.") or name.startswith("time."):
+                    totals[name] = totals.get(name, 0.0) + value
+    return totals
+
+
+def test_parallel_speedup(benchmark):
+    jobs = max(resolve_jobs("auto"), 2)
+    kwargs = dict(policies=POLICIES, flow_rates=FLOWS, n_cars=N_CARS,
+                  seed=SEED)
+
+    start = time.perf_counter()
+    serial = run_flow_sweep(jobs=1, **kwargs)
+    serial_wall = time.perf_counter() - start
+
+    def parallel_run():
+        return run_flow_sweep(jobs=jobs, **kwargs)
+
+    start = time.perf_counter()
+    parallel = benchmark.pedantic(parallel_run, rounds=1, iterations=1)
+    parallel_wall = time.perf_counter() - start
+
+    # The acceptance property: parallel == serial, bit for bit.
+    assert _summaries(serial) == _summaries(parallel)
+
+    speedup = serial_wall / parallel_wall if parallel_wall > 0 else 0.0
+    perf = _perf_totals(serial)
+    sim_wall = perf.get("time.sim_run_s", 0.0)
+    cells = perf.get("count.tile_cells_tested", 0.0)
+    hits = perf.get("count.tile_cache_hits", 0.0)
+    misses = perf.get("count.tile_cache_misses", 0.0)
+    hit_rate = hits / (hits + misses) if hits + misses else 0.0
+
+    payload = {
+        "grid": {"policies": POLICIES, "flow_rates": FLOWS, "n_cars": N_CARS,
+                 "seed": SEED},
+        "workers": jobs,
+        "serial_wall_s": round(serial_wall, 4),
+        "parallel_wall_s": round(parallel_wall, 4),
+        "speedup": round(speedup, 3),
+        "bit_identical": True,
+        "perf": {
+            "des_events": perf.get("count.des_events", 0.0),
+            "sim_run_wall_s": round(sim_wall, 4),
+            "tile_cells_tested": cells,
+            "tile_cache_hits": hits,
+            "tile_cache_misses": misses,
+            "tile_cache_hit_rate": round(hit_rate, 4),
+        },
+    }
+    out_dir = os.environ.get("REPRO_BENCH_DIR", ".")
+    out_path = os.path.join(out_dir, "BENCH_parallel.json")
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+
+    print(banner("Parallel experiment engine - speedup"))
+    print(f"grid {len(POLICIES)} policies x {len(FLOWS)} flows x "
+          f"{N_CARS} cars | workers {jobs}")
+    print(f"serial {serial_wall:.2f} s | parallel {parallel_wall:.2f} s | "
+          f"speedup {speedup:.2f}X (bit-identical: yes)")
+    print(f"tile cells tested {cells:.0f} | footprint-cache hit rate "
+          f"{hit_rate:.1%} | DES events {payload['perf']['des_events']:.0f}")
+    print(f"wrote {out_path}")
+
+    # Sanity, not a hardware bet: the pool must not be pathologically
+    # slower than serial, and the hot-path counters must be live.
+    assert speedup > 0.5
+    assert cells > 0
+    assert hit_rate > 0.0

@@ -23,8 +23,11 @@ paper-vs-measured numbers.
 
 from repro.core import AimIM, CrossroadsIM, VtimIM, make_im
 from repro.geometry import Approach, IntersectionGeometry, Movement, Turn
+from repro.perf import PerfCounters
 from repro.sensors import SafetyBufferCalculator
 from repro.sim import (
+    ParallelRunner,
+    RunTask,
     SimResult,
     TraceRecorder,
     World,
@@ -48,7 +51,10 @@ __all__ = [
     "CrossroadsIM",
     "IntersectionGeometry",
     "Movement",
+    "ParallelRunner",
+    "PerfCounters",
     "PoissonTraffic",
+    "RunTask",
     "SafetyBufferCalculator",
     "Scenario",
     "SimResult",

@@ -28,6 +28,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="Poisson flow, cars/lane/second")
     run.add_argument("--cars", type=int, default=20, help="vehicles for --flow")
     run.add_argument("--seed", type=int, default=2017)
+    run.add_argument("--perf", action="store_true",
+                     help="print repro.perf timers/counters after the run")
 
     sweep = sub.add_parser("sweep", help="Fig 7.2: throughput vs flow grid")
     sweep.add_argument("--policies", nargs="+",
@@ -40,6 +42,11 @@ def build_parser() -> argparse.ArgumentParser:
                        default="micro",
                        help="micro = full protocol simulation; analytic = "
                             "ideal-vehicle fast engine (VT-style IMs only)")
+    sweep.add_argument("--jobs", default=None,
+                       help="worker processes for the micro engine: an "
+                            "integer, 'auto' (one per CPU), or unset to "
+                            "honour $REPRO_JOBS (default: serial); results "
+                            "are bit-identical to a serial run")
 
     scen = sub.add_parser("scenarios", help="Fig 7.1: the 10 scale-model cases")
     scen.add_argument("--repeats", type=int, default=3)
@@ -83,6 +90,10 @@ def _cmd_run(args) -> int:
     print(f"\navg wait {result.average_delay:.3f} s | throughput "
           f"{result.throughput:.3f} | messages {result.messages_sent} | "
           f"IM compute {result.compute_time:.2f} s | safe {result.safe}")
+    if args.perf and result.perf:
+        print("\nperf counters (repro.perf):")
+        for name, value in sorted(result.perf.items()):
+            print(f"  {name:28s} {value:.6g}")
     return 0 if result.safe else 1
 
 
@@ -115,7 +126,7 @@ def _cmd_sweep(args) -> int:
 
         sweep = run_flow_sweep(
             policies=args.policies, flow_rates=args.flows,
-            n_cars=args.cars, seed=args.seed,
+            n_cars=args.cars, seed=args.seed, jobs=args.jobs,
         )
 
     headers, rows = flow_sweep_rows(sweep)

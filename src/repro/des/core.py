@@ -343,6 +343,8 @@ class Environment:
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: Events processed by :meth:`step` (perf counter).
+        self.events_processed = 0
 
     # -- clock ------------------------------------------------------------
     @property
@@ -393,6 +395,7 @@ class Environment:
         if time < self._now - 1e-12:
             raise SimulationError("time cannot run backwards")
         self._now = max(self._now, time)
+        self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks or ():
             callback(event)

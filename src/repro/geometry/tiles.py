@@ -10,11 +10,41 @@ rasterisation); :class:`TileReservations` is the bookkeeping.  The cost
 of sweeping a footprint over the grid for every (re-)request is exactly
 the computational overhead the paper measures against Crossroads
 (Ch 7.2: up to 16-20X).
+
+Hot-path notes
+--------------
+``tiles_for_pose`` is called once per simulated pose per request —
+thousands of times per AIM run.  The seed implementation rasterised
+against the **full** ``n x n`` meshgrid for every pose (O(n^2) per
+call).  It now
+
+* analytically computes the pose's tile-index **bounding window** (the
+  axis-aligned bounds of the grown, rotated rectangle) and tests only
+  that sub-array — O(footprint) work per pose;
+* memoises results in a small LRU **footprint cache** keyed on the
+  quantised ``(x, y, heading, length, width, buffer)`` tuple.  Re-
+  requests replay the same discrete poses, so rejected-and-retried
+  trajectories hit the cache instead of re-rasterising.
+
+Inputs are quantised (default: round to 1e-9) *before* both the cache
+lookup and the geometry, so a cached entry is exactly the value a fresh
+computation would produce for the same key.  The windowed sweep is
+bit-identical to the full-meshgrid reference (kept as
+:meth:`TileGrid._tiles_for_pose_meshgrid` for differential tests): the
+window is a strict superset of every tile centre that can satisfy the
+mask, padded by one tile against float rounding at the boundary.
+
+``TileReservations.purge_before`` used to scan every live claim on
+every call (it runs after every exit notification); it now maintains a
+per-slot secondary index plus a monotone "floor" slot, so purging costs
+O(dead cells + slots newly swept) — independent of the live claim
+count.
 """
 
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
@@ -22,6 +52,10 @@ import numpy as np
 __all__ = ["TileGrid", "TileReservations"]
 
 TileIndex = Tuple[int, int]
+
+#: Decimal places the pose key is rounded to (1e-9 m / rad — far below
+#: any physical tolerance, just enough to canonicalise float noise).
+_QUANTUM_DECIMALS = 9
 
 
 class TileGrid:
@@ -33,19 +67,36 @@ class TileGrid:
         Side length of the box, metres (centred at the origin).
     n:
         Tiles per side.
+    cache_size:
+        Capacity of the LRU footprint cache (0 disables caching).
     """
 
-    def __init__(self, box: float, n: int = 24):
+    def __init__(self, box: float, n: int = 24, cache_size: int = 4096):
         if box <= 0:
             raise ValueError("box must be positive")
         if n < 1:
             raise ValueError("n must be >= 1")
+        if cache_size < 0:
+            raise ValueError("cache_size must be non-negative")
         self.box = box
         self.n = n
         self.tile_size = box / n
         half = box / 2.0
-        centres = -half + (np.arange(n) + 0.5) * self.tile_size
-        self._cx, self._cy = np.meshgrid(centres, centres, indexing="ij")
+        #: 1-D tile-centre coordinates (shared by both axes).
+        self._centres = -half + (np.arange(n) + 0.5) * self.tile_size
+        #: Same centres as plain Python floats (the scalar hot loop is
+        #: faster on builtin floats than on numpy scalars; ``float()``
+        #: of a float64 is exact, so both paths see identical values).
+        self._centres_f: List[float] = [float(c) for c in self._centres]
+        self._mesh = None  # lazy full meshgrid (reference path only)
+        self.cache_size = cache_size
+        self._cache: "OrderedDict[tuple, FrozenSet[TileIndex]]" = OrderedDict()
+        # -- perf counters (consumed by repro.perf / SimResult.perf) ------
+        #: Tile centres actually tested (windowed sub-array sizes).
+        self.cells_tested = 0
+        #: Footprint-cache hits / misses.
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     @property
     def num_tiles(self) -> int:
@@ -60,6 +111,24 @@ class TileGrid:
         i = int((x + half) / self.tile_size)
         j = int((y + half) / self.tile_size)
         return (min(i, self.n - 1), min(j, self.n - 1))
+
+    # -- footprint rasterisation ------------------------------------------
+    @staticmethod
+    def _validate_pose(length: float, width: float, buffer: float) -> None:
+        if length <= 0 or width <= 0:
+            raise ValueError("length and width must be positive")
+        if buffer < 0:
+            raise ValueError("buffer must be non-negative")
+
+    def _index_window(self, centre: float, half_extent: float) -> Tuple[int, int]:
+        """Inclusive tile-index range whose centres may fall inside
+        ``[centre - half_extent, centre + half_extent]``, padded by one
+        tile against float rounding.  May be empty (``lo > hi``)."""
+        half = self.box / 2.0
+        ts = self.tile_size
+        lo = math.ceil((centre - half_extent + half) / ts - 0.5) - 1
+        hi = math.floor((centre + half_extent + half) / ts - 0.5) + 1
+        return max(lo, 0), min(hi, self.n - 1)
 
     def tiles_for_pose(
         self,
@@ -79,23 +148,132 @@ class TileGrid:
         absorbed by lane keeping, Ch 3.2).  A tile is claimed when its
         centre lies within the rectangle grown by half the tile
         diagonal — a strict over-approximation, as safety requires.
+
+        Only the tile-index bounding window of the grown rectangle is
+        tested (not the full grid), and results are memoised per
+        quantised pose; see the module docstring.
         """
-        if length <= 0 or width <= 0:
-            raise ValueError("length and width must be positive")
-        if buffer < 0:
-            raise ValueError("buffer must be non-negative")
+        self._validate_pose(length, width, buffer)
+        key = (
+            round(x, _QUANTUM_DECIMALS),
+            round(y, _QUANTUM_DECIMALS),
+            round(heading, _QUANTUM_DECIMALS),
+            round(length, _QUANTUM_DECIMALS),
+            round(width, _QUANTUM_DECIMALS),
+            round(buffer, _QUANTUM_DECIMALS),
+        )
+        if self.cache_size:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                self._cache.move_to_end(key)
+                return cached
+            self.cache_misses += 1
+        result = self._tiles_for_pose_windowed(*key)
+        if self.cache_size:
+            self._cache[key] = result
+            if len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+        return result
+
+    #: Window sizes above this use the vectorised numpy path; below it
+    #: a scalar Python loop wins (small-array numpy calls pay ~µs of
+    #: fixed dispatch overhead per op; the crossover sits near a couple
+    #: hundred cells).
+    _VECTOR_THRESHOLD = 192
+
+    def _tiles_for_pose_windowed(
+        self,
+        x: float,
+        y: float,
+        heading: float,
+        length: float,
+        width: float,
+        buffer: float,
+    ) -> FrozenSet[TileIndex]:
+        """Windowed sweep: test only the pose's bounding sub-array.
+
+        Scalar and vectorised paths perform the identical IEEE float64
+        operations in the identical order (multiply-then-add, no FMA),
+        so all three implementations — scalar window, numpy window,
+        full meshgrid — return the same frozensets bit for bit.
+        """
+        half_l = length / 2.0 + buffer
+        half_w = width / 2.0
+        grow = self.tile_size * math.sqrt(2.0) / 2.0
+        lon_reach = half_l + grow
+        lat_reach = half_w + grow
+        cos_h, sin_h = math.cos(heading), math.sin(heading)
+        # AABB half-extents of the grown rectangle rotated by heading.
+        wx = abs(cos_h) * lon_reach + abs(sin_h) * lat_reach
+        wy = abs(sin_h) * lon_reach + abs(cos_h) * lat_reach
+        i0, i1 = self._index_window(x, wx)
+        j0, j1 = self._index_window(y, wy)
+        if i0 > i1 or j0 > j1:
+            return frozenset()
+        window = (i1 - i0 + 1) * (j1 - j0 + 1)
+        self.cells_tested += window
+        if window > self._VECTOR_THRESHOLD:
+            # Tile centres of the window, in the vehicle frame.
+            dx = self._centres[i0 : i1 + 1][:, None] - x
+            dy = self._centres[j0 : j1 + 1][None, :] - y
+            lon = dx * cos_h + dy * sin_h
+            lat = -dx * sin_h + dy * cos_h
+            mask = (np.abs(lon) <= lon_reach) & (np.abs(lat) <= lat_reach)
+            ii, jj = np.nonzero(mask)
+            return frozenset(zip((ii + i0).tolist(), (jj + j0).tolist()))
+        centres = self._centres_f
+        dys = [centres[j] - y for j in range(j0, j1 + 1)]
+        out: List[TileIndex] = []
+        for i in range(i0, i1 + 1):
+            dx_i = centres[i] - x
+            lon_i = dx_i * cos_h
+            lat_i = -dx_i * sin_h
+            for j, dy_j in enumerate(dys, start=j0):
+                lon = lon_i + dy_j * sin_h
+                if lon > lon_reach or lon < -lon_reach:
+                    continue
+                lat = lat_i + dy_j * cos_h
+                if -lat_reach <= lat <= lat_reach:
+                    out.append((i, j))
+        return frozenset(out)
+
+    def _tiles_for_pose_meshgrid(
+        self,
+        x: float,
+        y: float,
+        heading: float,
+        length: float,
+        width: float,
+        buffer: float = 0.0,
+    ) -> FrozenSet[TileIndex]:
+        """Seed O(n^2) reference implementation (kept for differential
+        tests): rasterise against the full tile-centre meshgrid."""
+        self._validate_pose(length, width, buffer)
+        if self._mesh is None:
+            self._mesh = np.meshgrid(self._centres, self._centres, indexing="ij")
+        cx, cy = self._mesh
         half_l = length / 2.0 + buffer
         half_w = width / 2.0
         grow = self.tile_size * math.sqrt(2.0) / 2.0
         cos_h, sin_h = math.cos(heading), math.sin(heading)
-        # Tile centres in the vehicle frame.
-        dx = self._cx - x
-        dy = self._cy - y
+        dx = cx - x
+        dy = cy - y
         lon = dx * cos_h + dy * sin_h
         lat = -dx * sin_h + dy * cos_h
         mask = (np.abs(lon) <= half_l + grow) & (np.abs(lat) <= half_w + grow)
         ii, jj = np.nonzero(mask)
         return frozenset(zip(ii.tolist(), jj.tolist()))
+
+    def cache_clear(self) -> None:
+        """Empty the footprint cache (counters are left running)."""
+        self._cache.clear()
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of ``tiles_for_pose`` calls served from the cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
     def __repr__(self) -> str:
         return f"TileGrid(box={self.box}, n={self.n})"
@@ -103,6 +281,11 @@ class TileGrid:
 
 class TileReservations:
     """Bookkeeping of (tile, time-slot) claims.
+
+    Keeps three synchronised indexes: the flat claim map (for conflict
+    checks), a per-vehicle index (for release) and a per-slot index
+    plus a monotone purge floor (so garbage collection touches only
+    dead cells, never the live population).
 
     Parameters
     ----------
@@ -119,6 +302,16 @@ class TileReservations:
         self.slot = slot
         self._claims: Dict[Tuple[TileIndex, int], int] = {}
         self._by_vehicle: Dict[int, Set[Tuple[TileIndex, int]]] = {}
+        #: Secondary index: slot -> cells claimed in that slot.
+        self._by_slot: Dict[int, Set[Tuple[TileIndex, int]]] = {}
+        #: All slots >= this are not yet purged (monotone floor).
+        self._purge_floor: Optional[int] = None
+        # -- perf counters -------------------------------------------------
+        #: Cells examined by purge_before across the lifetime (regression
+        #: guard: grows with *dead* cells only, never with live ones).
+        self.purge_visited = 0
+        #: Cells actually purged across the lifetime.
+        self.purged_total = 0
 
     def slot_of(self, t: float) -> int:
         """Time-slot index containing time ``t``."""
@@ -150,6 +343,10 @@ class TileReservations:
         for cell in cells:
             self._claims[cell] = vehicle_id
             owned.add(cell)
+            slot = cell[1]
+            self._by_slot.setdefault(slot, set()).add(cell)
+            if self._purge_floor is None or slot < self._purge_floor:
+                self._purge_floor = slot
 
     def release(self, vehicle_id: int) -> int:
         """Drop all claims of ``vehicle_id``; returns how many."""
@@ -157,15 +354,39 @@ class TileReservations:
         for cell in owned:
             if self._claims.get(cell) == vehicle_id:
                 del self._claims[cell]
+                in_slot = self._by_slot.get(cell[1])
+                if in_slot is not None:
+                    in_slot.discard(cell)
+                    if not in_slot:
+                        del self._by_slot[cell[1]]
         return len(owned)
 
     def purge_before(self, t: float) -> int:
-        """Drop claims in slots strictly before ``t`` (garbage collection)."""
+        """Drop claims in slots strictly before ``t`` (garbage collection).
+
+        Walks the per-slot index from the purge floor to the cutoff:
+        each slot index is visited at most once over the reservation
+        table's lifetime, and only *dead* cells are touched — cost is
+        independent of how many live claims exist.
+        """
         cutoff = self.slot_of(t)
-        dead = [cell for cell in self._claims if cell[1] < cutoff]
-        for cell in dead:
-            owner = self._claims.pop(cell)
-            owned = self._by_vehicle.get(owner)
-            if owned is not None:
-                owned.discard(cell)
-        return len(dead)
+        floor = self._purge_floor
+        if floor is None or floor >= cutoff:
+            return 0
+        dead = 0
+        for slot in range(floor, cutoff):
+            cells = self._by_slot.pop(slot, None)
+            if not cells:
+                continue
+            for cell in cells:
+                self.purge_visited += 1
+                owner = self._claims.pop(cell, None)
+                if owner is None:
+                    continue
+                dead += 1
+                owned = self._by_vehicle.get(owner)
+                if owned is not None:
+                    owned.discard(cell)
+        self._purge_floor = cutoff
+        self.purged_total += dead
+        return dead

@@ -1,0 +1,118 @@
+"""Lightweight performance instrumentation (timers + counters).
+
+The ROADMAP's north star is "as fast as the hardware allows"; this
+module is how speedups are *measured* instead of asserted.  A
+:class:`PerfCounters` instance holds
+
+* **counters** — monotonically increasing integers (DES events
+  processed, tile cells tested, footprint-cache hits/misses, cells
+  purged, ...);
+* **timers** — accumulated wall-clock seconds per named subsystem,
+  measured with :func:`time.perf_counter` via the :meth:`~PerfCounters.timer`
+  context manager.
+
+Everything is plain dictionaries of floats, so snapshots are picklable
+(they travel back from :mod:`repro.sim.parallel` worker processes),
+mergeable across runs, and JSON-serialisable for the benchmark
+artefacts (``BENCH_parallel.json``).
+
+Wall-clock numbers vary run to run, so perf snapshots are deliberately
+kept **out of** :meth:`repro.sim.metrics.SimResult.summary` — parallel
+and serial executions of the same seeds must stay bit-identical on the
+scientific metrics while still reporting their own timings here.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+__all__ = ["PerfCounters", "hit_rate"]
+
+
+def hit_rate(hits: float, misses: float) -> float:
+    """Cache hit rate in [0, 1]; 0.0 when the cache was never consulted."""
+    total = hits + misses
+    return hits / total if total > 0 else 0.0
+
+
+class PerfCounters:
+    """Named monotonic counters and accumulated wall-clock timers."""
+
+    __slots__ = ("counts", "times")
+
+    def __init__(
+        self,
+        counts: Optional[Dict[str, float]] = None,
+        times: Optional[Dict[str, float]] = None,
+    ):
+        #: name -> cumulative count.
+        self.counts: Dict[str, float] = dict(counts or {})
+        #: name -> cumulative wall seconds.
+        self.times: Dict[str, float] = dict(times or {})
+
+    # -- counters ----------------------------------------------------------
+    def incr(self, name: str, n: float = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at 0 on first use)."""
+        self.counts[name] = self.counts.get(name, 0) + n
+
+    def count(self, name: str) -> float:
+        """Current value of counter ``name`` (0 when never incremented)."""
+        return self.counts.get(name, 0)
+
+    # -- timers ------------------------------------------------------------
+    def add_time(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` of wall time under ``name``."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        self.times[name] = self.times.get(name, 0.0) + seconds
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Context manager accumulating the enclosed wall time."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - start)
+
+    def time_of(self, name: str) -> float:
+        """Accumulated seconds under ``name`` (0.0 when never timed)."""
+        return self.times.get(name, 0.0)
+
+    # -- aggregation -------------------------------------------------------
+    def merge(self, other: "PerfCounters") -> "PerfCounters":
+        """Fold ``other``'s counters and timers into self (returns self)."""
+        for name, value in other.counts.items():
+            self.incr(name, value)
+        for name, value in other.times.items():
+            self.add_time(name, value)
+        return self
+
+    def hit_rate(self, hits: str, misses: str) -> float:
+        """Hit rate of a hits/misses counter pair."""
+        return hit_rate(self.count(hits), self.count(misses))
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat ``{"count.<name>": .., "time.<name>_s": ..}`` dict.
+
+        The flat form is what rides on ``SimResult.perf``, prints in the
+        CLI and lands in benchmark JSON files.
+        """
+        out: Dict[str, float] = {}
+        for name in sorted(self.counts):
+            out[f"count.{name}"] = float(self.counts[name])
+        for name in sorted(self.times):
+            out[f"time.{name}_s"] = float(self.times[name])
+        return out
+
+    def reset(self) -> None:
+        """Zero every counter and timer."""
+        self.counts.clear()
+        self.times.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"PerfCounters(counts={len(self.counts)}, timers={len(self.times)})"
+        )

@@ -12,6 +12,7 @@ full policy-by-flow grid of the Matlab evaluation.
 from repro.sim.analytic import AnalyticConfig, run_analytic
 from repro.sim.flowsweep import FlowPoint, run_flow, run_flow_sweep
 from repro.sim.metrics import SimResult, compare_policies
+from repro.sim.parallel import ParallelRunner, RunTask, resolve_jobs, run_tasks
 from repro.sim.replication import MetricStats, Replication, replicate, run_replicated
 from repro.sim.trace import TraceRecorder, TraceSample
 from repro.sim.world import World, WorldConfig, run_scenario
@@ -20,11 +21,15 @@ __all__ = [
     "AnalyticConfig",
     "FlowPoint",
     "MetricStats",
+    "ParallelRunner",
     "Replication",
+    "RunTask",
     "TraceRecorder",
     "TraceSample",
     "replicate",
+    "resolve_jobs",
     "run_replicated",
+    "run_tasks",
     "SimResult",
     "World",
     "WorldConfig",

@@ -10,11 +10,12 @@ reproduces one grid cell and :func:`run_flow_sweep` the full grid.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.geometry.conflicts import ConflictTable
 from repro.geometry.layout import IntersectionGeometry
 from repro.sim.metrics import SimResult
+from repro.sim.parallel import ParallelRunner, RunTask, resolve_jobs
 from repro.sim.world import WorldConfig, run_scenario
 from repro.traffic.generator import PoissonTraffic
 
@@ -78,21 +79,65 @@ def run_flow(
     return FlowPoint(policy=result.policy, flow_rate=flow_rate, result=result)
 
 
+def _flow_cell(
+    policy: str,
+    flow: float,
+    n_cars: int,
+    seed: int,
+    config: Optional[WorldConfig],
+) -> FlowPoint:
+    """Module-level worker for one grid cell (picklable for the pool).
+
+    Rebuilds geometry/conflicts in the worker process; construction is
+    deterministic, so results match the serial shared-geometry path
+    bit for bit.
+    """
+    return run_flow(policy, flow, n_cars=n_cars, seed=seed, config=config)
+
+
 def run_flow_sweep(
     policies: Sequence[str] = ("aim", "vt-im", "crossroads"),
     flow_rates: Sequence[float] = PAPER_FLOW_RATES,
     n_cars: int = 160,
     seed: int = 7,
     config: Optional[WorldConfig] = None,
+    jobs: Union[int, str, None] = None,
 ) -> Dict[str, List[FlowPoint]]:
     """The full Fig 7.2 grid: every policy at every flow rate.
 
-    Geometry analysis is shared across all runs.  Returns
-    ``{policy: [FlowPoint per flow rate]}``.
+    Returns ``{policy: [FlowPoint per flow rate]}``.  With ``jobs > 1``
+    (or ``REPRO_JOBS`` set) the grid cells run on a process pool via
+    :mod:`repro.sim.parallel`; every cell's seed is fixed up front, so
+    the result is bit-identical to a serial run.  Serially, geometry
+    analysis is shared across all runs.
     """
+    policies = list(policies)
+    flow_rates = [float(flow) for flow in flow_rates]
+    if not policies:
+        raise ValueError("policies must be non-empty")
+    if not flow_rates:
+        raise ValueError("flow_rates must be non-empty")
+    out: Dict[str, List[FlowPoint]] = {}
+    n_jobs = resolve_jobs(jobs)
+    if n_jobs > 1:
+        tasks = [
+            RunTask(
+                _flow_cell,
+                (policy, flow, n_cars, seed, config),
+                label=f"{policy}@{flow}",
+            )
+            for policy in policies
+            for flow in flow_rates
+        ]
+        results = ParallelRunner(n_jobs).map(tasks)
+        for index, policy in enumerate(policies):
+            points = results[
+                index * len(flow_rates) : (index + 1) * len(flow_rates)
+            ]
+            out[points[0].policy] = points
+        return out
     geometry = IntersectionGeometry()
     conflicts = ConflictTable(geometry)
-    out: Dict[str, List[FlowPoint]] = {}
     for policy in policies:
         points = []
         for flow in flow_rates:
@@ -107,5 +152,5 @@ def run_flow_sweep(
                     conflicts=conflicts,
                 )
             )
-        out[points[0].policy if points else policy] = points
+        out[points[0].policy] = points
     return out

@@ -41,6 +41,12 @@ class SimResult:
     buffer_violations: int = 0
     min_separation: float = float("inf")
     worst_service_time: float = 0.0
+    #: Flat :meth:`repro.perf.PerfCounters.snapshot` of the run
+    #: (wall-clock timers + hot-path counters).  Deliberately *not*
+    #: part of :meth:`summary`: wall time varies run to run, while the
+    #: summary must stay bit-identical between serial and parallel
+    #: executions of the same seeds.
+    perf: Dict[str, float] = field(default_factory=dict)
 
     # -- vehicle-level aggregates ------------------------------------------
     @property

@@ -1,0 +1,166 @@
+"""Process-parallel experiment execution.
+
+The evaluation grids (Fig 7.2's policy-by-flow sweep, multi-seed
+replication) are embarrassingly parallel: every cell is an independent
+simulation with an explicit seed and no shared mutable state.  This
+module runs such grids across a process pool while keeping the results
+**bit-identical** to serial execution:
+
+* every :class:`RunTask` carries its own seed inside its arguments, so
+  worker placement cannot change any RNG stream;
+* results are gathered in submission order, never completion order;
+* worker processes rebuild deterministic shared artefacts (geometry,
+  conflict tables) from scratch — construction is pure, so rebuilt and
+  shared instances produce the same trajectories.
+
+Degradation is graceful: ``jobs <= 1``, a single task, an unpicklable
+task (e.g. a closure passed to :func:`repro.sim.replication.replicate`)
+or a broken/forbidden process pool all fall back to a plain serial
+loop, recording why in :attr:`ParallelRunner.fallback_reason`.
+
+Worker count resolution (:func:`resolve_jobs`): an explicit integer
+wins; ``None`` consults the ``REPRO_JOBS`` environment variable and
+defaults to serial; ``0``, ``-1`` or ``"auto"`` mean "one worker per
+CPU".
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["ParallelRunner", "RunTask", "resolve_jobs", "run_tasks"]
+
+#: Environment variable consulted when ``jobs`` is None.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: Union[int, str, None]) -> int:
+    """Normalise a ``jobs`` request to a concrete worker count (>= 1).
+
+    ``None`` reads ``REPRO_JOBS`` (absent/invalid -> 1, i.e. serial);
+    ``0``, ``-1`` and ``"auto"`` mean one worker per CPU; any other
+    value is clamped to at least 1.
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV_VAR, "").strip()
+        if not raw:
+            return 1
+        jobs = raw
+    if isinstance(jobs, str):
+        if jobs.strip().lower() == "auto":
+            return os.cpu_count() or 1
+        try:
+            jobs = int(jobs)
+        except ValueError:
+            return 1
+    if jobs in (0, -1):
+        return os.cpu_count() or 1
+    return max(int(jobs), 1)
+
+
+@dataclass(frozen=True, eq=False)
+class RunTask:
+    """One picklable unit of work: ``fn(*args, **kwargs)``.
+
+    ``fn`` must be an importable module-level callable for the task to
+    cross a process boundary; anything else (lambdas, closures, bound
+    methods of unpicklable objects) still *runs*, but forces the runner
+    into its serial fallback.
+    """
+
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: Free-form label (used in error messages / bench artefacts).
+    label: str = ""
+
+    def run(self) -> Any:
+        return self.fn(*self.args, **self.kwargs)
+
+
+def _execute_task(task: RunTask) -> Any:
+    """Module-level trampoline (what actually crosses the pool)."""
+    return task.run()
+
+
+class ParallelRunner:
+    """Ordered map of :class:`RunTask` s over a process pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker count request (see :func:`resolve_jobs`).
+
+    Attributes
+    ----------
+    used_parallel:
+        True when the last :meth:`map` actually ran on a pool.
+    fallback_reason:
+        Why the last :meth:`map` ran serially (``None`` when parallel).
+    """
+
+    def __init__(self, jobs: Union[int, str, None] = None):
+        self.jobs = resolve_jobs(jobs)
+        self.used_parallel = False
+        self.fallback_reason: Optional[str] = None
+
+    # -- internals ---------------------------------------------------------
+    @staticmethod
+    def _first_unpicklable(tasks: Sequence[RunTask]) -> Optional[str]:
+        """Label/repr of the first task that cannot cross a process."""
+        for index, task in enumerate(tasks):
+            try:
+                pickle.dumps(task)
+            except Exception:  # pickle raises a zoo of types
+                return task.label or f"task #{index} ({task.fn!r})"
+        return None
+
+    @staticmethod
+    def _run_serial(tasks: Sequence[RunTask]) -> List[Any]:
+        return [task.run() for task in tasks]
+
+    # -- public API --------------------------------------------------------
+    def map(self, tasks: Sequence[RunTask]) -> List[Any]:
+        """Run every task; results in task order.
+
+        Exceptions raised by a task propagate to the caller (after the
+        pool shuts down), exactly as they would serially.
+        """
+        tasks = list(tasks)
+        self.used_parallel = False
+        self.fallback_reason = None
+        if not tasks:
+            return []
+        if self.jobs <= 1:
+            self.fallback_reason = "jobs<=1"
+            return self._run_serial(tasks)
+        if len(tasks) == 1:
+            self.fallback_reason = "single task"
+            return self._run_serial(tasks)
+        unpicklable = self._first_unpicklable(tasks)
+        if unpicklable is not None:
+            self.fallback_reason = f"unpicklable task: {unpicklable}"
+            return self._run_serial(tasks)
+        workers = min(self.jobs, len(tasks))
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(_execute_task, task) for task in tasks]
+                results = [future.result() for future in futures]
+        except (OSError, RuntimeError) as exc:
+            # Pool could not start or died (sandboxed env, fork limits,
+            # killed worker, ...): degrade to serial rather than fail.
+            self.fallback_reason = f"pool failure: {type(exc).__name__}: {exc}"
+            return self._run_serial(tasks)
+        self.used_parallel = True
+        return results
+
+
+def run_tasks(
+    tasks: Sequence[RunTask], jobs: Union[int, str, None] = None
+) -> List[Any]:
+    """One-shot convenience wrapper around :class:`ParallelRunner`."""
+    return ParallelRunner(jobs).map(tasks)

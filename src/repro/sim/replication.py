@@ -10,11 +10,12 @@ comparing policies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.sim.metrics import SimResult
+from repro.sim.parallel import ParallelRunner, RunTask, resolve_jobs
 from repro.sim.world import WorldConfig, run_scenario
 from repro.traffic.generator import Arrival
 
@@ -88,12 +89,30 @@ class Replication:
 
 
 def replicate(
-    run_fn: Callable[[int], SimResult], seeds: Sequence[int]
+    run_fn: Callable[[int], SimResult],
+    seeds: Sequence[int],
+    jobs: Union[int, str, None] = None,
 ) -> Replication:
-    """Run ``run_fn(seed)`` for every seed and aggregate."""
+    """Run ``run_fn(seed)`` for every seed and aggregate.
+
+    With ``jobs > 1`` the replicates run on a process pool when
+    ``run_fn`` is picklable (a module-level function); closures and
+    lambdas fall back to a serial loop automatically.
+    """
     if not seeds:
         raise ValueError("need at least one seed")
-    return Replication([run_fn(seed) for seed in seeds])
+    tasks = [RunTask(run_fn, (seed,), label=f"seed={seed}") for seed in seeds]
+    return Replication(ParallelRunner(jobs).map(tasks))
+
+
+def _replicate_cell(
+    policy: str,
+    arrivals: "tuple[Arrival, ...]",
+    config: Optional[WorldConfig],
+    seed: int,
+) -> SimResult:
+    """Module-level worker for one replicate (picklable for the pool)."""
+    return run_scenario(policy, arrivals, config=config, seed=seed)
 
 
 def run_replicated(
@@ -101,12 +120,29 @@ def run_replicated(
     arrivals: Sequence[Arrival],
     seeds: Sequence[int] = (1, 2, 3, 4, 5),
     config: Optional[WorldConfig] = None,
+    jobs: Union[int, str, None] = None,
 ) -> Replication:
     """Replicate one micro-simulation workload over noise seeds.
 
     The arrival list (the workload) is fixed; only the world's noise —
-    plant, sensors, clocks, network — varies with the seed.
+    plant, sensors, clocks, network — varies with the seed.  ``jobs``
+    (or the ``REPRO_JOBS`` environment variable) spreads the seeds over
+    a process pool; each seed fully determines its run, so parallel
+    results are bit-identical to serial ones.
     """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    n_jobs = resolve_jobs(jobs)
+    if n_jobs > 1:
+        tasks = [
+            RunTask(
+                _replicate_cell,
+                (policy, tuple(arrivals), config, seed),
+                label=f"{policy} seed={seed}",
+            )
+            for seed in seeds
+        ]
+        return Replication(ParallelRunner(n_jobs).map(tasks))
     return replicate(
         lambda seed: run_scenario(policy, arrivals, config=config, seed=seed),
         seeds,

@@ -38,6 +38,7 @@ from repro.geometry.conflicts import ConflictTable
 from repro.geometry.layout import IntersectionGeometry
 from repro.network.channel import Channel
 from repro.network.delay import DelayModel, testbed_delay_model
+from repro.perf import PerfCounters
 from repro.sensors.plant import PlantConfig
 from repro.sim.metrics import SimResult
 from repro.timesync.clock import Clock
@@ -140,6 +141,9 @@ class World:
         self.buffer_violations = 0
         self.min_separation = math.inf
         self._collided_pairs = set()
+        #: Wall-clock timers for this run (counters are harvested from
+        #: the kernel / IM at :meth:`result` time).
+        self.perf = PerfCounters()
         self.env.process(self._spawner())
         self.env.process(self._safety_monitor())
 
@@ -283,9 +287,29 @@ class World:
     def run(self) -> SimResult:
         """Run to completion (all vehicles despawned) and collect results."""
         step = 1.0
-        while not self.all_done and self.env.now < self.config.max_sim_time:
-            self.env.run(until=self.env.now + step)
+        with self.perf.timer("sim_run"):
+            while not self.all_done and self.env.now < self.config.max_sim_time:
+                self.env.run(until=self.env.now + step)
         return self.result()
+
+    def _perf_snapshot(self) -> Dict[str, float]:
+        """Timers from this world + counters harvested from subsystems."""
+        perf = PerfCounters(times=self.perf.times)
+        perf.incr("des_events", self.env.events_processed)
+        reservations = getattr(self.im, "reservations", None)
+        if reservations is not None:  # AIM only
+            grid = reservations.grid
+            perf.incr("tile_cells_tested", grid.cells_tested)
+            perf.incr("tile_cache_hits", grid.cache_hits)
+            perf.incr("tile_cache_misses", grid.cache_misses)
+            perf.incr("tile_cells_purged", reservations.purged_total)
+            perf.incr("tile_cells_simulated", self.im.cells_simulated)
+        snapshot = perf.snapshot()
+        if reservations is not None:
+            snapshot["tile_cache_hit_rate"] = perf.hit_rate(
+                "tile_cache_hits", "tile_cache_misses"
+            )
+        return snapshot
 
     def result(self) -> SimResult:
         """Snapshot the metrics of the current state."""
@@ -304,6 +328,7 @@ class World:
             buffer_violations=self.buffer_violations,
             min_separation=self.min_separation,
             worst_service_time=self.im.stats.worst_service_time,
+            perf=self._perf_snapshot(),
         )
 
 

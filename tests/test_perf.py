@@ -1,0 +1,117 @@
+"""Tests for the repro.perf instrumentation module."""
+
+import pickle
+import time
+
+import pytest
+
+from repro.geometry import Approach, Movement, Turn
+from repro.perf import PerfCounters, hit_rate
+from repro.sim import run_scenario
+from repro.traffic import Arrival
+
+
+class TestCounters:
+    def test_incr_and_count(self):
+        perf = PerfCounters()
+        assert perf.count("x") == 0
+        perf.incr("x")
+        perf.incr("x", 4)
+        assert perf.count("x") == 5
+
+    def test_timer_accumulates(self):
+        perf = PerfCounters()
+        with perf.timer("work"):
+            time.sleep(0.01)
+        with perf.timer("work"):
+            pass
+        assert perf.time_of("work") >= 0.01
+        assert perf.time_of("other") == 0.0
+
+    def test_timer_survives_exceptions(self):
+        perf = PerfCounters()
+        with pytest.raises(RuntimeError):
+            with perf.timer("work"):
+                raise RuntimeError("boom")
+        assert perf.time_of("work") >= 0.0
+        assert "work" in perf.times
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            PerfCounters().add_time("x", -1.0)
+
+    def test_merge(self):
+        a = PerfCounters()
+        a.incr("cells", 10)
+        a.add_time("run", 1.0)
+        b = PerfCounters()
+        b.incr("cells", 5)
+        b.incr("events", 2)
+        b.add_time("run", 0.5)
+        a.merge(b)
+        assert a.count("cells") == 15
+        assert a.count("events") == 2
+        assert a.time_of("run") == pytest.approx(1.5)
+
+    def test_snapshot_prefixes(self):
+        perf = PerfCounters()
+        perf.incr("cells", 3)
+        perf.add_time("run", 0.25)
+        snap = perf.snapshot()
+        assert snap == {"count.cells": 3.0, "time.run_s": 0.25}
+
+    def test_snapshot_is_picklable_and_detached(self):
+        perf = PerfCounters()
+        perf.incr("cells")
+        snap = perf.snapshot()
+        assert pickle.loads(pickle.dumps(snap)) == snap
+        perf.incr("cells")
+        assert snap["count.cells"] == 1.0
+
+    def test_hit_rate(self):
+        assert hit_rate(0, 0) == 0.0
+        assert hit_rate(3, 1) == pytest.approx(0.75)
+        perf = PerfCounters()
+        perf.incr("hits", 1)
+        perf.incr("misses", 3)
+        assert perf.hit_rate("hits", "misses") == pytest.approx(0.25)
+
+    def test_reset(self):
+        perf = PerfCounters()
+        perf.incr("x")
+        perf.add_time("y", 1.0)
+        perf.reset()
+        assert perf.snapshot() == {}
+
+
+class TestSimResultPerf:
+    def arrivals(self):
+        return [
+            Arrival(time=0.0, movement=Movement(Approach.SOUTH, Turn.STRAIGHT),
+                    speed=3.0),
+            Arrival(time=0.4, movement=Movement(Approach.EAST, Turn.STRAIGHT),
+                    speed=3.0),
+        ]
+
+    def test_world_populates_perf_snapshot(self):
+        result = run_scenario("crossroads", self.arrivals(), seed=3)
+        assert result.perf["count.des_events"] > 0
+        assert result.perf["time.sim_run_s"] > 0.0
+        # Perf never leaks into the scientific summary.
+        assert not any(k.startswith(("count.", "time.")) for k in result.summary())
+
+    def test_aim_reports_tile_counters(self):
+        result = run_scenario("aim", self.arrivals(), seed=3)
+        assert result.perf["count.tile_cells_tested"] > 0
+        assert result.perf["count.tile_cells_simulated"] > 0
+        hits = result.perf["count.tile_cache_hits"]
+        misses = result.perf["count.tile_cache_misses"]
+        assert misses > 0
+        assert 0.0 <= result.perf["tile_cache_hit_rate"] <= 1.0
+        assert result.perf["tile_cache_hit_rate"] == pytest.approx(
+            hit_rate(hits, misses)
+        )
+
+    def test_non_aim_has_no_tile_counters(self):
+        result = run_scenario("vt-im", self.arrivals(), seed=3)
+        assert "count.tile_cells_tested" not in result.perf

@@ -1,0 +1,212 @@
+"""Tests for the parallel experiment engine (repro.sim.parallel).
+
+The load-bearing property: parallel execution is a pure wall-clock
+optimisation — ``jobs=N`` must produce **bit-identical**
+``SimResult.summary()`` dicts to ``jobs=1`` because every task carries
+its own seed and results are gathered in submission order.
+"""
+
+import os
+
+import pytest
+
+from repro.geometry import Approach, Movement, Turn
+from repro.sim.flowsweep import run_flow_sweep
+from repro.sim.parallel import (
+    JOBS_ENV_VAR,
+    ParallelRunner,
+    RunTask,
+    resolve_jobs,
+    run_tasks,
+)
+from repro.sim.replication import replicate, run_replicated
+from repro.traffic import Arrival
+
+
+def square(x):
+    return x * x
+
+
+def whoami(x):
+    return (x, os.getpid())
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_env_var_honoured(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "3")
+        assert resolve_jobs(None) == 3
+
+    def test_env_var_auto(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "auto")
+        assert resolve_jobs(None) >= 1
+
+    def test_env_var_garbage_is_serial(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "lots")
+        assert resolve_jobs(None) == 1
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "7")
+        assert resolve_jobs(2) == 2
+
+    def test_auto_values(self):
+        cpus = os.cpu_count() or 1
+        assert resolve_jobs("auto") == cpus
+        assert resolve_jobs(0) == cpus
+        assert resolve_jobs(-1) == cpus
+
+    def test_clamped_to_one(self):
+        assert resolve_jobs(-5) == 1
+        assert resolve_jobs("4") == 4
+
+
+class TestParallelRunner:
+    def tasks(self, values):
+        return [RunTask(square, (v,)) for v in values]
+
+    def test_serial_path(self):
+        runner = ParallelRunner(jobs=1)
+        assert runner.map(self.tasks(range(5))) == [0, 1, 4, 9, 16]
+        assert not runner.used_parallel
+        assert runner.fallback_reason == "jobs<=1"
+
+    def test_parallel_preserves_order(self):
+        runner = ParallelRunner(jobs=4)
+        assert runner.map(self.tasks(range(8))) == [v * v for v in range(8)]
+        assert runner.used_parallel or runner.fallback_reason
+
+    def test_parallel_uses_other_processes(self):
+        runner = ParallelRunner(jobs=2)
+        results = runner.map([RunTask(whoami, (i,)) for i in range(4)])
+        assert [value for value, _pid in results] == [0, 1, 2, 3]
+        if runner.used_parallel:
+            assert any(pid != os.getpid() for _value, pid in results)
+
+    def test_unpicklable_falls_back_to_serial(self):
+        offset = 10
+        runner = ParallelRunner(jobs=4)
+        results = runner.map(
+            [RunTask(lambda v=v: v + offset) for v in range(3)]
+        )
+        assert results == [10, 11, 12]
+        assert not runner.used_parallel
+        assert "unpicklable" in runner.fallback_reason
+
+    def test_single_task_stays_serial(self):
+        runner = ParallelRunner(jobs=4)
+        assert runner.map(self.tasks([3])) == [9]
+        assert not runner.used_parallel
+
+    def test_empty(self):
+        assert ParallelRunner(jobs=4).map([]) == []
+
+    def test_exceptions_propagate(self):
+        with pytest.raises(ZeroDivisionError):
+            run_tasks([RunTask(square, (1,)), RunTask(_raise_zero_div, ())],
+                      jobs=2)
+
+    def test_run_tasks_wrapper(self):
+        assert run_tasks(self.tasks([2, 3]), jobs=2) == [4, 9]
+
+    def test_kwargs_and_label(self):
+        task = RunTask(_add, (1,), {"b": 2}, label="sum")
+        assert task.run() == 3
+        assert task.label == "sum"
+
+
+def _raise_zero_div():
+    return 1 // 0
+
+
+def _add(a, b=0):
+    return a + b
+
+
+def summaries(sweep):
+    return {
+        policy: [point.result.summary() for point in points]
+        for policy, points in sweep.items()
+    }
+
+
+class TestParallelDeterminism:
+    """ISSUE satellite: jobs=4 must be bit-identical to jobs=1."""
+
+    ARRIVALS = [
+        Arrival(time=0.0, movement=Movement(Approach.SOUTH, Turn.STRAIGHT),
+                speed=3.0),
+        Arrival(time=0.3, movement=Movement(Approach.EAST, Turn.STRAIGHT),
+                speed=3.0),
+        Arrival(time=0.9, movement=Movement(Approach.NORTH, Turn.RIGHT),
+                speed=3.0),
+    ]
+
+    def test_flow_sweep_bit_identical(self):
+        kwargs = dict(
+            policies=("vt-im", "crossroads"),
+            flow_rates=(0.1, 0.4),
+            n_cars=6,
+            seed=7,
+        )
+        serial = run_flow_sweep(jobs=1, **kwargs)
+        parallel = run_flow_sweep(jobs=4, **kwargs)
+        assert summaries(serial) == summaries(parallel)
+
+    def test_flow_sweep_aim_bit_identical(self):
+        """AIM exercises the tile cache; caches are per-process state
+        and must not leak into the scientific results."""
+        kwargs = dict(policies=("aim",), flow_rates=(0.1, 0.3), n_cars=4,
+                      seed=7)
+        serial = run_flow_sweep(jobs=1, **kwargs)
+        parallel = run_flow_sweep(jobs=4, **kwargs)
+        assert summaries(serial) == summaries(parallel)
+
+    def test_run_replicated_bit_identical(self):
+        serial = run_replicated("crossroads", self.ARRIVALS,
+                                seeds=(1, 2, 3, 4), jobs=1)
+        parallel = run_replicated("crossroads", self.ARRIVALS,
+                                  seeds=(1, 2, 3, 4), jobs=4)
+        assert [r.summary() for r in serial.results] == [
+            r.summary() for r in parallel.results
+        ]
+
+    def test_env_var_drives_flow_sweep(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "2")
+        sweep = run_flow_sweep(policies=("crossroads",), flow_rates=(0.1,),
+                               n_cars=3, seed=7)
+        assert set(sweep) == {"crossroads"}
+        assert len(sweep["crossroads"]) == 1
+
+    def test_replicate_with_lambda_falls_back(self):
+        """Closures cannot cross processes; replicate degrades serially."""
+        rep = replicate(
+            lambda seed: run_flow_sweep_stub(seed), seeds=(1, 2), jobs=4
+        )
+        assert rep.metric("avg_delay_s").n == 2
+
+
+def run_flow_sweep_stub(seed):
+    from repro.sim.world import run_scenario
+
+    return run_scenario(
+        "crossroads", TestParallelDeterminism.ARRIVALS[:2], seed=seed
+    )
+
+
+class TestFlowSweepValidation:
+    def test_empty_flow_rates_rejected(self):
+        with pytest.raises(ValueError, match="flow_rates"):
+            run_flow_sweep(policies=("crossroads",), flow_rates=())
+
+    def test_empty_policies_rejected(self):
+        with pytest.raises(ValueError, match="policies"):
+            run_flow_sweep(policies=(), flow_rates=(0.1,))
+
+    def test_policy_alias_keying_preserved(self):
+        sweep = run_flow_sweep(policies=("vtim",), flow_rates=(0.1,),
+                               n_cars=2, seed=7)
+        # Normalised policy name keys the dict (seed behaviour).
+        assert set(sweep) == {"vt-im"}
