@@ -28,6 +28,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="Poisson flow, cars/lane/second")
     run.add_argument("--cars", type=int, default=20, help="vehicles for --flow")
     run.add_argument("--seed", type=int, default=2017)
+    run.add_argument("--faults", metavar="SPEC", default=None,
+                     help="fault-injection spec, e.g. 'burst,spike', "
+                          "'chaos', 'spike=0.1:0.05:0.4,blackout=40:45' "
+                          "(see repro.faults.FaultConfig.from_spec); "
+                          "runs are replayable: same --seed + same spec "
+                          "=> identical fault trace and metrics")
     run.add_argument("--perf", action="store_true",
                      help="print repro.perf timers/counters after the run")
 
@@ -61,8 +67,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_run(args) -> int:
     from repro.analysis import render_table
+    from repro.faults import FaultConfig
     from repro.sim import run_scenario
+    from repro.sim.world import WorldConfig
     from repro.traffic import PoissonTraffic, scale_model_scenarios
+
+    config = None
+    fault_config = None
+    if args.faults is not None:
+        try:
+            fault_config = FaultConfig.from_spec(args.faults)
+        except ValueError as exc:
+            print(f"bad --faults spec: {exc}", file=sys.stderr)
+            return 2
+        config = WorldConfig(faults=fault_config)
 
     if args.flow is not None:
         arrivals = PoissonTraffic(args.flow, seed=args.seed).generate(args.cars)
@@ -76,8 +94,11 @@ def _cmd_run(args) -> int:
         arrivals = scenario.arrivals
         label = f"scenario {scenario.name}"
 
-    result = run_scenario(args.policy, arrivals, seed=args.seed)
-    print(f"{args.policy} on {label}\n")
+    result = run_scenario(args.policy, arrivals, config=config, seed=args.seed)
+    print(f"{args.policy} on {label}")
+    if fault_config is not None:
+        print(f"faults: {fault_config.describe()} (seed {args.seed})")
+    print()
     rows = [
         [f"V{r.vehicle_id}", r.movement_key, r.spawn_time, r.delay,
          r.requests_sent, r.came_to_stop]
@@ -90,6 +111,25 @@ def _cmd_run(args) -> int:
     print(f"\navg wait {result.average_delay:.3f} s | throughput "
           f"{result.throughput:.3f} | messages {result.messages_sent} | "
           f"IM compute {result.compute_time:.2f} s | safe {result.safe}")
+    if fault_config is not None:
+        injected = ", ".join(
+            f"{kind}={n}" for kind, n in result.fault_injections.items()
+        ) or "none"
+        print(
+            f"robustness: finished {result.n_finished}/{len(result.records)} | "
+            f"stale rejected {result.stale_rejected} | "
+            f"deadline misses {result.deadline_misses} | "
+            f"retries {result.retries} | "
+            f"dup dropped {result.duplicates_dropped} | "
+            f"degraded {result.degraded_time:.2f} s "
+            f"({result.degraded_entries} entries) | "
+            f"invalidations {result.reservation_invalidations} | "
+            f"stale reqs dropped {result.stale_requests_dropped}"
+        )
+        losses = ", ".join(
+            f"{reason}={n}" for reason, n in result.losses_by_reason.items()
+        ) or "none"
+        print(f"injected: {injected}\nlosses by reason: {losses}")
     if args.perf and result.perf:
         print("\nperf counters (repro.perf):")
         for name, value in sorted(result.perf.items()):

@@ -204,3 +204,18 @@ class AimIM(BaseIM):
         if vehicle_id is not None:
             self.reservations.release(vehicle_id)
         self.reservations.purge_before(self.env.now - 5.0)
+
+    def invalidate_quiet(self, now: float) -> int:
+        """Release tile claims of vehicles that never reported an exit.
+
+        A vehicle whose *entire* reservation lies more than
+        ``quiet_timeout`` in the past crossed (or died) without its
+        exit notification ever arriving; its claims are withdrawn so
+        the per-vehicle book stays bounded.  Claims extending into the
+        future are kept — the owner may be silently cruising to its
+        slot, which is the protocol's normal behaviour.
+        """
+        cutoff = self.reservations.slot_of(now - self.config.quiet_timeout)
+        released = self.reservations.release_stale(cutoff)
+        self.stats.invalidations += released
+        return released

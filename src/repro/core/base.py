@@ -70,6 +70,12 @@ class IMConfig:
     #: time-sensitive interface can express one; the plain VT interface
     #: cannot).  Must match the vehicles' ``AgentConfig.arrive_floor``.
     v_arrive_floor: float = 1.2
+    #: Grace period before the IM invalidates the reservation of a
+    #: vehicle that should long have cleared the box but was never
+    #: heard from again (lost exit notification, radio-dark window,
+    #: crashed agent).  Swept by the world's 1 Hz watchdog via
+    #: :meth:`BaseIM.invalidate_quiet`.
+    quiet_timeout: float = 5.0
     address: str = "IM"
 
     def __post_init__(self):
@@ -79,6 +85,8 @@ class IMConfig:
             raise ValueError("base_buffer must be non-negative")
         if self.v_max <= 0 or self.v_min <= 0 or self.v_min > self.v_max:
             raise ValueError("need 0 < v_min <= v_max")
+        if self.quiet_timeout <= 0:
+            raise ValueError("quiet_timeout must be positive")
 
 
 @dataclass
@@ -91,6 +99,14 @@ class IMStats:
     rejects: int = 0
     exits: int = 0
     peak_queue: int = 0
+    #: Reservations withdrawn by the quiet-vehicle watchdog (stale
+    #: bookings whose owner was never heard from again).
+    invalidations: int = 0
+    #: Out-of-order (reordered / long-delayed) requests dropped by the
+    #: receive loop's per-sender monotonic sequence guard.  Processing
+    #: one would reschedule the vehicle from stale state and release
+    #: the reservation it is committed to — a collision hazard.
+    stale_requests_dropped: int = 0
     #: Per-request service times, seconds (for WC-CD analysis).
     service_times: list = field(default_factory=list)
 
@@ -138,6 +154,12 @@ class BaseIM:
         #: cancels older than the grant are stale and must be ignored
         #: (a cancel can race a newer request through the compute queue).
         self._last_grant_seq: dict = {}
+        #: Highest request seq seen per sender.  Per-sender seqs are
+        #: monotonic in *send* order, so anything at or below this mark
+        #: arriving later is a reordered or duplicated stale request;
+        #: acting on it would replace the sender's live reservation with
+        #: one planned from out-of-date state (see IMStats counter).
+        self._last_request_seq: dict = {}
         env.process(self._receive_loop())
         env.process(self._compute_worker())
 
@@ -170,6 +192,19 @@ class BaseIM:
             return
         self.handle_exit(message)  # same cleanup for every policy here
 
+    def invalidate_quiet(self, now: float) -> int:
+        """Withdraw reservations of vehicles gone quiet (subclass hook).
+
+        Called by the world's watchdog process roughly once per
+        simulated second.  A vehicle whose reservation should long have
+        cleared the box (``config.quiet_timeout`` past its clear time)
+        but never sent an exit notification — lost message, blackout
+        window, degraded safe-stop far from the line — must not block
+        cross traffic forever.  Returns the number of reservations
+        withdrawn; implementations add it to ``stats.invalidations``.
+        """
+        return 0
+
     # -- processes -------------------------------------------------------------
     def _receive_loop(self):
         while True:
@@ -188,6 +223,15 @@ class BaseIM:
                 )
             elif isinstance(message, (CrossingRequest, AimRequest)):
                 self.stats.crossing_requests += 1
+                if message.seq <= self._last_request_seq.get(message.sender, -1):
+                    # Reordered or long-delayed stale request: the
+                    # sender has already issued (and may be driving on
+                    # the grant of) a newer one.  Rescheduling from this
+                    # out-of-date state would release the live
+                    # reservation and hand its window to cross traffic.
+                    self.stats.stale_requests_dropped += 1
+                    continue
+                self._last_request_seq[message.sender] = message.seq
                 if message.sender not in self._pending:
                     self._work_queue.put_nowait(message.sender)
                 self._pending[message.sender] = message

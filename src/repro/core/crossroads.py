@@ -126,3 +126,10 @@ class CrossroadsIM(BaseIM):
         if vehicle_id is not None:
             self.scheduler.release(vehicle_id)
         self.scheduler.prune(self.env.now)
+
+    def invalidate_quiet(self, now: float) -> int:
+        """Watchdog sweep: withdraw bookings of vehicles gone quiet
+        (same semantics as :meth:`VtimIM.invalidate_quiet`)."""
+        dropped = self.scheduler.prune(now, grace=self.config.quiet_timeout)
+        self.stats.invalidations += dropped
+        return dropped

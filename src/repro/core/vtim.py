@@ -130,6 +130,17 @@ class VtimIM(BaseIM):
             self.scheduler.release(vehicle_id)
         self.scheduler.prune(self.env.now)
 
+    def invalidate_quiet(self, now: float) -> int:
+        """Drop bookings whose owner should long have cleared the box.
+
+        In fault-free runs every exit notification arrives and the book
+        is already clean; under lossy/blackout regimes this watchdog
+        sweep is what unblocks cross traffic.
+        """
+        dropped = self.scheduler.prune(now, grace=self.config.quiet_timeout)
+        self.stats.invalidations += dropped
+        return dropped
+
 
 def _vehicle_id_from_address(address: str) -> Optional[int]:
     """Parse the numeric id out of a "V<id>" vehicle address."""

@@ -1,0 +1,158 @@
+"""The per-channel fault decision engine.
+
+One :class:`FaultInjector` is consulted by the channel for every
+transmission.  It owns a **private** RNG stream (never the channel's):
+a zeroed :class:`~repro.faults.schedule.FaultConfig` therefore consumes
+no channel randomness and the simulation stays bit-identical to the
+fault-free path — the property the differential regression test pins.
+
+The injector also keeps an append-only event trace ``(time, kind,
+seq)`` of every fault it injected.  Because the trace is a pure
+function of ``(config, seed, traffic)``, two runs with the same seed
+and schedule produce the identical trace — which is what makes chaos
+runs *replayable* (a failing property-test seed can be re-run and
+re-observed exactly).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.faults.models import (
+    DelaySpikes,
+    Duplication,
+    GilbertElliottLoss,
+    ReorderJitter,
+)
+from repro.faults.schedule import FaultConfig
+
+__all__ = ["FaultInjector", "TransmitVerdict"]
+
+#: Cap on the retained event trace (counters keep counting past it).
+_MAX_TRACE = 200_000
+
+
+class TransmitVerdict:
+    """Outcome of one transmission's fault evaluation."""
+
+    __slots__ = ("drop_reason", "extra_delay", "duplicate_delay")
+
+    def __init__(
+        self,
+        drop_reason: Optional[str] = None,
+        extra_delay: float = 0.0,
+        duplicate_delay: Optional[float] = None,
+    ):
+        #: None = deliver; otherwise the loss reason ("burst"/"blackout").
+        self.drop_reason = drop_reason
+        #: Seconds added on top of the channel's sampled delay.
+        self.extra_delay = extra_delay
+        #: Extra delay of an injected duplicate copy (None = no copy).
+        self.duplicate_delay = duplicate_delay
+
+
+class FaultInjector:
+    """Evaluates the fault models for each message, deterministically.
+
+    Parameters
+    ----------
+    config:
+        The fault configuration (may be null; then the injector never
+        alters a message and never draws randomness).
+    rng:
+        Private generator.  Must not be shared with the channel.
+    im_address:
+        Address of the IM radio, used to classify message direction
+        for direction-filtered fault windows.
+    """
+
+    def __init__(
+        self,
+        config: FaultConfig,
+        rng: Optional[np.random.Generator] = None,
+        im_address: str = "IM",
+    ):
+        self.config = config
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.im_address = im_address
+        self.ge = GilbertElliottLoss(
+            config.ge_p_good_bad,
+            config.ge_p_bad_good,
+            config.ge_loss_good,
+            config.ge_loss_bad,
+        )
+        self.spikes = DelaySpikes(
+            config.spike_prob, config.spike_low, config.spike_high
+        )
+        self.dup = Duplication(config.dup_prob, config.dup_jitter)
+        self.reorder = ReorderJitter(
+            config.reorder_prob, config.reorder_jitter
+        )
+        self.schedule = config.schedule
+        #: Injected-fault counters by kind.
+        self.counts: Counter = Counter()
+        #: Append-only ``(time, kind, seq)`` trace (capped; see module).
+        self.events: List[Tuple[float, str, int]] = []
+
+    # -- bookkeeping -------------------------------------------------------
+    def _note(self, now: float, kind: str, seq: int) -> None:
+        self.counts[kind] += 1
+        if len(self.events) < _MAX_TRACE:
+            self.events.append((now, kind, seq))
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict copy of the injected-fault counters."""
+        return {kind: int(n) for kind, n in sorted(self.counts.items())}
+
+    # -- the per-transmission hook ----------------------------------------
+    def on_transmit(self, message, now: float) -> TransmitVerdict:
+        """Evaluate every fault model for one message.
+
+        The evaluation order (burst loss, blackout, spike, duplication,
+        reordering) is fixed, and each model draws from the private RNG
+        only while enabled, so traces replay exactly for a given
+        ``(config, seed)``.
+        """
+        to_im = message.receiver == self.im_address
+        verdict = TransmitVerdict()
+        # 1. Correlated burst loss (state advances even for messages a
+        #    later rule would drop — the channel state does not care).
+        if self.ge.enabled or self.schedule.active(now, "burst", to_im):
+            if self.schedule.active(now, "burst", to_im):
+                self.ge.force_bad()
+            if self.ge.step(self.rng):
+                self._note(now, "burst_loss", message.seq)
+                verdict.drop_reason = "burst"
+                return verdict
+        # 2. Scripted radio-dark windows.
+        if self.schedule.active(now, "blackout", to_im):
+            self._note(now, "blackout_loss", message.seq)
+            verdict.drop_reason = "blackout"
+            return verdict
+        # 3. Delay spikes past the assumed worst case.
+        if self.spikes.enabled or self.schedule.active(now, "spike", to_im):
+            forced = self.schedule.active(now, "spike", to_im)
+            extra = self.spikes.sample(self.rng, forced=forced)
+            if forced and extra <= 0.0:
+                # A spike window with a zeroed spike model still spikes:
+                # use the window as "at least 2x the preset low bound".
+                extra = float(self.rng.uniform(0.05, 0.30))
+            if extra > 0.0:
+                self._note(now, "delay_spike", message.seq)
+                verdict.extra_delay += extra
+        # 4. Duplication.
+        if self.dup.enabled:
+            dup_delay = self.dup.sample(self.rng)
+            if dup_delay >= 0.0:
+                self._note(now, "duplicate", message.seq)
+                verdict.duplicate_delay = dup_delay
+        # 5. Reordering jitter (small, sub-bound).
+        if self.reorder.enabled:
+            jitter = self.reorder.sample(self.rng)
+            if jitter > 0.0:
+                self._note(now, "reorder", message.seq)
+                verdict.extra_delay += jitter
+        return verdict

@@ -1,0 +1,177 @@
+"""Per-message stochastic fault processes.
+
+Each model is a small, explicitly-seeded state machine with a
+``sample``-style method the :class:`~repro.faults.injector.FaultInjector`
+calls once per transmission.  All randomness comes from the generator
+passed in by the caller (the injector's private stream), never from the
+channel's, so enabling a model with zero probabilities perturbs nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "DelaySpikes",
+    "Duplication",
+    "GilbertElliottLoss",
+    "ReorderJitter",
+]
+
+
+class GilbertElliottLoss:
+    """Two-state (good/bad) Markov loss process — correlated bursts.
+
+    The classic Gilbert–Elliott channel: each transmission first makes
+    a state transition (good→bad with ``p_good_bad``, bad→good with
+    ``p_bad_good``), then is lost with the state's loss probability.
+    Mean burst length is ``1 / p_bad_good`` messages; i.i.d. loss is the
+    degenerate case ``p_good_bad = 1, p_bad_good = 1``.
+
+    Parameters
+    ----------
+    p_good_bad, p_bad_good:
+        Per-message state-transition probabilities.
+    loss_good, loss_bad:
+        Loss probability while in each state.
+    """
+
+    def __init__(
+        self,
+        p_good_bad: float,
+        p_bad_good: float,
+        loss_good: float = 0.0,
+        loss_bad: float = 1.0,
+    ):
+        for name, p in (
+            ("p_good_bad", p_good_bad),
+            ("p_bad_good", p_bad_good),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        self.p_good_bad = p_good_bad
+        self.p_bad_good = p_bad_good
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.bad = False
+
+    @property
+    def enabled(self) -> bool:
+        """False when the process can never lose a message."""
+        return (self.loss_good > 0.0) or (
+            self.loss_bad > 0.0 and self.p_good_bad > 0.0
+        )
+
+    def force_bad(self) -> None:
+        """Clamp into the bad state (used by scripted burst windows)."""
+        self.bad = True
+
+    def step(self, rng: np.random.Generator) -> bool:
+        """Advance one message; return True when it is lost.
+
+        Draws exactly two uniforms per call (transition, loss) so the
+        consumed-randomness count is independent of the outcome —
+        keeping event traces replayable across schedule variations.
+        """
+        transition = rng.random()
+        if self.bad:
+            if transition < self.p_bad_good:
+                self.bad = False
+        else:
+            if transition < self.p_good_bad:
+                self.bad = True
+        loss_p = self.loss_bad if self.bad else self.loss_good
+        return rng.random() < loss_p
+
+
+@dataclass
+class DelaySpikes:
+    """Occasional extra delay *beyond* the channel's assumed bound.
+
+    With probability ``prob`` a message receives an additional delay
+    uniform in ``[low, high]`` seconds on top of whatever the channel's
+    :class:`~repro.network.delay.DelayModel` sampled.  Because the
+    delay model clips at ``worst_case``, any positive spike pushes the
+    total past the bound the protocols assume — the regime the WC-RTD
+    math does *not* cover.
+    """
+
+    prob: float
+    low: float
+    high: float
+
+    def __post_init__(self):
+        if not 0.0 <= self.prob <= 1.0:
+            raise ValueError("prob must be in [0, 1]")
+        if not 0.0 <= self.low <= self.high:
+            raise ValueError("need 0 <= low <= high")
+
+    @property
+    def enabled(self) -> bool:
+        return self.prob > 0.0 and self.high > 0.0
+
+    def sample(self, rng: np.random.Generator, forced: bool = False) -> float:
+        """Extra delay for one message (0.0 when no spike fires)."""
+        if forced or rng.random() < self.prob:
+            return float(rng.uniform(self.low, self.high))
+        return 0.0
+
+
+@dataclass
+class Duplication:
+    """Per-message duplication (e.g. MAC-level retransmit after a lost
+    ack): with probability ``prob`` a second copy of the message is
+    delivered ``jitter``-uniform seconds after the first."""
+
+    prob: float
+    jitter: float = 0.005
+
+    def __post_init__(self):
+        if not 0.0 <= self.prob <= 1.0:
+            raise ValueError("prob must be in [0, 1]")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+
+    @property
+    def enabled(self) -> bool:
+        return self.prob > 0.0
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Extra delay of the duplicate copy, or a negative sentinel
+        when no duplicate is injected."""
+        if rng.random() < self.prob:
+            return float(rng.uniform(0.0, self.jitter))
+        return -1.0
+
+
+@dataclass
+class ReorderJitter:
+    """Sub-bound jitter that swaps adjacent deliveries.
+
+    With probability ``prob`` a message receives extra delay uniform in
+    ``[0, max_jitter]`` — small enough to stay near the bound but large
+    enough to overtake a later message, breaking any implicit FIFO
+    assumption in the protocols.
+    """
+
+    prob: float
+    max_jitter: float = 0.005
+
+    def __post_init__(self):
+        if not 0.0 <= self.prob <= 1.0:
+            raise ValueError("prob must be in [0, 1]")
+        if self.max_jitter < 0:
+            raise ValueError("max_jitter must be non-negative")
+
+    @property
+    def enabled(self) -> bool:
+        return self.prob > 0.0 and self.max_jitter > 0.0
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if rng.random() < self.prob:
+            return float(rng.uniform(0.0, self.max_jitter))
+        return 0.0

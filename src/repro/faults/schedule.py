@@ -1,0 +1,286 @@
+"""Scripted fault windows and the top-level fault configuration.
+
+A :class:`FaultWindow` activates one fault kind over a simulated-time
+interval ("IM radio dark from t=40 to t=45"); a :class:`FaultSchedule`
+composes windows.  :class:`FaultConfig` bundles the stochastic model
+parameters with a schedule, knows when it is a no-op (:meth:`is_null`),
+and parses the CLI's ``run --faults`` spec strings.
+
+Everything here is frozen/hashable and picklable: fault configurations
+ride inside :class:`~repro.sim.world.WorldConfig` into the parallel
+runner's worker processes, and determinism across ``--jobs`` requires
+the config to be pure data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "FaultConfig",
+    "FaultSchedule",
+    "FaultWindow",
+    "random_fault_config",
+]
+
+#: Window kinds and what they force while active.
+WINDOW_KINDS = (
+    "blackout",  # drop every matching message
+    "burst",     # clamp the Gilbert–Elliott process into its bad state
+    "spike",     # every matching message gets a delay spike
+)
+
+#: Traffic directions a window can select.
+DIRECTIONS = ("both", "to_im", "from_im")
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One scripted fault interval ``[start, end)``."""
+
+    start: float
+    end: float
+    kind: str = "blackout"
+    direction: str = "both"
+
+    def __post_init__(self):
+        if self.end <= self.start:
+            raise ValueError("window end must exceed start")
+        if self.kind not in WINDOW_KINDS:
+            raise ValueError(f"kind must be one of {WINDOW_KINDS}")
+        if self.direction not in DIRECTIONS:
+            raise ValueError(f"direction must be one of {DIRECTIONS}")
+
+    def active(self, now: float, to_im: bool) -> bool:
+        """True when ``now`` falls in the window and the direction
+        (``to_im`` = message addressed to the IM) matches."""
+        if not self.start <= now < self.end:
+            return False
+        if self.direction == "both":
+            return True
+        return self.direction == ("to_im" if to_im else "from_im")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable composition of :class:`FaultWindow` s."""
+
+    windows: Tuple[FaultWindow, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "windows", tuple(self.windows))
+
+    def active(self, now: float, kind: str, to_im: bool) -> bool:
+        """True when any ``kind`` window covers ``(now, direction)``."""
+        return any(
+            w.kind == kind and w.active(now, to_im) for w in self.windows
+        )
+
+    @property
+    def horizon(self) -> float:
+        """Latest window end (0.0 for an empty schedule)."""
+        return max((w.end for w in self.windows), default=0.0)
+
+    def __bool__(self) -> bool:
+        return bool(self.windows)
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """All fault-injection knobs, zeroed by default (a no-op).
+
+    Attributes
+    ----------
+    ge_p_good_bad, ge_p_bad_good, ge_loss_good, ge_loss_bad:
+        Gilbert–Elliott burst-loss parameters (see
+        :class:`~repro.faults.models.GilbertElliottLoss`).
+    spike_prob, spike_low, spike_high:
+        Delay spikes *beyond* the channel's worst-case bound, seconds.
+    dup_prob, dup_jitter:
+        Message duplication probability and the duplicate's extra delay.
+    reorder_prob, reorder_jitter:
+        Sub-bound reordering jitter.
+    schedule:
+        Scripted windows (blackouts, forced bursts, forced spikes).
+    """
+
+    ge_p_good_bad: float = 0.0
+    ge_p_bad_good: float = 0.25
+    ge_loss_good: float = 0.0
+    ge_loss_bad: float = 0.0
+    spike_prob: float = 0.0
+    spike_low: float = 0.0
+    spike_high: float = 0.0
+    dup_prob: float = 0.0
+    dup_jitter: float = 0.005
+    reorder_prob: float = 0.0
+    reorder_jitter: float = 0.005
+    schedule: FaultSchedule = field(default_factory=FaultSchedule)
+
+    def is_null(self) -> bool:
+        """True when this config can never alter a single message."""
+        burst = self.ge_loss_good > 0 or (
+            self.ge_loss_bad > 0 and self.ge_p_good_bad > 0
+        )
+        spikes = self.spike_prob > 0 and self.spike_high > 0
+        dups = self.dup_prob > 0
+        reorder = self.reorder_prob > 0 and self.reorder_jitter > 0
+        return not (burst or spikes or dups or reorder or bool(self.schedule))
+
+    # -- presets & spec parsing --------------------------------------------
+    #: Named presets selectable from the CLI (and used by tests).
+    PRESETS = {
+        "burst": dict(ge_p_good_bad=0.02, ge_p_bad_good=0.25, ge_loss_bad=0.9),
+        "spike": dict(spike_prob=0.05, spike_low=0.05, spike_high=0.30),
+        "dup": dict(dup_prob=0.05),
+        "reorder": dict(reorder_prob=0.05),
+    }
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultConfig":
+        """Parse a ``run --faults`` spec string.
+
+        Grammar (comma-separated tokens)::
+
+            burst[=p_gb[:p_bg[:loss_bad]]]
+            spike[=prob[:low[:high]]]
+            dup[=prob[:jitter]]
+            reorder[=prob[:jitter]]
+            blackout=start:end[:direction]     # direction: both|to_im|from_im
+            chaos                               # burst + spike + dup + reorder
+
+        Examples: ``"burst,spike"``, ``"burst=0.05"``,
+        ``"spike=0.1:0.05:0.4,blackout=40:45"``, ``"chaos"``.
+        """
+        config = cls()
+        windows = []
+        for token in spec.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            name, _, value = token.partition("=")
+            name = name.strip().lower()
+            parts = [p for p in value.split(":") if p != ""] if value else []
+            if name == "chaos":
+                for preset in ("burst", "spike", "dup", "reorder"):
+                    config = replace(config, **cls.PRESETS[preset])
+            elif name == "burst":
+                kwargs = dict(cls.PRESETS["burst"])
+                keys = ("ge_p_good_bad", "ge_p_bad_good", "ge_loss_bad")
+                for key, part in zip(keys, parts):
+                    kwargs[key] = float(part)
+                config = replace(config, **kwargs)
+            elif name == "spike":
+                kwargs = dict(cls.PRESETS["spike"])
+                keys = ("spike_prob", "spike_low", "spike_high")
+                for key, part in zip(keys, parts):
+                    kwargs[key] = float(part)
+                config = replace(config, **kwargs)
+            elif name == "dup":
+                kwargs = dict(cls.PRESETS["dup"])
+                keys = ("dup_prob", "dup_jitter")
+                for key, part in zip(keys, parts):
+                    kwargs[key] = float(part)
+                config = replace(config, **kwargs)
+            elif name == "reorder":
+                kwargs = dict(cls.PRESETS["reorder"])
+                keys = ("reorder_prob", "reorder_jitter")
+                for key, part in zip(keys, parts):
+                    kwargs[key] = float(part)
+                config = replace(config, **kwargs)
+            elif name in WINDOW_KINDS:
+                if len(parts) < 2:
+                    raise ValueError(
+                        f"{name} window needs start:end (got {token!r})"
+                    )
+                direction = parts[2] if len(parts) > 2 else "both"
+                windows.append(
+                    FaultWindow(
+                        start=float(parts[0]),
+                        end=float(parts[1]),
+                        kind=name,
+                        direction=direction,
+                    )
+                )
+            else:
+                known = sorted(
+                    set(cls.PRESETS) | set(WINDOW_KINDS) | {"chaos"}
+                )
+                raise ValueError(
+                    f"unknown fault token {name!r}; known: {', '.join(known)}"
+                )
+        if windows:
+            config = replace(
+                config,
+                schedule=FaultSchedule(
+                    tuple(config.schedule.windows) + tuple(windows)
+                ),
+            )
+        return config
+
+    def describe(self) -> str:
+        """Short human-readable summary of the active models."""
+        if self.is_null():
+            return "none"
+        bits = []
+        if self.ge_loss_good > 0 or (self.ge_loss_bad > 0 and self.ge_p_good_bad > 0):
+            bits.append(
+                f"burst(p_gb={self.ge_p_good_bad}, p_bg={self.ge_p_bad_good}, "
+                f"loss_bad={self.ge_loss_bad})"
+            )
+        if self.spike_prob > 0 and self.spike_high > 0:
+            bits.append(
+                f"spike(p={self.spike_prob}, "
+                f"[{self.spike_low}, {self.spike_high}]s)"
+            )
+        if self.dup_prob > 0:
+            bits.append(f"dup(p={self.dup_prob})")
+        if self.reorder_prob > 0 and self.reorder_jitter > 0:
+            bits.append(f"reorder(p={self.reorder_prob})")
+        for w in self.schedule.windows:
+            bits.append(f"{w.kind}[{w.start}, {w.end})/{w.direction}")
+        return ", ".join(bits)
+
+
+def random_fault_config(
+    rng: np.random.Generator,
+    horizon: float = 30.0,
+    allow_blackout: bool = True,
+) -> FaultConfig:
+    """Draw a moderate random fault configuration (for property tests).
+
+    The draw always enables burst loss and out-of-bound delay spikes
+    (the two regimes the safety argument must survive), usually adds
+    duplication/reordering, and sometimes scripts a short blackout
+    window inside ``[0, horizon]``.  Parameters are kept inside ranges
+    where runs still terminate: loss and blackouts stall progress but
+    the retransmit clause must eventually win.
+    """
+    windows = []
+    if allow_blackout and rng.random() < 0.5:
+        start = float(rng.uniform(0.0, horizon * 0.6))
+        length = float(rng.uniform(0.5, 3.0))
+        direction = ("both", "to_im", "from_im")[int(rng.integers(3))]
+        windows.append(
+            FaultWindow(start, start + length, "blackout", direction)
+        )
+    return FaultConfig(
+        ge_p_good_bad=float(rng.uniform(0.005, 0.06)),
+        ge_p_bad_good=float(rng.uniform(0.15, 0.5)),
+        ge_loss_bad=float(rng.uniform(0.5, 1.0)),
+        spike_prob=float(rng.uniform(0.01, 0.10)),
+        spike_low=0.02,
+        spike_high=float(rng.uniform(0.1, 0.5)),
+        dup_prob=float(rng.uniform(0.0, 0.08)),
+        reorder_prob=float(rng.uniform(0.0, 0.08)),
+        schedule=FaultSchedule(tuple(windows)),
+    )
+
+
+# Defensive: keep the dataclass field list in sync with from_spec keys.
+_FIELD_NAMES = {f.name for f in fields(FaultConfig)}
+for _preset in FaultConfig.PRESETS.values():
+    assert set(_preset) <= _FIELD_NAMES, "preset key drifted from FaultConfig"

@@ -361,6 +361,27 @@ class TileReservations:
                         del self._by_slot[cell[1]]
         return len(owned)
 
+    def release_stale(self, cutoff_slot: int) -> int:
+        """Release every vehicle whose *latest* claim predates
+        ``cutoff_slot``.
+
+        Such a vehicle's entire reservation lies in the past: it should
+        long have crossed and exited, yet its claims are still on the
+        book — the exit notification was lost or the vehicle went
+        radio-dark.  Returns the number of vehicles released (the
+        quiet-vehicle invalidation count).  Vehicles holding *any*
+        future claim are left alone: silence while cruising toward a
+        booked ToA is normal.
+        """
+        stale = [
+            vid
+            for vid, cells in self._by_vehicle.items()
+            if cells and max(slot for _, slot in cells) < cutoff_slot
+        ]
+        for vid in stale:
+            self.release(vid)
+        return len(stale)
+
     def purge_before(self, t: float) -> int:
         """Drop claims in slots strictly before ``t`` (garbage collection).
 

@@ -8,14 +8,27 @@ after a delay drawn from the channel's :class:`~repro.network.delay.DelayModel`
 inbox store.
 
 The channel also keeps :class:`NetworkStats` — message and byte counters
-per message type — which the Ch 7.2 overhead comparison reads.
+per message type — which the Ch 7.2 overhead comparison reads.  Losses
+are attributed per reason (``by_reason``): random ``channel`` loss,
+injected ``burst``/``blackout`` faults, and ``no_route`` for messages
+addressed to a detached or never-attached radio — previously all three
+were conflated into one counter.
+
+A :class:`~repro.faults.FaultInjector` may be attached to overlay
+correlated bursts, out-of-bound delay spikes, duplication and
+reordering on top of the base loss/delay models.  The injector draws
+from its *own* RNG stream, so a null injector leaves the channel's
+random sequence — and therefore the whole simulation — bit-identical
+to the fault-free path.  Radios de-duplicate deliveries by sequence
+number (a bounded recent-seq window), so injected duplicates are
+counted and dropped instead of re-entering the protocol machines.
 """
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Set
 
 import numpy as np
 
@@ -35,6 +48,15 @@ class NetworkStats:
     lost: int = 0
     bytes_sent: int = 0
     by_type: Counter = field(default_factory=Counter)
+    #: Loss/drop attribution: "channel" (i.i.d. loss), "burst"
+    #: (Gilbert–Elliott), "blackout" (scripted window), "no_route"
+    #: (detached/unknown receiver), "duplicate" (receiver-side dedup).
+    by_reason: Counter = field(default_factory=Counter)
+    #: Extra copies injected by the fault layer.
+    duplicates_injected: int = 0
+    #: Copies dropped by receiver-side dedup (not counted in ``lost``:
+    #: the original was delivered).
+    duplicates_dropped: int = 0
 
     def record_send(self, message: Message) -> None:
         self.sent += 1
@@ -44,17 +66,37 @@ class NetworkStats:
     def record_delivery(self) -> None:
         self.delivered += 1
 
-    def record_loss(self) -> None:
+    def record_loss(self, reason: str = "channel") -> None:
         self.lost += 1
+        self.by_reason[reason] += 1
+
+    def record_duplicate_injected(self) -> None:
+        self.duplicates_injected += 1
+
+    def record_duplicate_dropped(self) -> None:
+        self.duplicates_dropped += 1
+        self.by_reason["duplicate"] += 1
 
 
 class Radio:
-    """A network endpoint with an address and a FIFO inbox."""
+    """A network endpoint with an address and a FIFO inbox.
+
+    The radio remembers the last :attr:`DEDUP_WINDOW` delivered
+    sequence numbers and refuses re-deliveries — the receiver-side
+    half of duplicate suppression (fault-injected copies carry the
+    *same* seq; protocol retransmissions are new messages with new
+    seqs and pass through untouched).
+    """
+
+    #: Recent-seq window size for duplicate suppression.
+    DEDUP_WINDOW = 1024
 
     def __init__(self, channel: "Channel", address: str):
         self.channel = channel
         self.address = address
         self.inbox: Store = Store(channel.env)
+        self._seen: Set[int] = set()
+        self._seen_order: deque = deque()
 
     def send(self, message: Message) -> None:
         """Transmit ``message`` (fire and forget, like the testbed)."""
@@ -64,6 +106,18 @@ class Radio:
                 f"{message.sender!r}"
             )
         self.channel.transmit(message)
+
+    def accept(self, message: Message) -> bool:
+        """Deliver into the inbox unless ``message.seq`` was already
+        seen; returns False for a suppressed duplicate."""
+        if message.seq in self._seen:
+            return False
+        self._seen.add(message.seq)
+        self._seen_order.append(message.seq)
+        if len(self._seen_order) > self.DEDUP_WINDOW:
+            self._seen.discard(self._seen_order.popleft())
+        self.inbox.put_nowait(message)
+        return True
 
     def receive(self) -> Event:
         """DES event yielding the next delivered message."""
@@ -90,6 +144,10 @@ class Channel:
         Independent per-message loss probability in ``[0, 1)``.
     rng:
         Random generator for delay/loss draws.
+    faults:
+        Optional :class:`~repro.faults.FaultInjector`.  Consulted per
+        transmission; owns its own RNG, so a null injector changes
+        nothing about the channel's random sequence.
     """
 
     def __init__(
@@ -98,6 +156,7 @@ class Channel:
         delay_model: Optional[DelayModel] = None,
         loss_probability: float = 0.0,
         rng: Optional[np.random.Generator] = None,
+        faults: Optional["FaultInjector"] = None,
     ):
         if not 0.0 <= loss_probability < 1.0:
             raise ValueError("loss_probability must be in [0, 1)")
@@ -105,6 +164,7 @@ class Channel:
         self.delay_model = delay_model if delay_model is not None else ConstantDelay(0.0)
         self.loss_probability = loss_probability
         self.rng = rng if rng is not None else np.random.default_rng()
+        self.faults = faults
         self.stats = NetworkStats()
         self._radios: Dict[str, Radio] = {}
 
@@ -117,23 +177,40 @@ class Channel:
         return radio
 
     def detach(self, address: str) -> None:
-        """Remove a radio; in-flight messages to it are dropped."""
+        """Remove a radio; in-flight messages to it are dropped and
+        attributed to ``no_route`` in :attr:`NetworkStats.by_reason`."""
         self._radios.pop(address, None)
 
     def transmit(self, message: Message) -> None:
         """Schedule delivery of ``message`` to its receiver."""
         self.stats.record_send(message)
+        extra_delay = 0.0
+        duplicate_delay = None
+        if self.faults is not None:
+            verdict = self.faults.on_transmit(message, self.env.now)
+            if verdict.drop_reason is not None:
+                self.stats.record_loss(verdict.drop_reason)
+                return
+            extra_delay = verdict.extra_delay
+            duplicate_delay = verdict.duplicate_delay
         if self.loss_probability and self.rng.random() < self.loss_probability:
-            self.stats.record_loss()
+            self.stats.record_loss("channel")
             return
-        delay = self.delay_model.sample(self.rng)
+        delay = self.delay_model.sample(self.rng) + extra_delay
         self.env.process(self._deliver(message, delay))
+        if duplicate_delay is not None:
+            self.stats.record_duplicate_injected()
+            self.env.process(
+                self._deliver(message, delay + duplicate_delay, duplicate=True)
+            )
 
-    def _deliver(self, message: Message, delay: float):
+    def _deliver(self, message: Message, delay: float, duplicate: bool = False):
         yield self.env.timeout(delay)
         radio = self._radios.get(message.receiver)
         if radio is None:
-            self.stats.record_loss()
+            self.stats.record_loss("no_route")
             return
-        radio.inbox.put_nowait(message)
-        self.stats.record_delivery()
+        if radio.accept(message):
+            self.stats.record_delivery()
+        else:
+            self.stats.record_duplicate_dropped()

@@ -41,6 +41,18 @@ class SimResult:
     buffer_violations: int = 0
     min_separation: float = float("inf")
     worst_service_time: float = 0.0
+    #: Receiver-side suppressed copies (fault-injected duplicates).
+    duplicates_dropped: int = 0
+    #: Channel loss/drop attribution (``NetworkStats.by_reason``).
+    losses_by_reason: Dict[str, int] = field(default_factory=dict)
+    #: Injected-fault counters by kind (``FaultInjector.snapshot()``);
+    #: empty for fault-free runs.
+    fault_injections: Dict[str, int] = field(default_factory=dict)
+    #: Reservations withdrawn by the IM's quiet-vehicle watchdog.
+    reservation_invalidations: int = 0
+    #: Reordered / long-delayed requests dropped by the IM's per-sender
+    #: monotonic sequence guard (see ``IMStats.stale_requests_dropped``).
+    stale_requests_dropped: int = 0
     #: Flat :meth:`repro.perf.PerfCounters.snapshot` of the run
     #: (wall-clock timers + hot-path counters).  Deliberately *not*
     #: part of :meth:`summary`: wall time varies run to run, while the
@@ -118,6 +130,40 @@ class SimResult:
         """True when no ground-truth body overlap ever occurred."""
         return self.collisions == 0
 
+    # -- robustness aggregates ---------------------------------------------
+    @property
+    def stale_rejected(self) -> int:
+        """Commands refused because their deadline had already passed."""
+        return sum(r.stale_rejected for r in self.records)
+
+    @property
+    def deadline_misses(self) -> int:
+        """Responses whose round trip exceeded the assumed WC-RTD."""
+        return sum(r.deadline_misses for r in self.records)
+
+    @property
+    def retries(self) -> int:
+        """Timeout-triggered retransmissions across all vehicles."""
+        return sum(r.retries for r in self.records)
+
+    @property
+    def degraded_time(self) -> float:
+        """Total simulated seconds vehicles spent in safe-stop hold."""
+        return float(sum(r.degraded_time for r in self.records))
+
+    @property
+    def degraded_entries(self) -> int:
+        """Times any vehicle entered degraded mode."""
+        return sum(r.degraded_entries for r in self.records)
+
+    @property
+    def min_command_margin(self) -> float:
+        """Smallest deadline margin of any executed command (inf when
+        no command carried a deadline).  The stale-rejection clauses
+        guarantee this is never negative — the property suite pins it."""
+        margins = [r.min_command_margin for r in self.records]
+        return min(margins) if margins else float("inf")
+
     def summary(self) -> Dict[str, float]:
         """Flat dict of the headline numbers (for tables/benches)."""
         return {
@@ -132,6 +178,15 @@ class SimResult:
             "stops": float(self.stops),
             "collisions": float(self.collisions),
             "worst_rtd_s": self.worst_rtd,
+            # Robustness accounting (all zero on a fault-free run, and
+            # deterministic per seed, so parallel bit-identity holds).
+            "stale_rejected": float(self.stale_rejected),
+            "deadline_misses": float(self.deadline_misses),
+            "retries": float(self.retries),
+            "duplicates_dropped": float(self.duplicates_dropped),
+            "degraded_s": self.degraded_time,
+            "invalidations": float(self.reservation_invalidations),
+            "stale_requests_dropped": float(self.stale_requests_dropped),
         }
 
 

@@ -33,6 +33,7 @@ from repro.core.aim import AimConfig
 from repro.core.base import IMConfig
 from repro.core.policy import make_im, normalize_policy
 from repro.des import Environment
+from repro.faults import FaultConfig, FaultInjector
 from repro.geometry.collision import OrientedRect, rects_overlap
 from repro.geometry.conflicts import ConflictTable
 from repro.geometry.layout import IntersectionGeometry
@@ -60,6 +61,12 @@ class WorldConfig:
     #: One-way network delay model (None -> testbed gamma, 7.5 ms WC).
     delay_model: Optional[DelayModel] = None
     message_loss: float = 0.0
+    #: Fault-injection configuration (None -> no injector attached;
+    #: a *null* config attaches an injector that never fires — both
+    #: are bit-identical to the fault-free path because the injector
+    #: draws from its own RNG stream).  Frozen/picklable, so it rides
+    #: into the parallel runner's worker processes unchanged.
+    faults: Optional[FaultConfig] = None
     #: Initial clock offsets are uniform in +-this, seconds.
     clock_offset_bound: float = 0.5
     #: Clock drifts are uniform in +-this (fractional).
@@ -117,11 +124,25 @@ class World:
             if self.config.delay_model is not None
             else testbed_delay_model()
         )
+        # One master-RNG draw for the channel, *whether or not* faults
+        # are configured: the injector's stream is derived from the
+        # same draw (child key 1), so attaching a null injector leaves
+        # every other random sequence in the simulation untouched —
+        # the differential regression test pins this.
+        channel_seed = int(self.rng.integers(2 ** 63))
+        self.faults: Optional[FaultInjector] = None
+        if self.config.faults is not None:
+            self.faults = FaultInjector(
+                self.config.faults,
+                rng=np.random.default_rng([channel_seed, 1]),
+                im_address=self.config.im.address,
+            )
         self.channel = Channel(
             self.env,
             delay_model=delay,
             loss_probability=self.config.message_loss,
-            rng=np.random.default_rng(self.rng.integers(2 ** 63)),
+            rng=np.random.default_rng(channel_seed),
+            faults=self.faults,
         )
         if self.policy != "aim" and conflicts is None:
             conflicts = ConflictTable(self.geometry)
@@ -146,6 +167,7 @@ class World:
         self.perf = PerfCounters()
         self.env.process(self._spawner())
         self.env.process(self._safety_monitor())
+        self.env.process(self._im_watchdog())
 
     # -- spawning -----------------------------------------------------------
     def _spawner(self):
@@ -277,6 +299,19 @@ class World:
                     self.buffer_violations += 1
             yield self.env.timeout(self.config.safety_dt)
 
+    def _im_watchdog(self):
+        """1 Hz sweep invalidating reservations of quiet vehicles.
+
+        Lives in the world (whose :meth:`run` steps the DES in bounded
+        increments) rather than inside the IM: an infinite periodic
+        process in :class:`~repro.core.base.BaseIM` would keep the
+        event queue non-empty and hang unit tests that ``env.run()``
+        with no ``until``.
+        """
+        while True:
+            yield self.env.timeout(1.0)
+            self.im.invalidate_quiet(self.env.now)
+
     # -- execution ---------------------------------------------------------------
     @property
     def all_done(self) -> bool:
@@ -328,6 +363,11 @@ class World:
             buffer_violations=self.buffer_violations,
             min_separation=self.min_separation,
             worst_service_time=self.im.stats.worst_service_time,
+            duplicates_dropped=stats.duplicates_dropped,
+            losses_by_reason={k: int(v) for k, v in sorted(stats.by_reason.items())},
+            fault_injections=self.faults.snapshot() if self.faults else {},
+            reservation_invalidations=self.im.stats.invalidations,
+            stale_requests_dropped=self.im.stats.stale_requests_dropped,
             perf=self._perf_snapshot(),
         )
 

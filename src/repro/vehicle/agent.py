@@ -108,6 +108,30 @@ class AgentConfig:
     #: Drop the plan and re-request when lagging it by more than this
     #: (a blocked vehicle cannot honour its slot; renegotiate).
     replan_lag: float = 0.30
+    #: Largest acceptable request->response round trip, seconds.  A
+    #: command that took longer is based on state older than the WC-RTD
+    #: bound assumes; VT-IM (whose safety argument *is* that bound)
+    #: rejects it and re-requests.
+    max_rtd: float = 0.150
+    #: Multiplicative retransmit jitter: each retry waits
+    #: ``timeout * (1 + U[0, backoff_jitter])`` so a fleet silenced by
+    #: the same blackout does not re-request in lockstep.
+    backoff_jitter: float = 0.1
+    #: Consecutive unanswered requests before entering degraded mode
+    #: (safe-stop hold until the IM is heard from again).
+    silence_limit: int = 5
+    #: Largest NTP round trip a sync sample may show before the vehicle
+    #: distrusts it and re-exchanges: the offset-estimate error is
+    #: bounded by *half the round trip*, so a delay-spiked sync exchange
+    #: silently skews the local clock by tens of ms — more than the
+    #: paper's whole Ch 3.2 sync buffer.  Default is 2x the testbed
+    #: delay model's one-way worst case (2 * 7.5 ms), which fault-free
+    #: samples never exceed.
+    sync_rtt_limit: float = 0.015
+    #: Sync-exchange budget: after this many samples the best
+    #: (minimum-delay) one is used regardless — safe degradation inside
+    #: a forced delay-spike window, not an infinite loop.
+    sync_attempts: int = 4
 
     def __post_init__(self):
         if self.dt <= 0:
@@ -116,6 +140,16 @@ class AgentConfig:
             raise ValueError("retry_timeout must be positive")
         if self.v_crawl <= 0:
             raise ValueError("v_crawl must be positive")
+        if self.max_rtd <= 0:
+            raise ValueError("max_rtd must be positive")
+        if self.backoff_jitter < 0:
+            raise ValueError("backoff_jitter must be non-negative")
+        if self.silence_limit < 1:
+            raise ValueError("silence_limit must be >= 1")
+        if self.sync_rtt_limit <= 0:
+            raise ValueError("sync_rtt_limit must be positive")
+        if self.sync_attempts < 1:
+            raise ValueError("sync_attempts must be >= 1")
 
 
 @dataclass
@@ -140,6 +174,22 @@ class VehicleRecord:
     #: Measured request->response round trips, seconds.
     rtds: List[float] = field(default_factory=list)
     came_to_stop: bool = False
+    #: Commands refused because their execution deadline (TE / ToA)
+    #: had already passed on the local clock when they arrived.
+    stale_rejected: int = 0
+    #: Responses whose measured round trip exceeded ``max_rtd``.
+    deadline_misses: int = 0
+    #: Timeout-triggered retransmissions (not reject renegotiations).
+    retries: int = 0
+    #: Simulated seconds spent in degraded (safe-stop hold) mode.
+    degraded_time: float = 0.0
+    #: Times the vehicle entered degraded mode.
+    degraded_entries: int = 0
+    #: Smallest deadline margin (seconds) of any *executed* command:
+    #: ``TE - now`` / ``ToA - now`` at arrival, or ``max_rtd - rtd``
+    #: for VT-IM.  The stale-rejection clauses guarantee this never
+    #: goes negative; the property suite asserts it.
+    min_command_margin: float = float("inf")
 
     @property
     def finished(self) -> bool:
@@ -246,6 +296,18 @@ class BaseVehicle:
         #: Safe-stop latch: once the stop clause fires, stay stopped
         #: until a plan is committed (prevents creeping over the line).
         self._hold = False
+        #: Consecutive unanswered requests (reset on any response).
+        self._timeouts_in_a_row = 0
+        #: Degraded mode: prolonged IM silence -> safe-stop hold until
+        #: the IM is heard from again.
+        self._degraded = False
+        #: Protocol-side randomness (retransmit jitter).  Seeded from
+        #: the vehicle rng so runs stay reproducible, but kept separate
+        #: so protocol draws never perturb the plant's noise stream
+        #: mid-run.
+        self._proto_rng = np.random.default_rng(
+            rng.integers(2**63) if rng is not None else None
+        )
         self.record = VehicleRecord(
             vehicle_id=info.vehicle_id,
             movement_key=info.movement.key,
@@ -309,7 +371,10 @@ class BaseVehicle:
             self.record.max_tracking_error = max(
                 self.record.max_tracking_error, abs(err)
             )
-        elif self._hold:
+        elif self._hold or self._degraded:
+            # Safe-stop hold: either the stop clause latched at the
+            # line, or prolonged IM silence put the agent in degraded
+            # mode — in both cases the only safe command is zero.
             v_cmd = 0.0
         else:
             v_cmd = self.approach_speed
@@ -346,6 +411,8 @@ class BaseVehicle:
             self.plant.step(v_cmd, cfg.dt)
             if was_moving and self.speed <= 0.02:
                 self.record.came_to_stop = True
+            if self._degraded:
+                self.record.degraded_time += cfg.dt
             self._maybe_replan()
             self._check_milestones()
             yield self.env.timeout(cfg.dt)
@@ -420,21 +487,50 @@ class BaseVehicle:
                 yield self.env.timeout(5 * self.config.dt)
 
     def _sync_phase(self):
-        """One NTP exchange (retransmitted until answered)."""
-        cfg = self.config
+        """NTP sync: retransmitted until answered, re-sampled if spiked.
+
+        Uses the same backoff/degradation machinery as the request
+        phases: a vehicle spawning into a blackout window must not
+        hammer the channel, and prolonged silence still ends in a
+        safe-stop hold.
+
+        A sample whose measured round trip exceeds
+        ``config.sync_rtt_limit`` is kept (the client's minimum-delay
+        filter may still fall back on it) but not *trusted* on its own:
+        the NTP offset error is bounded by half the round-trip delay,
+        so accepting one delay-spiked exchange would skew the local
+        clock past the entire Ch 3.2 sync buffer and let a Crossroads
+        vehicle execute its ``TE`` inside cross traffic's window.  The
+        vehicle re-exchanges, up to ``config.sync_attempts`` samples,
+        then synchronises off the best (minimum-delay) sample it got.
+        """
+        attempts = 0
         while not self.done:
             t0 = self.local_time()
             self.radio.send(
                 SyncRequest(sender=self.radio.address, receiver=self.im_address, t0=t0)
             )
-            response = yield from self._await_response(cfg.retry_timeout, SyncResponse)
-            if response is not None:
-                t3 = self.local_time()
-                self.ntp.add_sample(
-                    NtpSample(t0=response.t0, t1=response.t1, t2=response.t2, t3=t3)
-                )
+            response = yield from self._await_response(
+                self._next_retry_timeout(), SyncResponse
+            )
+            if response is None:
+                self._backoff()
+                continue
+            t3 = self.local_time()
+            sample = NtpSample(
+                t0=response.t0, t1=response.t1, t2=response.t2, t3=t3
+            )
+            self.ntp.add_sample(sample)
+            self._note_contact()
+            attempts += 1
+            if (
+                sample.delay <= self.config.sync_rtt_limit
+                or attempts >= self.config.sync_attempts
+            ):
                 self.ntp.synchronize()
                 return
+            # Spiked sample: count the re-exchange and try again.
+            self.record.retries += 1
 
     def _blocked_by_leader(self) -> bool:
         """True while stuck in a queue behind a stopped leader.
@@ -453,20 +549,54 @@ class BaseVehicle:
         return gap < 1.2 and leader.speed < 0.15
 
     def _next_retry_timeout(self) -> float:
-        """Current retransmit timeout; backs off while unanswered."""
-        return self._retry_timeout
+        """Current retransmit timeout; backs off while unanswered.
+
+        A multiplicative jitter of up to ``backoff_jitter`` is applied
+        at *call* time (never stored), so a fleet of vehicles silenced
+        by the same blackout window does not retransmit in lockstep
+        when the radio comes back — the classic re-request storm.
+        """
+        jitter = self.config.backoff_jitter
+        if jitter <= 0:
+            return self._retry_timeout
+        return self._retry_timeout * (1.0 + jitter * float(self._proto_rng.random()))
 
     def _backoff(self) -> None:
-        """Grow the retransmit timeout (capped).
+        """Grow the retransmit timeout (capped) after a timeout.
 
         The IM keeps only the newest request per sender, so polling is
         cheap; the cap mainly bounds how long a parked vehicle can miss
-        a free window.
+        a free window.  After ``silence_limit`` consecutive unanswered
+        requests with no committed plan, the agent enters degraded
+        mode: a safe-stop hold anywhere on the approach until the IM is
+        heard from again (:meth:`_note_contact`).
         """
         self._retry_timeout = min(self._retry_timeout * 1.5, 0.8)
+        self.record.retries += 1
+        self._timeouts_in_a_row += 1
+        if (
+            self._timeouts_in_a_row >= self.config.silence_limit
+            and self.plan is None
+            and not self._degraded
+        ):
+            self._degraded = True
+            self.record.degraded_entries += 1
 
     def _reset_backoff(self) -> None:
         self._retry_timeout = self.config.retry_timeout
+
+    def _note_contact(self) -> None:
+        """The IM answered: reset backoff and leave degraded mode."""
+        self._reset_backoff()
+        self._timeouts_in_a_row = 0
+        if self._degraded:
+            self._degraded = False
+
+    def _note_executed(self, margin: float) -> None:
+        """Record the deadline margin of a command about to execute."""
+        self.record.min_command_margin = min(
+            self.record.min_command_margin, float(margin)
+        )
 
     def _await_response(self, timeout: float, *types, reply_to=None):
         """Wait up to ``timeout`` for a message of one of ``types``.
@@ -559,8 +689,20 @@ class VtimVehicle(BaseVehicle):
             if response is None:
                 self._backoff()
                 continue  # retransmit clause
-            self._reset_backoff()
-            self.record.rtds.append(self.env.now - sent_at)
+            self._note_contact()
+            rtd = self.env.now - sent_at
+            self.record.rtds.append(rtd)
+            # VT-IM's whole safety argument is the WC-RTD bound: a
+            # command that took longer than ``max_rtd`` to arrive is
+            # anchored on state older than the IM's buffer covers.
+            # Executing it would reintroduce exactly the position
+            # nondeterminism the buffer was sized against — reject and
+            # re-request from fresh state.
+            if rtd > cfg.max_rtd:
+                self.record.deadline_misses += 1
+                self.record.stale_rejected += 1
+                continue
+            self._note_executed(cfg.max_rtd - rtd)
             self._commit_cruise_plan(min(response.vt, self.info.spec.v_max))
 
 
@@ -599,12 +741,26 @@ class CrossroadsVehicle(BaseVehicle):
             if response is None:
                 self._backoff()
                 continue
-            self._reset_backoff()
-            self.record.rtds.append(self.env.now - sent_at)
+            self._note_contact()
+            rtd = self.env.now - sent_at
+            self.record.rtds.append(rtd)
+            if rtd > cfg.max_rtd:
+                self.record.deadline_misses += 1
+            # Stale-command rejection: a command whose execution time
+            # has already passed on the synchronised clock (delay spike
+            # past the bound, or an injected duplicate of an old grant)
+            # cannot start the planned trajectory from the state the IM
+            # assumed.  Refuse it and fall back to the committed
+            # approach profile; the loop re-requests from fresh state.
+            margin = response.te - self.local_time()
+            if margin < -1e-9:
+                self.record.stale_rejected += 1
+                continue
+            self._note_executed(margin)
             # Wait until the local clock reads TE; the vehicle keeps
             # holding its approach speed meanwhile (the drive loop's
             # default behaviour).
-            wait = response.te - self.local_time()
+            wait = margin
             if wait > 0:
                 yield self.env.timeout(wait)
             # Deterministic state at TE, as the IM computed it.
@@ -639,9 +795,15 @@ class AimVehicle(BaseVehicle):
     launch-from-stop reservation.
     """
 
+    #: Initial launch-proposal lead over the local clock, seconds.
+    LAUNCH_LEAD = 0.20
+    #: Ceiling of the adaptive launch lead (see ``_request_phase``).
+    LAUNCH_LEAD_MAX = 2.0
+
     def _request_phase(self):
         cfg = self.config
         spec = self.info.spec
+        launch_lead = self.LAUNCH_LEAD
         while not self.done and self.plan is None:
             if self._blocked_by_leader():
                 yield self.env.timeout(cfg.retry_timeout)
@@ -655,8 +817,13 @@ class AimVehicle(BaseVehicle):
             if stopped:
                 # Propose the earliest launch the round trip allows (the
                 # IM rejects anything inside WC-RTD); a larger margin
-                # would be pure dead time at the line.
-                toa_local = self.local_time() + 0.20
+                # would be pure dead time at the line.  The lead is
+                # *adaptive*: a delay spike during the NTP exchange can
+                # skew this clock by tens of milliseconds, making every
+                # fixed-lead proposal land inside the IM's WC-RTD window
+                # and be rejected forever — so while launch proposals
+                # keep bouncing, the lead grows (reset on acceptance).
+                toa_local = self.local_time() + launch_lead
                 request = AimRequest(
                     sender=self.radio.address,
                     receiver=self.im_address,
@@ -692,11 +859,19 @@ class AimVehicle(BaseVehicle):
             if response is None:
                 self._backoff()
                 continue  # lost message; retransmit
-            self._reset_backoff()
-            self.record.rtds.append(self.env.now - sent_at)
+            self._note_contact()
+            rtd = self.env.now - sent_at
+            self.record.rtds.append(rtd)
+            if rtd > cfg.max_rtd:
+                self.record.deadline_misses += 1
             if isinstance(response, AimReject):
                 self.record.rejects_received += 1
-                if not stopped:
+                if stopped:
+                    # Widen the launch lead: the rejection may be a
+                    # conflict (waiting works) or a clock-skew-induced
+                    # too-soon proposal (only a larger lead works).
+                    launch_lead = min(launch_lead * 1.5, self.LAUNCH_LEAD_MAX)
+                else:
                     # Slow down one step and re-request (Ch 5.2).
                     self.approach_speed = max(
                         self.approach_speed - cfg.aim_speed_step, cfg.v_crawl
@@ -705,6 +880,20 @@ class AimVehicle(BaseVehicle):
                 continue
             # Accepted: follow through at the reserved speed/time.
             delay_to_toa = response.toa - self.local_time()
+            # Stale-accept rejection: a grant arriving after its own
+            # ToA (delay spike past the bound, duplicated old accept)
+            # reserves tiles the vehicle can no longer occupy on time.
+            # Give the slot back and renegotiate from current state.
+            if delay_to_toa < -1e-9:
+                self.record.stale_rejected += 1
+                self.radio.send(
+                    CancelReservation(
+                        sender=self.radio.address, receiver=self.im_address
+                    )
+                )
+                yield self.env.timeout(cfg.aim_retry_interval)
+                continue
+            self._note_executed(delay_to_toa)
             if request.accelerate:
                 # ``toa`` is the launch time: wait it out, then floor it.
                 if delay_to_toa > 0:

@@ -344,3 +344,69 @@ class TestQueueing:
         # All four served; total compute is the paper's WC-CD ballpark.
         assert im.compute.requests == 4
         assert 0.08 < im.compute.total_time < 0.25
+
+
+class TestStaleRequestGuard:
+    """The per-sender monotonic-seq guard in the base receive loop.
+
+    A reordered (delay-spiked) old request processed after a newer one
+    would reschedule the vehicle from out-of-date state — releasing the
+    reservation it is physically committed to and handing the window to
+    cross traffic.  The guard drops it instead.
+    """
+
+    def test_reordered_older_request_dropped(self, geometry, conflicts):
+        env, channel, im, radio = build("crossroads", geometry, conflicts)
+        old = CrossingRequest(
+            sender="V0", receiver="IM", tt=0.0, dt=3.0, vc=2.0, vehicle_info=info()
+        )
+        new = CrossingRequest(
+            sender="V0", receiver="IM", tt=0.2, dt=2.6, vc=2.0, vehicle_info=info()
+        )
+        assert old.seq < new.seq
+        radio.send(new)  # the newer request arrives first ...
+        first = rx(env, radio)
+        assert first.in_reply_to == new.seq
+        booked_toa = first.toa
+        radio.send(old)  # ... then the spiked stale copy limps in
+        env.run(until=env.now + 1.0)
+        assert im.stats.stale_requests_dropped == 1
+        assert radio.pending() == 0, "stale request must not be answered"
+        # The live reservation is untouched.
+        assert len(im.scheduler) == 1
+        (entry,) = im.scheduler.book
+        assert entry.toa == pytest.approx(booked_toa)
+
+    def test_in_order_requests_still_served(self, geometry, conflicts):
+        env, channel, im, radio = build("crossroads", geometry, conflicts)
+        for tt in (0.0, 0.5):
+            radio.send(
+                CrossingRequest(
+                    sender="V0", receiver="IM", tt=tt, dt=3.0, vc=2.0,
+                    vehicle_info=info(),
+                )
+            )
+            rx(env, radio)
+        assert im.stats.stale_requests_dropped == 0
+        assert im.stats.accepts == 2
+
+    def test_guard_is_per_sender(self, geometry, conflicts):
+        """V1's first request is not shadowed by V0's higher seqs."""
+        env, channel, im, radio = build("crossroads", geometry, conflicts)
+        r1 = channel.attach("V1")
+        radio.send(
+            CrossingRequest(
+                sender="V0", receiver="IM", tt=0.0, dt=3.0, vc=2.0,
+                vehicle_info=info(0),
+            )
+        )
+        rx(env, radio)
+        r1.send(
+            CrossingRequest(
+                sender="V1", receiver="IM", tt=0.1, dt=3.0, vc=2.0,
+                vehicle_info=info(1, Movement(Approach.EAST, Turn.STRAIGHT)),
+            )
+        )
+        msg = rx(env, r1)
+        assert msg.in_reply_to is not None
+        assert im.stats.stale_requests_dropped == 0

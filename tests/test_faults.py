@@ -1,0 +1,320 @@
+"""Unit tests for the fault-injection layer (models, schedule, injector,
+channel integration) and the safe-degradation plumbing around it."""
+
+import numpy as np
+import pytest
+
+from repro.des import Environment
+from repro.faults import (
+    DelaySpikes,
+    Duplication,
+    FaultConfig,
+    FaultInjector,
+    FaultSchedule,
+    FaultWindow,
+    GilbertElliottLoss,
+    ReorderJitter,
+    random_fault_config,
+)
+from repro.network import Channel, ConstantDelay, Message
+
+
+class TestGilbertElliott:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(1.5, 0.2)
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(0.1, 0.2, loss_bad=-0.1)
+
+    def test_disabled_when_zeroed(self):
+        assert not GilbertElliottLoss(0.0, 0.25, 0.0, 0.0).enabled
+        assert not GilbertElliottLoss(0.0, 0.25, 0.0, 1.0).enabled  # unreachable bad
+        assert GilbertElliottLoss(0.02, 0.25, 0.0, 0.9).enabled
+        assert GilbertElliottLoss(0.0, 0.25, 0.1, 0.0).enabled
+
+    def test_losses_come_in_bursts(self):
+        """Mean burst length ~ 1/p_bad_good; losses must cluster."""
+        ge = GilbertElliottLoss(0.02, 0.2, 0.0, 1.0)
+        rng = np.random.default_rng(5)
+        outcomes = [ge.step(rng) for _ in range(20000)]
+        losses = sum(outcomes)
+        assert losses > 0
+        # Count loss runs: correlated loss means far fewer runs than
+        # losses (i.i.d. would give runs ~= losses * (1 - p)).
+        runs = sum(
+            1 for i, o in enumerate(outcomes) if o and (i == 0 or not outcomes[i - 1])
+        )
+        assert runs < losses * 0.5
+
+    def test_fixed_randomness_consumption(self):
+        """step() draws exactly two uniforms regardless of outcome."""
+        ge_a = GilbertElliottLoss(0.02, 0.2, 0.0, 1.0)
+        ge_b = GilbertElliottLoss(0.9, 0.1, 0.0, 1.0)  # very different outcomes
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+        for _ in range(200):
+            ge_a.step(rng_a)
+            ge_b.step(rng_b)
+        # Both consumed the same number of draws: streams still agree.
+        assert rng_a.random() == rng_b.random()
+
+    def test_force_bad(self):
+        ge = GilbertElliottLoss(0.0, 0.0, 0.0, 1.0)
+        ge.force_bad()
+        rng = np.random.default_rng(0)
+        assert ge.step(rng)  # loss_bad = 1 and stuck in bad
+
+
+class TestSpikesDupReorder:
+    def test_spike_bounds(self):
+        spikes = DelaySpikes(1.0, 0.05, 0.30)
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            assert 0.05 <= spikes.sample(rng) <= 0.30
+
+    def test_spike_forced(self):
+        spikes = DelaySpikes(0.0, 0.05, 0.30)
+        rng = np.random.default_rng(1)
+        assert spikes.sample(rng) == 0.0
+        assert spikes.sample(rng, forced=True) >= 0.05
+
+    def test_duplication_sentinel(self):
+        dup = Duplication(0.0)
+        rng = np.random.default_rng(2)
+        assert dup.sample(rng) < 0.0  # never duplicates
+        always = Duplication(1.0, jitter=0.01)
+        assert 0.0 <= always.sample(rng) <= 0.01
+
+    def test_reorder_validation(self):
+        with pytest.raises(ValueError):
+            ReorderJitter(-0.1)
+        assert not ReorderJitter(0.5, 0.0).enabled
+
+
+class TestScheduleAndConfig:
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            FaultWindow(5.0, 4.0)
+        with pytest.raises(ValueError):
+            FaultWindow(0.0, 1.0, kind="nonsense")
+        with pytest.raises(ValueError):
+            FaultWindow(0.0, 1.0, direction="sideways")
+
+    def test_window_direction(self):
+        w = FaultWindow(1.0, 2.0, "blackout", "to_im")
+        assert w.active(1.5, to_im=True)
+        assert not w.active(1.5, to_im=False)
+        assert not w.active(2.0, to_im=True)  # half-open interval
+
+    def test_schedule_active_and_horizon(self):
+        sched = FaultSchedule(
+            (FaultWindow(1.0, 2.0, "blackout"), FaultWindow(5.0, 9.0, "spike"))
+        )
+        assert sched.active(1.5, "blackout", to_im=True)
+        assert not sched.active(1.5, "spike", to_im=True)
+        assert sched.horizon == 9.0
+        assert bool(sched)
+        assert not bool(FaultSchedule())
+
+    def test_null_config(self):
+        assert FaultConfig().is_null()
+        assert not FaultConfig.from_spec("burst").is_null()
+        assert not FaultConfig(schedule=FaultSchedule((FaultWindow(0, 1),))).is_null()
+        # Unreachable bad state is still null.
+        assert FaultConfig(ge_loss_bad=0.9, ge_p_good_bad=0.0).is_null()
+
+    def test_from_spec_presets_and_params(self):
+        config = FaultConfig.from_spec("burst=0.05:0.3:0.8,spike=0.1:0.02:0.4")
+        assert config.ge_p_good_bad == 0.05
+        assert config.ge_p_bad_good == 0.3
+        assert config.ge_loss_bad == 0.8
+        assert config.spike_prob == 0.1
+        assert config.spike_high == 0.4
+
+    def test_from_spec_blackout_window(self):
+        config = FaultConfig.from_spec("blackout=40:45:to_im")
+        (window,) = config.schedule.windows
+        assert window.start == 40.0 and window.end == 45.0
+        assert window.kind == "blackout" and window.direction == "to_im"
+
+    def test_from_spec_chaos(self):
+        config = FaultConfig.from_spec("chaos")
+        assert config.ge_p_good_bad > 0 and config.spike_prob > 0
+        assert config.dup_prob > 0 and config.reorder_prob > 0
+
+    def test_from_spec_unknown_token(self):
+        with pytest.raises(ValueError, match="unknown fault token"):
+            FaultConfig.from_spec("gremlins")
+        with pytest.raises(ValueError, match="needs start:end"):
+            FaultConfig.from_spec("blackout=40")
+
+    def test_describe(self):
+        assert FaultConfig().describe() == "none"
+        text = FaultConfig.from_spec("burst,blackout=1:2").describe()
+        assert "burst" in text and "blackout" in text
+
+    def test_config_is_picklable_and_hashable(self):
+        import pickle
+
+        config = FaultConfig.from_spec("chaos,blackout=3:5")
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone == config
+        hash(config)  # frozen dataclasses must stay hashable
+
+    def test_random_fault_config_valid(self):
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            config = random_fault_config(rng)
+            assert not config.is_null()
+            assert config.ge_loss_bad > 0 and config.spike_high > 0
+
+
+def _message(channel=None, sender="A", receiver="B"):
+    return Message(sender=sender, receiver=receiver)
+
+
+class TestInjector:
+    def test_null_config_never_fires_or_draws(self):
+        injector = FaultInjector(FaultConfig(), rng=np.random.default_rng(4))
+        untouched = np.random.default_rng(4)
+        for _ in range(100):
+            verdict = injector.on_transmit(_message(), now=1.0)
+            assert verdict.drop_reason is None
+            assert verdict.extra_delay == 0.0
+            assert verdict.duplicate_delay is None
+        assert injector.rng.random() == untouched.random()  # no draws consumed
+        assert injector.events == []
+        assert injector.snapshot() == {}
+
+    def test_blackout_window_drops(self):
+        config = FaultConfig.from_spec("blackout=1:2")
+        injector = FaultInjector(config, rng=np.random.default_rng(0))
+        assert injector.on_transmit(_message(), 1.5).drop_reason == "blackout"
+        assert injector.on_transmit(_message(), 2.5).drop_reason is None
+        assert injector.snapshot() == {"blackout_loss": 1}
+
+    def test_blackout_direction_filter(self):
+        config = FaultConfig.from_spec("blackout=1:2:to_im")
+        injector = FaultInjector(config, rng=np.random.default_rng(0), im_address="IM")
+        to_im = Message(sender="V1", receiver="IM")
+        from_im = Message(sender="IM", receiver="V1")
+        assert injector.on_transmit(to_im, 1.5).drop_reason == "blackout"
+        assert injector.on_transmit(from_im, 1.5).drop_reason is None
+
+    def test_spike_window_forces_extra_delay(self):
+        """A spike *window* spikes even with a zeroed spike model."""
+        config = FaultConfig(
+            schedule=FaultSchedule((FaultWindow(1.0, 2.0, "spike"),))
+        )
+        injector = FaultInjector(config, rng=np.random.default_rng(0))
+        verdict = injector.on_transmit(_message(), 1.5)
+        assert verdict.extra_delay > 0.0
+
+    def test_trace_replays_exactly(self):
+        """Same (config, seed, traffic) => identical event trace."""
+        config = FaultConfig.from_spec("chaos,blackout=0.5:1.0")
+
+        def run():
+            injector = FaultInjector(config, rng=np.random.default_rng(21))
+            messages = [Message(sender="V1", receiver="IM") for _ in range(50)]
+            for i, message in enumerate(messages):
+                injector.on_transmit(message, now=i * 0.05)
+            # Normalise seqs (they are globally unique per process) to
+            # positions so the two runs are comparable.
+            seqs = {m.seq: i for i, m in enumerate(messages)}
+            return [(t, kind, seqs[seq]) for t, kind, seq in injector.events]
+
+        assert run() == run()
+
+    def test_counters_match_trace(self):
+        config = FaultConfig.from_spec("burst,spike")
+        injector = FaultInjector(config, rng=np.random.default_rng(3))
+        for i in range(500):
+            injector.on_transmit(_message(), now=i * 0.01)
+        from collections import Counter
+
+        assert injector.counts == Counter(kind for _, kind, _ in injector.events)
+
+
+class TestChannelIntegration:
+    def _channel(self, config, seed=0, delay=0.005):
+        env = Environment()
+        injector = FaultInjector(config, rng=np.random.default_rng(seed))
+        channel = Channel(
+            env,
+            delay_model=ConstantDelay(delay),
+            rng=np.random.default_rng(seed + 1),
+            faults=injector,
+        )
+        return env, channel, injector
+
+    def test_blackout_drops_attributed(self):
+        env, channel, _ = self._channel(FaultConfig.from_spec("blackout=0:10"))
+        a = channel.attach("A")
+        channel.attach("B")
+        for _ in range(5):
+            a.send(Message(sender="A", receiver="B"))
+        env.run()
+        assert channel.stats.by_reason["blackout"] == 5
+        assert channel.stats.delivered == 0
+
+    def test_spike_exceeds_worst_case(self):
+        """A spiked delivery lands *after* the delay model's bound."""
+        config = FaultConfig(spike_prob=1.0, spike_low=0.05, spike_high=0.30)
+        env, channel, _ = self._channel(config, delay=0.005)
+        a = channel.attach("A")
+        b = channel.attach("B")
+        arrivals = []
+
+        def rx(env):
+            yield b.receive()
+            arrivals.append(env.now)
+
+        env.process(rx(env))
+        a.send(Message(sender="A", receiver="B"))
+        env.run()
+        assert arrivals[0] > channel.delay_model.worst_case + 0.05 - 1e-12
+
+    def test_duplicates_injected_and_dropped(self):
+        config = FaultConfig(dup_prob=1.0, dup_jitter=0.01)
+        env, channel, injector = self._channel(config)
+        a = channel.attach("A")
+        b = channel.attach("B")
+        n = 20
+        for _ in range(n):
+            a.send(Message(sender="A", receiver="B"))
+        env.run()
+        stats = channel.stats
+        assert stats.duplicates_injected == n
+        assert stats.duplicates_dropped == n  # every copy suppressed
+        assert stats.delivered == n  # originals all arrived once
+        assert b.pending() == n
+        assert stats.lost == 0  # dedup is not loss: originals delivered
+        assert injector.snapshot()["duplicate"] == n
+
+    def test_null_injector_bit_identical_to_no_injector(self):
+        """The differential property at channel level: a channel with a
+        null injector consumes the identical random sequence."""
+
+        def run(with_injector):
+            env = Environment()
+            kwargs = {}
+            if with_injector:
+                kwargs["faults"] = FaultInjector(
+                    FaultConfig(), rng=np.random.default_rng(99)
+                )
+            channel = Channel(
+                env,
+                delay_model=ConstantDelay(0.003),
+                loss_probability=0.3,
+                rng=np.random.default_rng(42),
+                **kwargs,
+            )
+            a = channel.attach("A")
+            channel.attach("B")
+            for _ in range(100):
+                a.send(Message(sender="A", receiver="B"))
+            env.run()
+            return (channel.stats.delivered, channel.stats.lost)
+
+        assert run(True) == run(False)

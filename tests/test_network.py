@@ -186,3 +186,92 @@ class TestChannel:
         env.process(requester(env))
         env.run()
         assert measured[0] == pytest.approx(0.006)
+
+
+class TestLossAttribution:
+    """Satellite (c): drops are attributed per reason, not conflated."""
+
+    def test_unknown_receiver_attributed_no_route(self):
+        env = Environment()
+        channel = Channel(env)
+        a = channel.attach("A")
+        a.send(Message(sender="A", receiver="GHOST"))
+        env.run()
+        assert channel.stats.by_reason["no_route"] == 1
+        assert channel.stats.by_reason["channel"] == 0
+        assert channel.stats.lost == 1  # legacy aggregate still counts
+
+    def test_detach_attributed_no_route(self):
+        env = Environment()
+        channel = Channel(env, delay_model=ConstantDelay(1.0))
+        a = channel.attach("A")
+        channel.attach("B")
+        a.send(Message(sender="A", receiver="B"))
+        channel.detach("B")
+        env.run()
+        assert channel.stats.by_reason["no_route"] == 1
+
+    def test_random_loss_attributed_channel(self):
+        env = Environment()
+        channel = Channel(env, loss_probability=0.5, rng=np.random.default_rng(3))
+        a = channel.attach("A")
+        channel.attach("B")
+        for _ in range(200):
+            a.send(Message(sender="A", receiver="B"))
+        env.run()
+        stats = channel.stats
+        assert stats.by_reason["channel"] > 30
+        assert stats.by_reason["no_route"] == 0
+        assert sum(stats.by_reason.values()) == stats.lost
+
+    def test_mixed_reasons_sum_to_lost(self):
+        env = Environment()
+        channel = Channel(env, loss_probability=0.4, rng=np.random.default_rng(9))
+        a = channel.attach("A")
+        channel.attach("B")
+        for i in range(100):
+            a.send(Message(sender="A", receiver="B"))
+            a.send(Message(sender="A", receiver="GHOST"))
+        env.run()
+        stats = channel.stats
+        assert stats.by_reason["no_route"] > 0
+        assert stats.by_reason["channel"] > 0
+        assert sum(stats.by_reason.values()) == stats.lost
+
+
+class TestRadioDedup:
+    def test_duplicate_seq_suppressed(self):
+        env = Environment()
+        channel = Channel(env)
+        channel.attach("A")
+        b = channel.attach("B")
+        message = Message(sender="A", receiver="B")
+        assert b.accept(message) is True
+        assert b.accept(message) is False  # same seq: suppressed
+        assert b.pending() == 1
+
+    def test_distinct_seqs_pass(self):
+        env = Environment()
+        channel = Channel(env)
+        channel.attach("A")
+        b = channel.attach("B")
+        assert b.accept(Message(sender="A", receiver="B"))
+        assert b.accept(Message(sender="A", receiver="B"))
+        assert b.pending() == 2
+
+    def test_window_is_bounded(self):
+        env = Environment()
+        channel = Channel(env)
+        channel.attach("A")
+        b = channel.attach("B")
+        from repro.network.channel import Radio
+
+        first = Message(sender="A", receiver="B")
+        assert b.accept(first)
+        for _ in range(Radio.DEDUP_WINDOW):
+            b.accept(Message(sender="A", receiver="B"))
+        # The first seq aged out of the window: re-accepted (bounded
+        # memory is the point; protocol-level effects are nil because
+        # real traffic never spaces duplicates 1024 messages apart).
+        assert b.accept(first) is True
+        assert len(b._seen) <= Radio.DEDUP_WINDOW

@@ -23,10 +23,10 @@ CONFLICTS = ConflictTable(GEOMETRY)
 
 
 def build_world(policy="crossroads", with_im=True, spawn_speed=3.0,
-                agent_config=None, seed=0):
+                agent_config=None, seed=0, faults=None):
     env = Environment()
     channel = Channel(env, delay_model=ConstantDelay(0.003),
-                      rng=np.random.default_rng(seed))
+                      rng=np.random.default_rng(seed), faults=faults)
     im = make_im(policy, env, channel, GEOMETRY, conflicts=CONFLICTS) if with_im else None
     if not with_im:
         # Sync-only responder: NTP works, crossing requests vanish.
@@ -215,3 +215,53 @@ class TestFollowClamp:
         # Both parked; follower strictly behind with a positive gap.
         assert leader.speed < 0.05 and follower.speed < 0.05
         assert leader.rear - follower.front > 0.05
+
+
+class TestSyncSampleGuard:
+    """Delay-spiked NTP exchanges must not be trusted on their own.
+
+    The offset-estimate error of one NTP exchange is half its round
+    trip, so a single spiked sync sample skews the vehicle clock by
+    tens of ms — past the whole Ch 3.2 sync buffer and, for
+    Crossroads, into cross traffic's window.  The vehicle re-exchanges
+    until a clean sample arrives (or the attempt budget runs out, then
+    the minimum-delay sample wins).
+    """
+
+    @staticmethod
+    def _spiky_injector(prob=1.0):
+        from repro.faults import FaultConfig, FaultInjector
+
+        config = FaultConfig(spike_prob=prob, spike_low=0.1, spike_high=0.1)
+        return FaultInjector(config, rng=np.random.default_rng(7))
+
+    def test_clean_channel_syncs_on_first_sample(self):
+        env, channel, im, vehicle = build_world("crossroads")
+        env.run(until=2.0)
+        assert len(vehicle.ntp.samples) == 1
+        assert vehicle.ntp.samples[0].delay <= vehicle.config.sync_rtt_limit
+
+    def test_always_spiked_channel_exhausts_budget_then_degrades(self):
+        env, channel, im, vehicle = build_world(
+            "crossroads", faults=self._spiky_injector(prob=1.0)
+        )
+        env.run(until=5.0)
+        # Every exchange was spiked: the full budget is spent and the
+        # best (minimum-delay) sample is used anyway.
+        assert len(vehicle.ntp.samples) == vehicle.config.sync_attempts
+        assert vehicle.record.retries >= vehicle.config.sync_attempts - 1
+        best = vehicle.ntp.best
+        assert best.delay == min(s.delay for s in vehicle.ntp.samples)
+
+    def test_occasional_spike_is_resampled_away(self):
+        env, channel, im, vehicle = build_world(
+            "crossroads", faults=self._spiky_injector(prob=0.5), seed=3
+        )
+        env.run(until=15.0)
+        samples = vehicle.ntp.samples
+        assert samples, "vehicle never synced"
+        # Whatever mix of spiked/clean exchanges happened, the sample
+        # actually used obeys the trust bound unless the budget ran dry.
+        if len(samples) < vehicle.config.sync_attempts:
+            assert samples[-1].delay <= vehicle.config.sync_rtt_limit
+        assert abs(vehicle.clock.error(env.now)) < 0.02
