@@ -1,11 +1,24 @@
 """Extending the library: custom intersection-management policies.
 
-Demonstrates the intended extension seams — subclass an IM, override
-``handle_crossing``, swap it into a :class:`~repro.sim.World` — with a
-*metering* variant of Crossroads that enforces a minimum time gap
-between grants (the signal-free analogue of ramp metering).  The knob
-has an unmistakable effect: larger gaps serialise the intersection and
-wait times climb.
+Demonstrates the intended extension seam — subclass an IM, override
+``handle_crossing``, and **register the policy** with
+:mod:`repro.core.registry` — using a *metering* variant of Crossroads
+that enforces a minimum time gap between grants (the signal-free
+analogue of ramp metering).  Once registered, the policy name works
+everywhere the built-ins do, without touching library internals::
+
+    World("metered-crossroads", arrivals, seed=21).run()
+    run_flow_sweep(policies=["crossroads", "metered-crossroads"], ...)
+    python -m repro policies --plugin examples.custom_policy
+    python -m repro run --policy metered-crossroads --flow 0.4
+
+Because the registration names this module as its ``provider``, a
+parallel-sweep worker process that never imported it resolves the
+qualified name ``"examples.custom_policy:metered-crossroads"`` by
+importing the module first (see
+:func:`repro.core.registry.portable_name`).  Anything the IM builder
+reads at call time (here ``GRANT_GAP``) should therefore be a frozen
+module-level constant, so workers reproduce it on import.
 
 The module also documents a negative result worth knowing: an
 IM-side *priority* (emergency-vehicle) policy barely moves the needle
@@ -20,9 +33,15 @@ Run with::
 
 from repro.analysis import render_table
 from repro.core import CrossroadsIM
+from repro.core.registry import policy
 from repro.core.scheduler import ConflictScheduler
 from repro.sim.world import World
 from repro.traffic import PoissonTraffic
+from repro.vehicle import CrossroadsVehicle
+
+#: Minimum time between consecutive grants, seconds (module-level so a
+#: worker process importing this module reproduces the same policy).
+GRANT_GAP = 1.0
 
 
 class MeteredCrossroadsIM(CrossroadsIM):
@@ -54,22 +73,25 @@ class MeteredCrossroadsIM(CrossroadsIM):
         return response, work
 
 
-class MeteredWorld(World):
-    """A world wired around the metering IM."""
-
-    def __init__(self, arrivals, min_grant_gap: float, seed=None):
-        super().__init__("crossroads", arrivals, seed=seed)
-        # Swap the IM: detach the stock radio and rebuild on a fresh one.
-        self.channel.detach(self.config.im.address)
-        radio = self.channel.attach(self.config.im.address)
-        scheduler = ConflictScheduler(self.conflicts, v_min=self.config.im.v_min)
-        self.im = MeteredCrossroadsIM(
-            self.env, radio, scheduler,
-            config=self.config.im, min_grant_gap=min_grant_gap,
-        )
+@policy(
+    "metered-crossroads",
+    vehicle_cls=CrossroadsVehicle,  # stock vehicle protocol, new IM
+    extension=True,
+    description="Crossroads with ramp-metered grant pacing (example plugin).",
+    provider=__name__,
+)
+def build_metered_im(env, radio, geometry, conflicts=None, config=None,
+                     compute=None, aim_config=None):
+    """Metered Crossroads: min ``GRANT_GAP`` seconds between grants."""
+    scheduler = ConflictScheduler(conflicts, v_min=config.v_min)
+    return MeteredCrossroadsIM(
+        env, radio, scheduler, config=config, compute=compute,
+        min_grant_gap=GRANT_GAP,
+    )
 
 
 def main() -> None:
+    global GRANT_GAP
     arrivals = PoissonTraffic(0.6, seed=21).generate(30)
     rows = []
     for gap in (0.0, 0.5, 1.0, 2.0):
@@ -77,7 +99,8 @@ def main() -> None:
             result = World("crossroads", arrivals, seed=21).run()
             label = "stock crossroads"
         else:
-            result = MeteredWorld(arrivals, min_grant_gap=gap, seed=21).run()
+            GRANT_GAP = gap
+            result = World("metered-crossroads", arrivals, seed=21).run()
             label = f"metered (gap {gap:.1f} s)"
         rows.append([
             label, result.average_delay, result.throughput,

@@ -36,6 +36,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "=> identical fault trace and metrics")
     run.add_argument("--perf", action="store_true",
                      help="print repro.perf timers/counters after the run")
+    _add_plugin_argument(run)
 
     sweep = sub.add_parser("sweep", help="Fig 7.2: throughput vs flow grid")
     sweep.add_argument("--policies", nargs="+",
@@ -53,6 +54,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "integer, 'auto' (one per CPU), or unset to "
                             "honour $REPRO_JOBS (default: serial); results "
                             "are bit-identical to a serial run")
+    _add_plugin_argument(sweep)
 
     scen = sub.add_parser("scenarios", help="Fig 7.1: the 10 scale-model cases")
     scen.add_argument("--repeats", type=int, default=3)
@@ -60,7 +62,34 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("buffer", help="Ch 3: safety-buffer estimation experiment")
     sub.add_parser("info", help="library, policies and testbed constants")
+
+    pol = sub.add_parser("policies", help="list registered IM policies")
+    _add_plugin_argument(pol)
     return parser
+
+
+def _add_plugin_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--plugin", action="append", default=[], metavar="MODULE",
+        help="import MODULE first so its policy registrations are available "
+             "(repeatable), e.g. --plugin examples.custom_policy")
+
+
+def _load_plugins(modules: List[str]) -> int:
+    """Import plugin modules for their registration side effects.
+
+    Returns 0 on success, 2 (the argparse usage-error convention) if any
+    module fails to import.
+    """
+    import importlib
+
+    for module in modules:
+        try:
+            importlib.import_module(module)
+        except ImportError as exc:
+            print(f"cannot import plugin {module!r}: {exc}", file=sys.stderr)
+            return 2
+    return 0
 
 
 # -- commands -----------------------------------------------------------------
@@ -72,6 +101,9 @@ def _cmd_run(args) -> int:
     from repro.sim.world import WorldConfig
     from repro.traffic import PoissonTraffic, scale_model_scenarios
 
+    status = _load_plugins(args.plugin)
+    if status:
+        return status
     config = None
     fault_config = None
     if args.faults is not None:
@@ -140,6 +172,9 @@ def _cmd_run(args) -> int:
 def _cmd_sweep(args) -> int:
     from repro.analysis import flow_sweep_rows, render_table, speedup_summary
 
+    status = _load_plugins(args.plugin)
+    if status:
+        return status
     if args.engine == "analytic":
         from repro.geometry import ConflictTable, IntersectionGeometry
         from repro.sim import run_analytic
@@ -221,15 +256,42 @@ def _cmd_buffer(_args) -> int:
 def _cmd_info(_args) -> int:
     import repro
     from repro.core.base import IMConfig
-    from repro.core.policy import EXTENSION_POLICIES, POLICIES
+    from repro.core.registry import available_policies, extension_policies
+    import repro.core.policy  # noqa: F401  (registers the built-ins)
 
     config = IMConfig()
     print(f"repro {repro.__version__} — Crossroads reproduction (DAC 2017)")
-    print(f"policies   : {', '.join(POLICIES)}")
-    print(f"extensions : {', '.join(EXTENSION_POLICIES)}")
+    print(f"policies   : {', '.join(available_policies())}")
+    print(f"extensions : {', '.join(extension_policies())}")
     print(f"WC-RTD     : {config.wc_rtd * 1000:.0f} ms")
     print(f"base buffer: {config.base_buffer * 1000:.0f} mm")
     print(f"RTD buffer : {config.wc_rtd * config.v_max:.2f} m (VT-IM only)")
+    return 0
+
+
+def _cmd_policies(args) -> int:
+    from repro.analysis import render_table
+    from repro.core import registry
+    import repro.core.policy  # noqa: F401  (registers the built-ins)
+
+    status = _load_plugins(args.plugin)
+    if status:
+        return status
+    rows = []
+    for spec in registry.iter_policies():
+        rows.append([
+            spec.name + (" (ext)" if spec.extension else ""),
+            ", ".join(spec.aliases) or "-",
+            spec.im_name,
+            spec.vehicle_cls.__name__,
+            spec.doc,
+        ])
+    print(render_table(
+        ["policy", "aliases", "IM", "vehicle", "description"], rows
+    ))
+    print("\nResolve any name/alias with --policy; plugins register via "
+          "repro.core.registry.register_policy (see README 'Adding a new "
+          "policy').")
     return 0
 
 
@@ -239,6 +301,7 @@ _COMMANDS = {
     "scenarios": _cmd_scenarios,
     "buffer": _cmd_buffer,
     "info": _cmd_info,
+    "policies": _cmd_policies,
 }
 
 

@@ -24,7 +24,15 @@ from repro.core.aim import AimConfig, AimIM
 from repro.core.base import BaseIM, IMConfig, IMStats
 from repro.core.compute import AimComputeModel, ComputeModel, LinearComputeModel
 from repro.core.crossroads import CrossroadsIM
-from repro.core.policy import POLICIES, make_im, normalize_policy
+from repro.core.policy import EXTENSION_POLICIES, POLICIES, make_im, normalize_policy
+from repro.core.registry import (
+    PolicySpec,
+    iter_policies,
+    policy,
+    portable_name,
+    register_policy,
+    resolve_policy,
+)
 from repro.core.scheduler import ConflictScheduler, ScheduledCrossing
 from repro.core.vtim import VtimIM
 
@@ -36,12 +44,19 @@ __all__ = [
     "ComputeModel",
     "ConflictScheduler",
     "CrossroadsIM",
+    "EXTENSION_POLICIES",
     "IMConfig",
     "IMStats",
     "LinearComputeModel",
     "POLICIES",
+    "PolicySpec",
     "ScheduledCrossing",
     "VtimIM",
+    "iter_policies",
     "make_im",
     "normalize_policy",
+    "policy",
+    "portable_name",
+    "register_policy",
+    "resolve_policy",
 ]

@@ -31,8 +31,8 @@ from repro.network.messages import (
     ExitNotification,
     Message,
     SyncRequest,
-    SyncResponse,
 )
+from repro.protocol import SequenceGuard, TimeSyncResponder
 
 __all__ = ["BaseIM", "IMConfig", "IMStats"]
 
@@ -150,16 +150,15 @@ class BaseIM:
         #: original — re-answering every duplicate would melt the queue).
         self._work_queue: Store = Store(env)
         self._pending: dict = {}
-        #: Sequence number of the last *granted* request per sender:
-        #: cancels older than the grant are stale and must be ignored
-        #: (a cancel can race a newer request through the compute queue).
-        self._last_grant_seq: dict = {}
-        #: Highest request seq seen per sender.  Per-sender seqs are
-        #: monotonic in *send* order, so anything at or below this mark
-        #: arriving later is a reordered or duplicated stale request;
-        #: acting on it would replace the sender's live reservation with
-        #: one planned from out-of-date state (see IMStats counter).
-        self._last_request_seq: dict = {}
+        #: Per-sender monotonic request/grant sequence tracking: drops
+        #: reordered or duplicated stale requests, and identifies stale
+        #: cancels that predate the sender's most recent grant (a cancel
+        #: can race a newer request through the compute queue).
+        self.guard = SequenceGuard()
+        #: NTP answerer: echo ``t0``, stamp ``t1 = t2 = now`` (the IM
+        #: is the time reference; its turnaround is absorbed by the
+        #: compute model, not the NTP path).
+        self.sync_responder = TimeSyncResponder(radio, address=self.config.address)
         env.process(self._receive_loop())
         env.process(self._compute_worker())
 
@@ -178,7 +177,7 @@ class BaseIM:
 
     def note_grant(self, sender: str, request_seq: int) -> None:
         """Record that ``sender``'s request ``request_seq`` was granted."""
-        self._last_grant_seq[sender] = request_seq
+        self.guard.note_grant(sender, request_seq)
 
     def handle_cancel(self, message: CancelReservation) -> None:
         """Withdraw the sender's reservation (defaults to exit logic).
@@ -188,7 +187,7 @@ class BaseIM:
         reservation would hand its slot to cross traffic while the
         vehicle is committed to using it.
         """
-        if message.seq < self._last_grant_seq.get(message.sender, -1):
+        if self.guard.stale_cancel(message.sender, message.seq):
             return
         self.handle_exit(message)  # same cleanup for every policy here
 
@@ -211,19 +210,11 @@ class BaseIM:
             message = yield self.radio.receive()
             if isinstance(message, SyncRequest):
                 self.stats.sync_requests += 1
-                now = self.env.now  # the IM is the time reference
-                self.radio.send(
-                    SyncResponse(
-                        sender=self.config.address,
-                        receiver=message.sender,
-                        t0=message.t0,
-                        t1=now,
-                        t2=now,
-                    )
-                )
+                # The IM is the time reference.
+                self.sync_responder.respond(message, self.env.now)
             elif isinstance(message, (CrossingRequest, AimRequest)):
                 self.stats.crossing_requests += 1
-                if message.seq <= self._last_request_seq.get(message.sender, -1):
+                if not self.guard.admit_request(message.sender, message.seq):
                     # Reordered or long-delayed stale request: the
                     # sender has already issued (and may be driving on
                     # the grant of) a newer one.  Rescheduling from this
@@ -231,7 +222,6 @@ class BaseIM:
                     # reservation and hand its window to cross traffic.
                     self.stats.stale_requests_dropped += 1
                     continue
-                self._last_request_seq[message.sender] = message.seq
                 if message.sender not in self._pending:
                     self._work_queue.put_nowait(message.sender)
                 self._pending[message.sender] = message

@@ -1,0 +1,121 @@
+"""Silence tracking, retransmit backoff, and safe-stop degradation.
+
+One :class:`DegradationMonitor` per protocol endpoint owns the three
+coupled pieces of "how long since the IM answered" state:
+
+* the current retransmit timeout, grown multiplicatively (capped) on
+  every unanswered exchange and reset on any contact;
+* the multiplicative retransmit *jitter* applied at call time, so a
+  fleet silenced by the same blackout window does not re-request in
+  lockstep when the radio comes back (the classic re-request storm);
+* the consecutive-silence counter that latches **degraded mode** — the
+  only safe command while the IM is unreachable is a stop — after
+  ``silence_limit`` unanswered exchanges with no committed plan.
+
+The monitor is deliberately free of DES / radio / record dependencies:
+it is pure state fed by :meth:`on_timeout` / :meth:`on_contact`, which
+makes it trivially unit-testable and reusable on either side of the
+protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["DegradationMonitor"]
+
+
+class DegradationMonitor:
+    """Backoff + degraded-mode state machine.
+
+    Parameters
+    ----------
+    retry_timeout:
+        Base response timeout before retransmitting, seconds.
+    backoff_jitter:
+        Multiplicative jitter bound: each :meth:`next_timeout` call
+        returns ``timeout * (1 + U[0, backoff_jitter])``.
+    silence_limit:
+        Consecutive unanswered exchanges before entering degraded mode
+        (safe-stop hold until contact).
+    rng:
+        Randomness for the jitter draw (kept separate from any plant
+        noise stream so protocol draws never perturb physics mid-run).
+    growth:
+        Backoff growth factor per unanswered exchange.
+    timeout_cap:
+        Largest retransmit timeout the backoff may reach, seconds.
+    """
+
+    def __init__(
+        self,
+        retry_timeout: float,
+        *,
+        backoff_jitter: float = 0.0,
+        silence_limit: int = 5,
+        rng: Optional[np.random.Generator] = None,
+        growth: float = 1.5,
+        timeout_cap: float = 0.8,
+    ):
+        if retry_timeout <= 0:
+            raise ValueError("retry_timeout must be positive")
+        if backoff_jitter < 0:
+            raise ValueError("backoff_jitter must be non-negative")
+        if silence_limit < 1:
+            raise ValueError("silence_limit must be >= 1")
+        if growth < 1.0:
+            raise ValueError("growth must be >= 1.0")
+        if timeout_cap < retry_timeout:
+            raise ValueError("timeout_cap must be >= retry_timeout")
+        self.base_timeout = retry_timeout
+        self.backoff_jitter = backoff_jitter
+        self.silence_limit = silence_limit
+        self.growth = growth
+        self.timeout_cap = timeout_cap
+        self._rng = rng if rng is not None else np.random.default_rng()
+        #: Current (un-jittered) retransmit timeout, seconds.
+        self.retry_timeout = retry_timeout
+        #: Consecutive unanswered exchanges (reset on any contact).
+        self.timeouts_in_a_row = 0
+        #: Degraded mode: prolonged peer silence -> safe-stop hold
+        #: until the peer is heard from again.
+        self.degraded = False
+
+    def next_timeout(self) -> float:
+        """Current retransmit timeout with the call-time jitter applied.
+
+        The jitter is never stored: every call draws fresh, so repeated
+        retransmissions of the same request de-synchronise too.
+        """
+        jitter = self.backoff_jitter
+        if jitter <= 0:
+            return self.retry_timeout
+        return self.retry_timeout * (1.0 + jitter * float(self._rng.random()))
+
+    def on_timeout(self, *, committed: bool = False) -> bool:
+        """Record one unanswered exchange.
+
+        Grows the retransmit timeout (capped) and bumps the silence
+        counter.  ``committed`` is True while the endpoint holds a
+        granted plan — a committed vehicle keeps driving its plan and
+        must *not* degrade to a stop mid-manoeuvre.  Returns True when
+        this very timeout pushed the machine into degraded mode.
+        """
+        self.retry_timeout = min(self.retry_timeout * self.growth, self.timeout_cap)
+        self.timeouts_in_a_row += 1
+        if (
+            self.timeouts_in_a_row >= self.silence_limit
+            and not committed
+            and not self.degraded
+        ):
+            self.degraded = True
+            return True
+        return False
+
+    def on_contact(self) -> None:
+        """The peer answered: reset backoff and leave degraded mode."""
+        self.retry_timeout = self.base_timeout
+        self.timeouts_in_a_row = 0
+        self.degraded = False

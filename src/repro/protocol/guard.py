@@ -1,0 +1,48 @@
+"""IM-side per-sender sequence guards.
+
+Two holes the fuzz suite found in the receive path, folded into one
+small machine:
+
+* **stale requests** — per-sender message seqs are monotonic in *send*
+  order, so a request at or below the sender's high-water mark arriving
+  later is a reordered or duplicated stale request.  Acting on it would
+  replace the sender's live reservation with one planned from
+  out-of-date state — a collision hazard at high flow.
+* **stale cancels** — a cancel that predates the sender's most recent
+  grant means the vehicle already renegotiated; releasing the *new*
+  reservation would hand its slot to cross traffic while the vehicle is
+  committed to using it.
+
+Pure dictionary state, no DES or radio dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["SequenceGuard"]
+
+
+class SequenceGuard:
+    """Monotonic request-seq and grant-seq tracking per sender."""
+
+    def __init__(self):
+        #: Highest request seq seen per sender.
+        self._last_request_seq: Dict[str, int] = {}
+        #: Seq of the last *granted* request per sender.
+        self._last_grant_seq: Dict[str, int] = {}
+
+    def admit_request(self, sender: str, seq: int) -> bool:
+        """Record a request; False iff it is reordered/duplicated stale."""
+        if seq <= self._last_request_seq.get(sender, -1):
+            return False
+        self._last_request_seq[sender] = seq
+        return True
+
+    def note_grant(self, sender: str, seq: int) -> None:
+        """Record that ``sender``'s request ``seq`` was granted."""
+        self._last_grant_seq[sender] = seq
+
+    def stale_cancel(self, sender: str, seq: int) -> bool:
+        """True iff a cancel with ``seq`` predates the sender's last grant."""
+        return seq < self._last_grant_seq.get(sender, -1)

@@ -1,0 +1,92 @@
+"""Request/response exchange machinery on one radio.
+
+:class:`RequestLoop` owns the receive-side matching rules every policy
+shares (Algorithms 2/6/8's "wait for the answer, else retransmit"):
+
+* :meth:`await_response` — wait up to a timeout for a message of the
+  expected type(s), discarding foreign messages and replies correlated
+  to a *superseded* request (``in_reply_to`` mismatch): acting on a
+  stale grant would commit the vehicle to a reservation window that has
+  already drifted away;
+* :meth:`exchange` — one send-and-await round with the
+  :class:`~repro.protocol.degrade.DegradationMonitor`'s jittered
+  retransmit timeout applied at send time.
+
+Both are DES generators, driven with ``yield from`` inside an agent
+process.  The loop needs only an environment and a radio — no World,
+no vehicle — so the retransmit semantics are unit-testable against a
+bare :class:`~repro.network.channel.Channel`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.des import AnyOf, Environment
+from repro.network.channel import Radio
+from repro.network.messages import Message
+from repro.protocol.degrade import DegradationMonitor
+
+__all__ = ["RequestLoop"]
+
+
+class RequestLoop:
+    """Typed, correlated request/response matching on ``radio``.
+
+    Parameters
+    ----------
+    env:
+        DES environment.
+    radio:
+        The endpoint's attached radio.
+    monitor:
+        Backoff state machine supplying the per-exchange timeout.
+    """
+
+    def __init__(self, env: Environment, radio: Radio, monitor: DegradationMonitor):
+        self.env = env
+        self.radio = radio
+        self.monitor = monitor
+
+    def await_response(self, timeout: float, *types, reply_to: Optional[int] = None):
+        """Wait up to ``timeout`` for a message of one of ``types``.
+
+        Non-matching messages are discarded, as are replies correlated
+        to a superseded request (``in_reply_to`` mismatch).  Returns the
+        message or ``None`` on timeout.
+        """
+        deadline = self.env.now + timeout
+        while True:
+            remaining = deadline - self.env.now
+            if remaining <= 0:
+                return None
+            get = self.radio.receive()
+            expiry = self.env.timeout(remaining)
+            result = yield AnyOf(self.env, [get, expiry])
+            if get in result:
+                message = result[get]
+                if isinstance(message, types):
+                    tag = getattr(message, "in_reply_to", 0)
+                    if reply_to is None or tag in (0, reply_to):
+                        return message
+                continue  # stale or foreign message; keep waiting
+            # Timed out: withdraw the pending get so it cannot swallow
+            # a later delivery meant for the next exchange.
+            self.radio.inbox.cancel_get(get)
+            return None
+
+    def exchange(self, request: Message, *types, reply_to: Optional[int] = None):
+        """Send ``request`` and await a matching reply.
+
+        The response timeout is drawn from the monitor *after* the send
+        (jitter at call time, never stored).  Returns the reply message
+        or ``None`` on timeout; backoff accounting is the caller's
+        decision — a timed-out sync exchange and a timed-out crossing
+        request degrade through the same monitor but update different
+        records.
+        """
+        self.radio.send(request)
+        response = yield from self.await_response(
+            self.monitor.next_timeout(), *types, reply_to=reply_to
+        )
+        return response

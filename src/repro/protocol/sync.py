@@ -1,0 +1,139 @@
+"""NTP time-sync: the vehicle-side session and the IM-side responder.
+
+The paper's Ch 3.2 sync state runs once per approach: the vehicle
+exchanges four timestamps with the IM and steps its clock by the
+minimum-delay sample's offset.  :class:`TimeSyncSession` adds the two
+robustness clauses the fault suite demanded:
+
+* **trust bound** — a sample whose measured round trip exceeds
+  ``rtt_limit`` is kept (the minimum-delay filter may still fall back
+  on it) but not *trusted* on its own: the NTP offset error is bounded
+  by half the round-trip delay, so accepting one delay-spiked exchange
+  would skew the local clock past the entire sync buffer and let a
+  Crossroads vehicle execute its ``TE`` inside cross traffic's window;
+* **attempt budget** — after ``attempt_budget`` samples the best
+  (minimum-delay) one is used regardless: safe degradation inside a
+  forced delay-spike window, not an infinite loop.
+
+:class:`TimeSyncResponder` is the IM half: answer a
+:class:`~repro.network.messages.SyncRequest` with the server receive /
+transmit timestamps (identical here — the IM's turnaround is absorbed
+by its compute model, not the NTP path).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.network.channel import Radio
+from repro.network.messages import SyncRequest, SyncResponse
+from repro.protocol.loop import RequestLoop
+from repro.timesync.ntp import NtpClient, NtpSample
+
+__all__ = ["TimeSyncResponder", "TimeSyncSession"]
+
+
+class TimeSyncSession:
+    """Vehicle-side NTP exchange: retransmitted, trust-bounded, budgeted.
+
+    Parameters
+    ----------
+    loop:
+        The endpoint's :class:`~repro.protocol.loop.RequestLoop`
+        (supplies env, radio and the backoff monitor).
+    ntp:
+        Minimum-delay sample filter bound to the local clock.
+    server:
+        Network address of the time reference (the IM).
+    local_time:
+        Callable returning the current *local clock* reading (the four
+        NTP timestamps are clock readings, not simulation time).
+    rtt_limit:
+        Largest round trip a sample may show and still be trusted alone.
+    attempt_budget:
+        Samples to collect before settling for the best one.
+    """
+
+    def __init__(
+        self,
+        loop: RequestLoop,
+        ntp: NtpClient,
+        *,
+        server: str,
+        local_time: Callable[[], float],
+        rtt_limit: float,
+        attempt_budget: int = 4,
+    ):
+        if rtt_limit <= 0:
+            raise ValueError("rtt_limit must be positive")
+        if attempt_budget < 1:
+            raise ValueError("attempt_budget must be >= 1")
+        self.loop = loop
+        self.ntp = ntp
+        self.server = server
+        self.local_time = local_time
+        self.rtt_limit = rtt_limit
+        self.attempt_budget = attempt_budget
+
+    def run(
+        self,
+        *,
+        should_abort: Optional[Callable[[], bool]] = None,
+        on_timeout: Optional[Callable[[], None]] = None,
+        on_contact: Optional[Callable[[], None]] = None,
+        on_resample: Optional[Callable[[], None]] = None,
+    ):
+        """DES generator: exchange until synchronised (or aborted).
+
+        ``on_timeout`` fires on every unanswered exchange (the caller's
+        backoff/record hook), ``on_contact`` on every answered one, and
+        ``on_resample`` whenever a spiked sample forces a re-exchange.
+        Returns True once the clock was stepped, False if aborted first.
+        """
+        attempts = 0
+        while should_abort is None or not should_abort():
+            t0 = self.local_time()
+            request = SyncRequest(
+                sender=self.loop.radio.address, receiver=self.server, t0=t0
+            )
+            response = yield from self.loop.exchange(request, SyncResponse)
+            if response is None:
+                if on_timeout is not None:
+                    on_timeout()
+                continue
+            t3 = self.local_time()
+            sample = NtpSample(t0=response.t0, t1=response.t1, t2=response.t2, t3=t3)
+            self.ntp.add_sample(sample)
+            if on_contact is not None:
+                on_contact()
+            attempts += 1
+            if sample.delay <= self.rtt_limit or attempts >= self.attempt_budget:
+                self.ntp.synchronize()
+                return True
+            # Spiked sample: count the re-exchange and try again.
+            if on_resample is not None:
+                on_resample()
+        return False
+
+
+class TimeSyncResponder:
+    """IM-side NTP answerer: echo ``t0``, stamp ``t1 = t2 = now``."""
+
+    def __init__(self, radio: Radio, address: Optional[str] = None):
+        self.radio = radio
+        self.address = address if address is not None else radio.address
+        #: Sync requests answered.
+        self.responses = 0
+
+    def respond(self, message: SyncRequest, now: float) -> None:
+        """Answer one sync request; ``now`` is the server clock."""
+        self.responses += 1
+        self.radio.send(
+            SyncResponse(
+                sender=self.address,
+                receiver=message.sender,
+                t0=message.t0,
+                t1=now,
+                t2=now,
+            )
+        )

@@ -1,0 +1,84 @@
+"""Command staleness validation and deadline-margin accounting.
+
+Every policy's safety argument leans on a freshness clause:
+
+* **VT-IM** — the whole argument *is* the WC-RTD bound: a command whose
+  measured round trip exceeded ``max_rtd`` is anchored on state older
+  than the IM's buffer covers; executing it would reintroduce exactly
+  the position nondeterminism the buffer was sized against.
+* **Crossroads / AIM** — a command whose execution deadline (``TE`` /
+  ``ToA``) has already passed on the synchronised local clock (delay
+  spike past the bound, duplicated old grant) cannot start the planned
+  trajectory from the state the IM assumed.
+
+:class:`CommandValidator` centralises both checks and the
+``min_command_margin`` bookkeeping the property suite pins (the margin
+of an *executed* command never goes negative).  The record sink is
+duck-typed — any object with ``rtds``, ``deadline_misses``,
+``stale_rejected`` and ``min_command_margin`` attributes works — so the
+validator stays free of vehicle-layer imports.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CommandValidator"]
+
+
+class CommandValidator:
+    """Freshness clauses shared by the three vehicle protocols.
+
+    Parameters
+    ----------
+    max_rtd:
+        Largest acceptable request->response round trip, seconds
+        (the vehicle-side WC-RTD assumption).
+    record:
+        Duck-typed accounting sink (``rtds`` list, ``deadline_misses``,
+        ``stale_rejected``, ``min_command_margin`` attributes).
+    """
+
+    #: Tolerance on deadline comparisons (float noise on ``TE - now``).
+    EPS = 1e-9
+
+    def __init__(self, max_rtd: float, record):
+        if max_rtd <= 0:
+            raise ValueError("max_rtd must be positive")
+        self.max_rtd = max_rtd
+        self.record = record
+
+    def admit_rtd(self, rtd: float) -> bool:
+        """Record a measured round trip; True iff within the bound.
+
+        The RTD is logged either way (the WC-RTD analysis wants the
+        full distribution); a miss bumps ``deadline_misses``.  Whether
+        a miss *rejects* the command is the policy's call: VT-IM must
+        reject (its safety argument is the bound), Crossroads/AIM may
+        proceed to the deadline check (their safety argument is the
+        explicit ``TE``/``ToA``).
+        """
+        self.record.rtds.append(rtd)
+        if rtd > self.max_rtd:
+            self.record.deadline_misses += 1
+            return False
+        return True
+
+    def admit_deadline(self, margin: float) -> bool:
+        """Check an execution deadline's remaining margin, seconds.
+
+        ``margin`` is ``TE - now`` (or ``ToA - now``) on the local
+        clock at command arrival.  A negative margin means the deadline
+        already passed: the command is stale, ``stale_rejected`` is
+        bumped and False returned.  Otherwise the margin is folded into
+        ``min_command_margin`` and the command may execute.
+        """
+        if margin < -self.EPS:
+            self.record.stale_rejected += 1
+            return False
+        self.note_executed(margin)
+        return True
+
+    def note_executed(self, margin: float) -> None:
+        """Record the deadline margin of a command about to execute."""
+        self.record.min_command_margin = min(
+            self.record.min_command_margin, float(margin)
+        )

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.base import IMConfig
 from repro.core.compute import LinearComputeModel
-from repro.core.policy import normalize_policy
+from repro.core.registry import normalize_policy
 from repro.core.scheduler import ConflictScheduler
 from repro.geometry.conflicts import ConflictTable
 from repro.geometry.layout import IntersectionGeometry
@@ -36,7 +36,7 @@ from repro.kinematics.arrival import (
 )
 from repro.sim.metrics import SimResult
 from repro.traffic.generator import Arrival
-from repro.vehicle.agent import VehicleRecord
+from repro.vehicle.record import VehicleRecord
 
 __all__ = ["AnalyticConfig", "run_analytic"]
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.core.registry import portable_name
 from repro.geometry.conflicts import ConflictTable
 from repro.geometry.layout import IntersectionGeometry
 from repro.sim.metrics import SimResult
@@ -120,10 +121,15 @@ def run_flow_sweep(
     out: Dict[str, List[FlowPoint]] = {}
     n_jobs = resolve_jobs(jobs)
     if n_jobs > 1:
+        # Tasks must stay picklable, so they carry policy *names*, not
+        # specs — qualified with the registering module for plugin
+        # policies, so a worker process that never imported the plugin
+        # re-runs its registration before resolving (see
+        # :func:`repro.core.registry.portable_name`).
         tasks = [
             RunTask(
                 _flow_cell,
-                (policy, flow, n_cars, seed, config),
+                (portable_name(policy), flow, n_cars, seed, config),
                 label=f"{policy}@{flow}",
             )
             for policy in policies

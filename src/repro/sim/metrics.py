@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.vehicle.agent import VehicleRecord
+from repro.vehicle.record import VehicleRecord
 
 __all__ = ["SimResult", "compare_policies"]
 

@@ -11,7 +11,12 @@ module runs such grids across a process pool while keeping the results
 * results are gathered in submission order, never completion order;
 * worker processes rebuild deterministic shared artefacts (geometry,
   conflict tables) from scratch — construction is pure, so rebuilt and
-  shared instances produce the same trajectories.
+  shared instances produce the same trajectories;
+* tasks reference policies by *name*, never by object: plain names for
+  the built-ins, ``"module:name"`` qualified names for plugins (see
+  :func:`repro.core.registry.portable_name`), which a worker resolves
+  by importing the registering module.  This keeps every task picklable
+  and makes custom policies runnable under any pool start method.
 
 Degradation is graceful: ``jobs <= 1``, a single task, an unpicklable
 task (e.g. a closure passed to :func:`repro.sim.replication.replicate`)

@@ -31,7 +31,8 @@ import numpy as np
 
 from repro.core.aim import AimConfig
 from repro.core.base import IMConfig
-from repro.core.policy import make_im, normalize_policy
+from repro.core.policy import make_im
+from repro.core.registry import resolve_policy
 from repro.des import Environment
 from repro.faults import FaultConfig, FaultInjector
 from repro.geometry.collision import OrientedRect, rects_overlap
@@ -112,7 +113,8 @@ class World:
         config: Optional[WorldConfig] = None,
         seed: Optional[int] = None,
     ):
-        self.policy = normalize_policy(policy)
+        self._spec = resolve_policy(policy)
+        self.policy = self._spec.name
         self.arrivals = sorted(arrivals, key=lambda a: a.time)
         self.config = config if config is not None else WorldConfig()
         self.geometry = geometry if geometry is not None else IntersectionGeometry()
@@ -144,11 +146,11 @@ class World:
             rng=np.random.default_rng(channel_seed),
             faults=self.faults,
         )
-        if self.policy != "aim" and conflicts is None:
+        if self._spec.needs_conflicts and conflicts is None:
             conflicts = ConflictTable(self.geometry)
         self.conflicts = conflicts
         self.im = make_im(
-            self.policy,
+            self._spec,
             self.env,
             self.channel,
             self.geometry,
@@ -212,7 +214,7 @@ class World:
                 encoder=plant_config.encoder,
             )
         vehicle = make_vehicle(
-            self.policy,
+            self._spec,
             self.env,
             info,
             radio,

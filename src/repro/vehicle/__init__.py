@@ -7,24 +7,21 @@ A vehicle in this system is (Ch 2):
 * a noisy longitudinal plant (:mod:`repro.sensors.plant`) the agent
   steers by commanding velocities;
 * a protocol state machine — *Arriving -> Sync -> Request -> Follow* —
-  with the retransmit and safe-stop clauses of Algorithms 2/4/6/8.
+  composed from the :mod:`repro.protocol` building blocks, with the
+  retransmit and safe-stop clauses of Algorithms 2/4/6/8.
 
-Three agent subclasses implement the vehicle side of the three IM
-protocols: :class:`VtimVehicle` (execute velocity command on receipt),
-:class:`CrossroadsVehicle` (execute at the commanded time ``TE``) and
-:class:`AimVehicle` (propose/slow-down/retry).
+Three agent subclasses in :mod:`repro.vehicle.policies` implement the
+vehicle side of the three IM protocols: :class:`VtimVehicle` (execute
+velocity command on receipt), :class:`CrossroadsVehicle` (execute at
+the commanded time ``TE``) and :class:`AimVehicle`
+(propose/slow-down/retry).  They are resolved by policy name through
+:mod:`repro.core.registry` via :func:`make_vehicle`.
 """
 
-from repro.vehicle.agent import (
-    AgentConfig,
-    AimVehicle,
-    BaseVehicle,
-    CrossroadsVehicle,
-    VehicleRecord,
-    VehicleState,
-    VtimVehicle,
-    make_vehicle,
-)
+from repro.vehicle.agent import BaseVehicle, make_vehicle
+from repro.vehicle.config import AgentConfig
+from repro.vehicle.policies import AimVehicle, CrossroadsVehicle, VtimVehicle
+from repro.vehicle.record import VehicleRecord, VehicleState
 from repro.vehicle.spec import VehicleInfo, VehicleSpec
 
 __all__ = [

@@ -1,4 +1,4 @@
-"""Vehicle agents: the Arriving/Sync/Request/Follow protocol machines.
+"""The base vehicle agent: drive loop + protocol-machine composition.
 
 Each agent couples three things on the DES:
 
@@ -8,236 +8,65 @@ Each agent couples three things on the DES:
   when the stop line is closer than the braking distance and no plan
   has been received) and a *car-following clamp* against the vehicle
   ahead in the lane;
-* a **protocol loop** implementing the vehicle side of Algorithms
-  2 / 6 / 8 — NTP sync on crossing the transmission line, then the
-  policy-specific request/response exchange with retransmission;
-* **bookkeeping** — enter/exit times, measured RTDs, request counts —
-  collected into a :class:`VehicleRecord` the metrics layer reads.
+* a **protocol loop** — the composition of the :mod:`repro.protocol`
+  state machines: a :class:`~repro.protocol.sync.TimeSyncSession` on
+  crossing the transmission line, then the policy-specific
+  request/response phase (see :mod:`repro.vehicle.policies`) built on
+  the shared :class:`~repro.protocol.loop.RequestLoop`,
+  :class:`~repro.protocol.validate.CommandValidator` and
+  :class:`~repro.protocol.degrade.DegradationMonitor`;
+* **bookkeeping** — a :class:`~repro.vehicle.record.VehicleRecord` the
+  metrics layer reads.
 
 The route coordinate ``s`` is 1-D: the *front bumper* starts at 0 on
 the transmission line; the stop line is at ``approach_length``; the box
 exit is ``approach_length + path.length``; the vehicle despawns a short
 outrun later.
+
+:class:`BaseVehicle` holds no policy-specific protocol logic; the three
+policy agents live in :mod:`repro.vehicle.policies` and are resolved by
+name through :mod:`repro.core.registry` via :func:`make_vehicle`.
 """
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
 import numpy as np
 
-from repro.des import AnyOf, Environment
-from repro.kinematics.arrival import plan_arrival
+from repro.des import Environment
 from repro.kinematics.profiles import MotionProfile, ProfileBuilder, brake_distance
 from repro.network.channel import Radio
-from repro.network.messages import (
-    AimAccept,
-    AimReject,
-    AimRequest,
-    CancelReservation,
-    CrossingRequest,
-    CrossroadsCommand,
-    ExitNotification,
-    SyncRequest,
-    SyncResponse,
-    VelocityCommand,
+from repro.network.messages import CancelReservation, ExitNotification, Message
+from repro.protocol import (
+    CommandValidator,
+    DegradationMonitor,
+    RequestLoop,
+    TimeSyncSession,
 )
 from repro.sensors.plant import LongitudinalPlant, PlantConfig
 from repro.timesync.clock import Clock
-from repro.timesync.ntp import NtpClient, NtpSample
+from repro.timesync.ntp import NtpClient
+from repro.vehicle.config import AgentConfig
+from repro.vehicle.record import VehicleRecord, VehicleState
 from repro.vehicle.spec import VehicleInfo
 
-__all__ = [
-    "AgentConfig",
-    "AimVehicle",
-    "BaseVehicle",
-    "CrossroadsVehicle",
-    "VehicleRecord",
-    "VehicleState",
-    "VtimVehicle",
-    "make_vehicle",
-]
-
-
-class VehicleState(enum.Enum):
-    """Protocol states of Ch 2."""
-
-    ARRIVING = "arriving"
-    SYNC = "sync"
-    REQUEST = "request"
-    FOLLOW = "follow"
-    DONE = "done"
-
-
-@dataclass
-class AgentConfig:
-    """Vehicle-side tunables."""
-
-    #: Control period, seconds (testbed Arduinos ran ~50 Hz).
-    dt: float = 0.02
-    #: Response timeout before retransmitting, seconds (> WC-RTD).
-    retry_timeout: float = 0.25
-    #: AIM: pause between a reject and the next request, seconds.
-    aim_retry_interval: float = 0.15
-    #: AIM: speed reduction applied after each reject, m/s.
-    aim_speed_step: float = 0.5
-    #: AIM: slowest speed worth proposing a constant-speed crossing at;
-    #: below this the vehicle stops at the line and proposes a launch.
-    aim_propose_min_speed: float = 0.5
-    #: Crawl-speed floor, m/s.
-    v_crawl: float = 0.10
-    #: Minimum bumper-to-bumper gap kept by the follower clamp, metres.
-    gap_min: float = 0.30
-    #: Extra margin added to the safe-stop distance, metres.
-    stop_margin: float = 0.05
-    #: Distance driven past the box before despawning, metres.
-    outrun: float = 1.0
-    #: Proportional gain of the plan-position tracking loop, 1/s.
-    position_gain: float = 3.0
-    #: Feedforward lead, seconds: command the plan velocity this far
-    #: ahead to cancel the plant's first-order response lag.
-    velocity_lead: float = 0.025
-    #: Crossroads: cruise floor below which a launch is planned; must
-    #: match the IM's ``IMConfig.v_arrive_floor``.
-    arrive_floor: float = 1.2
-    #: Slowest plannable cruise speed; must match ``IMConfig.v_min`` so
-    #: the vehicle reconstructs exactly the trajectory the IM booked.
-    plan_v_min: float = 0.25
-    #: Drop the plan and re-request when lagging it by more than this
-    #: (a blocked vehicle cannot honour its slot; renegotiate).
-    replan_lag: float = 0.30
-    #: Largest acceptable request->response round trip, seconds.  A
-    #: command that took longer is based on state older than the WC-RTD
-    #: bound assumes; VT-IM (whose safety argument *is* that bound)
-    #: rejects it and re-requests.
-    max_rtd: float = 0.150
-    #: Multiplicative retransmit jitter: each retry waits
-    #: ``timeout * (1 + U[0, backoff_jitter])`` so a fleet silenced by
-    #: the same blackout does not re-request in lockstep.
-    backoff_jitter: float = 0.1
-    #: Consecutive unanswered requests before entering degraded mode
-    #: (safe-stop hold until the IM is heard from again).
-    silence_limit: int = 5
-    #: Largest NTP round trip a sync sample may show before the vehicle
-    #: distrusts it and re-exchanges: the offset-estimate error is
-    #: bounded by *half the round trip*, so a delay-spiked sync exchange
-    #: silently skews the local clock by tens of ms — more than the
-    #: paper's whole Ch 3.2 sync buffer.  Default is 2x the testbed
-    #: delay model's one-way worst case (2 * 7.5 ms), which fault-free
-    #: samples never exceed.
-    sync_rtt_limit: float = 0.015
-    #: Sync-exchange budget: after this many samples the best
-    #: (minimum-delay) one is used regardless — safe degradation inside
-    #: a forced delay-spike window, not an infinite loop.
-    sync_attempts: int = 4
-
-    def __post_init__(self):
-        if self.dt <= 0:
-            raise ValueError("dt must be positive")
-        if self.retry_timeout <= 0:
-            raise ValueError("retry_timeout must be positive")
-        if self.v_crawl <= 0:
-            raise ValueError("v_crawl must be positive")
-        if self.max_rtd <= 0:
-            raise ValueError("max_rtd must be positive")
-        if self.backoff_jitter < 0:
-            raise ValueError("backoff_jitter must be non-negative")
-        if self.silence_limit < 1:
-            raise ValueError("silence_limit must be >= 1")
-        if self.sync_rtt_limit <= 0:
-            raise ValueError("sync_rtt_limit must be positive")
-        if self.sync_attempts < 1:
-            raise ValueError("sync_attempts must be >= 1")
-
-
-@dataclass
-class VehicleRecord:
-    """Per-vehicle outcome, filled in as the run progresses."""
-
-    vehicle_id: int
-    movement_key: str
-    spawn_time: float
-    spawn_speed: float
-    enter_time: Optional[float] = None
-    exit_time: Optional[float] = None
-    despawn_time: Optional[float] = None
-    #: Free-flow transit time from spawn to box exit (delay baseline).
-    ideal_transit: float = 0.0
-    requests_sent: int = 0
-    rejects_received: int = 0
-    replans: int = 0
-    #: Worst |planned - actual| position while following a plan, metres
-    #: (should stay within the claimed safety buffer).
-    max_tracking_error: float = 0.0
-    #: Measured request->response round trips, seconds.
-    rtds: List[float] = field(default_factory=list)
-    came_to_stop: bool = False
-    #: Commands refused because their execution deadline (TE / ToA)
-    #: had already passed on the local clock when they arrived.
-    stale_rejected: int = 0
-    #: Responses whose measured round trip exceeded ``max_rtd``.
-    deadline_misses: int = 0
-    #: Timeout-triggered retransmissions (not reject renegotiations).
-    retries: int = 0
-    #: Simulated seconds spent in degraded (safe-stop hold) mode.
-    degraded_time: float = 0.0
-    #: Times the vehicle entered degraded mode.
-    degraded_entries: int = 0
-    #: Smallest deadline margin (seconds) of any *executed* command:
-    #: ``TE - now`` / ``ToA - now`` at arrival, or ``max_rtd - rtd``
-    #: for VT-IM.  The stale-rejection clauses guarantee this never
-    #: goes negative; the property suite asserts it.
-    min_command_margin: float = float("inf")
-
-    @property
-    def finished(self) -> bool:
-        """True once the vehicle cleared the box."""
-        return self.exit_time is not None
-
-    @property
-    def delay(self) -> Optional[float]:
-        """Wait time: actual transit minus free-flow transit (Ch 7)."""
-        if self.exit_time is None:
-            return None
-        return max((self.exit_time - self.spawn_time) - self.ideal_transit, 0.0)
-
-    @property
-    def worst_rtd(self) -> float:
-        return max(self.rtds) if self.rtds else 0.0
+__all__ = ["AgentConfig", "BaseVehicle", "VehicleRecord", "VehicleState",
+           "make_vehicle"]
 
 
 class BaseVehicle:
     """Common agent machinery; subclasses add the request protocol.
 
-    Parameters
-    ----------
-    env:
-        DES environment.
-    info:
-        The vehicle's :class:`~repro.vehicle.spec.VehicleInfo`.
-    radio:
-        Attached radio (address ``V<id>``).
-    clock:
-        Local clock (offset/drift set by the spawner; NTP fixes it).
-    path_length:
-        Arc length of the movement's path through the box.
-    approach_length:
-        Transmission line to stop line distance.
-    spawn_speed:
-        Speed when crossing the transmission line.
-    plant_config:
-        Noise/limits of the longitudinal plant.
-    im_address:
-        Where to send protocol messages.
-    predecessor:
-        Callable returning the vehicle ahead in the lane (or None);
-        supplied by the world for the car-following clamp.
-    config:
-        Agent tunables.
-    rng:
-        Randomness for the plant.
+    Takes the DES ``env``, the vehicle's ``info``
+    (:class:`~repro.vehicle.spec.VehicleInfo`), an attached ``radio``
+    (address ``V<id>``), the drifting local ``clock`` (NTP fixes it),
+    the movement's ``path_length`` through the box, the
+    transmission-line-to-stop-line ``approach_length``, the
+    ``spawn_speed``, the plant's ``plant_config``, the ``im_address``,
+    a ``predecessor`` callable (vehicle ahead in lane, for the
+    car-following clamp), the :class:`AgentConfig` tunables and the
+    plant ``rng``.
     """
 
     def __init__(
@@ -292,22 +121,25 @@ class BaseVehicle:
         self.state = VehicleState.SYNC
         self.approach_speed = spawn_speed
         self.plan: Optional[MotionProfile] = None
-        self._retry_timeout = self.config.retry_timeout
         #: Safe-stop latch: once the stop clause fires, stay stopped
         #: until a plan is committed (prevents creeping over the line).
         self._hold = False
-        #: Consecutive unanswered requests (reset on any response).
-        self._timeouts_in_a_row = 0
-        #: Degraded mode: prolonged IM silence -> safe-stop hold until
-        #: the IM is heard from again.
-        self._degraded = False
-        #: Protocol-side randomness (retransmit jitter).  Seeded from
-        #: the vehicle rng so runs stay reproducible, but kept separate
-        #: so protocol draws never perturb the plant's noise stream
-        #: mid-run.
+        #: Protocol-side randomness (retransmit jitter): seeded from the
+        #: vehicle rng for reproducibility, but a separate stream so
+        #: protocol draws never perturb the plant's noise mid-run.
         self._proto_rng = np.random.default_rng(
             rng.integers(2**63) if rng is not None else None
         )
+        cfg = self.config
+        #: Silence / backoff / degraded-mode state machine.
+        self.monitor = DegradationMonitor(
+            cfg.retry_timeout,
+            backoff_jitter=cfg.backoff_jitter,
+            silence_limit=cfg.silence_limit,
+            rng=self._proto_rng,
+        )
+        #: Request/response matching + jittered retransmission.
+        self.proto = RequestLoop(env, radio, self.monitor)
         self.record = VehicleRecord(
             vehicle_id=info.vehicle_id,
             movement_key=info.movement.key,
@@ -315,8 +147,30 @@ class BaseVehicle:
             spawn_speed=spawn_speed,
             ideal_transit=self._free_flow_transit(spawn_speed),
         )
+        #: Staleness clauses + deadline-margin accounting.
+        self.validator = CommandValidator(cfg.max_rtd, self.record)
+        #: NTP exchange with trust bound and attempt budget.
+        self.sync = TimeSyncSession(
+            self.proto,
+            self.ntp,
+            server=im_address,
+            local_time=self.local_time,
+            rtt_limit=cfg.sync_rtt_limit,
+            attempt_budget=cfg.sync_attempts,
+        )
         self._drive_proc = env.process(self._drive_loop())
         self._protocol_proc = env.process(self._protocol_loop())
+
+    # -- protocol-machine views ------------------------------------------------
+    @property
+    def _degraded(self) -> bool:
+        """Degraded (safe-stop hold) mode, owned by the monitor."""
+        return self.monitor.degraded
+
+    @property
+    def _retry_timeout(self) -> float:
+        """Current (un-jittered) retransmit timeout, owned by the monitor."""
+        return self.monitor.retry_timeout
 
     # -- geometry helpers -----------------------------------------------------
     @property
@@ -487,50 +341,20 @@ class BaseVehicle:
                 yield self.env.timeout(5 * self.config.dt)
 
     def _sync_phase(self):
-        """NTP sync: retransmitted until answered, re-sampled if spiked.
+        """Run the :class:`TimeSyncSession` with this agent's hooks.
 
-        Uses the same backoff/degradation machinery as the request
-        phases: a vehicle spawning into a blackout window must not
-        hammer the channel, and prolonged silence still ends in a
-        safe-stop hold.
-
-        A sample whose measured round trip exceeds
-        ``config.sync_rtt_limit`` is kept (the client's minimum-delay
-        filter may still fall back on it) but not *trusted* on its own:
-        the NTP offset error is bounded by half the round-trip delay,
-        so accepting one delay-spiked exchange would skew the local
-        clock past the entire Ch 3.2 sync buffer and let a Crossroads
-        vehicle execute its ``TE`` inside cross traffic's window.  The
-        vehicle re-exchanges, up to ``config.sync_attempts`` samples,
-        then synchronises off the best (minimum-delay) sample it got.
+        Timeout and contact share the request phases' backoff and
+        degradation machinery — a vehicle spawning into a blackout
+        window must not hammer the channel, and prolonged silence still
+        ends in a safe-stop hold; spiked-sample re-exchanges count as
+        retries.
         """
-        attempts = 0
-        while not self.done:
-            t0 = self.local_time()
-            self.radio.send(
-                SyncRequest(sender=self.radio.address, receiver=self.im_address, t0=t0)
-            )
-            response = yield from self._await_response(
-                self._next_retry_timeout(), SyncResponse
-            )
-            if response is None:
-                self._backoff()
-                continue
-            t3 = self.local_time()
-            sample = NtpSample(
-                t0=response.t0, t1=response.t1, t2=response.t2, t3=t3
-            )
-            self.ntp.add_sample(sample)
-            self._note_contact()
-            attempts += 1
-            if (
-                sample.delay <= self.config.sync_rtt_limit
-                or attempts >= self.config.sync_attempts
-            ):
-                self.ntp.synchronize()
-                return
-            # Spiked sample: count the re-exchange and try again.
-            self.record.retries += 1
+        yield from self.sync.run(
+            should_abort=lambda: self.done,
+            on_timeout=self._backoff,
+            on_contact=self._note_contact,
+            on_resample=self._count_retry,
+        )
 
     def _blocked_by_leader(self) -> bool:
         """True while stuck in a queue behind a stopped leader.
@@ -548,84 +372,37 @@ class BaseVehicle:
         gap = leader.rear - self.front
         return gap < 1.2 and leader.speed < 0.15
 
-    def _next_retry_timeout(self) -> float:
-        """Current retransmit timeout; backs off while unanswered.
-
-        A multiplicative jitter of up to ``backoff_jitter`` is applied
-        at *call* time (never stored), so a fleet of vehicles silenced
-        by the same blackout window does not retransmit in lockstep
-        when the radio comes back — the classic re-request storm.
-        """
-        jitter = self.config.backoff_jitter
-        if jitter <= 0:
-            return self._retry_timeout
-        return self._retry_timeout * (1.0 + jitter * float(self._proto_rng.random()))
-
     def _backoff(self) -> None:
-        """Grow the retransmit timeout (capped) after a timeout.
-
-        The IM keeps only the newest request per sender, so polling is
-        cheap; the cap mainly bounds how long a parked vehicle can miss
-        a free window.  After ``silence_limit`` consecutive unanswered
-        requests with no committed plan, the agent enters degraded
-        mode: a safe-stop hold anywhere on the approach until the IM is
-        heard from again (:meth:`_note_contact`).
-        """
-        self._retry_timeout = min(self._retry_timeout * 1.5, 0.8)
+        """One unanswered exchange: count it and grow the monitor."""
         self.record.retries += 1
-        self._timeouts_in_a_row += 1
-        if (
-            self._timeouts_in_a_row >= self.config.silence_limit
-            and self.plan is None
-            and not self._degraded
-        ):
-            self._degraded = True
+        if self.monitor.on_timeout(committed=self.plan is not None):
             self.record.degraded_entries += 1
-
-    def _reset_backoff(self) -> None:
-        self._retry_timeout = self.config.retry_timeout
 
     def _note_contact(self) -> None:
         """The IM answered: reset backoff and leave degraded mode."""
-        self._reset_backoff()
-        self._timeouts_in_a_row = 0
-        if self._degraded:
-            self._degraded = False
+        self.monitor.on_contact()
 
-    def _note_executed(self, margin: float) -> None:
-        """Record the deadline margin of a command about to execute."""
-        self.record.min_command_margin = min(
-            self.record.min_command_margin, float(margin)
-        )
+    def _count_retry(self) -> None:
+        self.record.retries += 1
 
-    def _await_response(self, timeout: float, *types, reply_to=None):
-        """Wait up to ``timeout`` for a message of one of ``types``.
+    def _exchange(self, request: Message, *types):
+        """One counted, correlated request/response round.
 
-        Non-matching messages are discarded, as are replies correlated
-        to a *superseded* request (``in_reply_to`` mismatch) — acting on
-        a stale grant would commit the vehicle to a reservation window
-        that has already drifted away.  Returns the message or ``None``
-        on timeout.
+        Sends ``request``, awaits a reply of one of ``types`` matching
+        the request's seq, and runs the shared timeout/contact
+        bookkeeping.  Returns ``(response, rtd)``; ``response`` is None
+        after an unanswered (backed-off) exchange.
         """
-        deadline = self.env.now + timeout
-        while True:
-            remaining = deadline - self.env.now
-            if remaining <= 0:
-                return None
-            get = self.radio.receive()
-            expiry = self.env.timeout(remaining)
-            result = yield AnyOf(self.env, [get, expiry])
-            if get in result:
-                message = result[get]
-                if isinstance(message, types):
-                    tag = getattr(message, "in_reply_to", 0)
-                    if reply_to is None or tag in (0, reply_to):
-                        return message
-                continue  # stale or foreign message; keep waiting
-            # Timed out: withdraw the pending get so it cannot swallow
-            # a later delivery meant for the next exchange.
-            self.radio.inbox.cancel_get(get)
-            return None
+        sent_at = self.env.now
+        self.record.requests_sent += 1
+        response = yield from self.proto.exchange(
+            request, *types, reply_to=request.seq
+        )
+        if response is None:
+            self._backoff()
+            return None, 0.0
+        self._note_contact()
+        return response, self.env.now - sent_at
 
     def _request_phase(self):
         """Policy-specific request/response exchange (subclass hook)."""
@@ -659,261 +436,15 @@ class BaseVehicle:
         self._set_plan(self._extend_through_box(builder, v_target))
 
 
-class VtimVehicle(BaseVehicle):
-    """Vehicle side of the plain VT-IM (Algorithm 2).
+def make_vehicle(policy, *args, **kwargs) -> BaseVehicle:
+    """Instantiate the agent class matching an IM policy.
 
-    Executes the commanded velocity *the instant it is received* — the
-    behaviour whose position nondeterminism forces the RTD buffer.
+    ``policy`` may be a registered policy name/alias or a
+    :class:`~repro.core.registry.PolicySpec`; resolution goes through
+    :mod:`repro.core.registry`, so plugin policies work everywhere the
+    built-ins do.  (Imported lazily: the registry references vehicle
+    classes, so a module-level import here would be circular.)
     """
+    from repro.core.registry import resolve_policy
 
-    def _request_phase(self):
-        cfg = self.config
-        while not self.done and self.plan is None:
-            if self._blocked_by_leader():
-                yield self.env.timeout(cfg.retry_timeout)
-                continue
-            sent_at = self.env.now
-            self.record.requests_sent += 1
-            request = CrossingRequest(
-                sender=self.radio.address,
-                receiver=self.im_address,
-                tt=self.local_time(),
-                dt=self.measured_distance_to_line(),
-                vc=self.plant.measured_velocity(),
-                vehicle_info=self.info,
-            )
-            self.radio.send(request)
-            response = yield from self._await_response(
-                self._next_retry_timeout(), VelocityCommand, reply_to=request.seq
-            )
-            if response is None:
-                self._backoff()
-                continue  # retransmit clause
-            self._note_contact()
-            rtd = self.env.now - sent_at
-            self.record.rtds.append(rtd)
-            # VT-IM's whole safety argument is the WC-RTD bound: a
-            # command that took longer than ``max_rtd`` to arrive is
-            # anchored on state older than the IM's buffer covers.
-            # Executing it would reintroduce exactly the position
-            # nondeterminism the buffer was sized against — reject and
-            # re-request from fresh state.
-            if rtd > cfg.max_rtd:
-                self.record.deadline_misses += 1
-                self.record.stale_rejected += 1
-                continue
-            self._note_executed(cfg.max_rtd - rtd)
-            self._commit_cruise_plan(min(response.vt, self.info.spec.v_max))
-
-
-class CrossroadsVehicle(BaseVehicle):
-    """Vehicle side of Crossroads (Algorithm 8).
-
-    Holds the reported velocity until the commanded execution time
-    ``TE`` (on the *synchronised local clock*), then runs the planned
-    trajectory to arrive at ``ToA`` with velocity ``VT``.
-    """
-
-    def _request_phase(self):
-        cfg = self.config
-        spec = self.info.spec
-        while not self.done and self.plan is None:
-            if self._blocked_by_leader():
-                yield self.env.timeout(cfg.retry_timeout)
-                continue
-            sent_at = self.env.now
-            tt = self.local_time()
-            dt_measured = self.measured_distance_to_line()
-            vc = min(self.plant.measured_velocity(), spec.v_max)
-            self.record.requests_sent += 1
-            request = CrossingRequest(
-                sender=self.radio.address,
-                receiver=self.im_address,
-                tt=tt,
-                dt=dt_measured,
-                vc=vc,
-                vehicle_info=self.info,
-            )
-            self.radio.send(request)
-            response = yield from self._await_response(
-                self._next_retry_timeout(), CrossroadsCommand, reply_to=request.seq
-            )
-            if response is None:
-                self._backoff()
-                continue
-            self._note_contact()
-            rtd = self.env.now - sent_at
-            self.record.rtds.append(rtd)
-            if rtd > cfg.max_rtd:
-                self.record.deadline_misses += 1
-            # Stale-command rejection: a command whose execution time
-            # has already passed on the synchronised clock (delay spike
-            # past the bound, or an injected duplicate of an old grant)
-            # cannot start the planned trajectory from the state the IM
-            # assumed.  Refuse it and fall back to the committed
-            # approach profile; the loop re-requests from fresh state.
-            margin = response.te - self.local_time()
-            if margin < -1e-9:
-                self.record.stale_rejected += 1
-                continue
-            self._note_executed(margin)
-            # Wait until the local clock reads TE; the vehicle keeps
-            # holding its approach speed meanwhile (the drive loop's
-            # default behaviour).
-            wait = margin
-            if wait > 0:
-                yield self.env.timeout(wait)
-            # Deterministic state at TE, as the IM computed it.
-            de = max(dt_measured - vc * (response.te - tt), 0.01)
-            start_pos = self.approach_length - de
-            plan = plan_arrival(
-                distance=de,
-                v_init=vc,
-                start_time=self.env.now,
-                toa=self.env.now + max(response.toa - response.te, 0.0),
-                a_max=spec.a_max,
-                d_max=spec.d_max,
-                v_max=spec.v_max,
-                v_min=cfg.plan_v_min,
-                start_position=start_pos,
-                launch_below=cfg.arrive_floor,
-            )
-            if plan is None:
-                continue  # unreachable command; re-request
-            builder = ProfileBuilder(
-                plan.profile.end_time, plan.profile.end_position, plan.arrival_velocity
-            )
-            box_plan = self._extend_through_box(builder, max(response.vt, cfg.v_crawl))
-            self._set_plan(plan.profile.concat(box_plan))
-
-
-class AimVehicle(BaseVehicle):
-    """Vehicle side of the query-based AIM protocol (Algorithm 6).
-
-    Proposes arrival at its current speed; on rejection slows one step
-    and retries; when forced to a stop at the line, proposes a
-    launch-from-stop reservation.
-    """
-
-    #: Initial launch-proposal lead over the local clock, seconds.
-    LAUNCH_LEAD = 0.20
-    #: Ceiling of the adaptive launch lead (see ``_request_phase``).
-    LAUNCH_LEAD_MAX = 2.0
-
-    def _request_phase(self):
-        cfg = self.config
-        spec = self.info.spec
-        launch_lead = self.LAUNCH_LEAD
-        while not self.done and self.plan is None:
-            if self._blocked_by_leader():
-                yield self.env.timeout(cfg.retry_timeout)
-                continue
-            vc = min(max(self.plant.measured_velocity(), 0.0), spec.v_max)
-            dist = self.measured_distance_to_line()
-            # Launch proposals are made once the safe-stop latch has
-            # parked the vehicle near the line; the measured standoff is
-            # sent so the IM simulates from the true stop position.
-            stopped = vc < 0.05 and self._hold and dist < 0.5
-            if stopped:
-                # Propose the earliest launch the round trip allows (the
-                # IM rejects anything inside WC-RTD); a larger margin
-                # would be pure dead time at the line.  The lead is
-                # *adaptive*: a delay spike during the NTP exchange can
-                # skew this clock by tens of milliseconds, making every
-                # fixed-lead proposal land inside the IM's WC-RTD window
-                # and be rejected forever — so while launch proposals
-                # keep bouncing, the lead grows (reset on acceptance).
-                toa_local = self.local_time() + launch_lead
-                request = AimRequest(
-                    sender=self.radio.address,
-                    receiver=self.im_address,
-                    toa=toa_local,
-                    vc=0.0,
-                    vehicle_info=self.info,
-                    accelerate=True,
-                    standoff=float(min(max(dist, 0.0), 0.5)),
-                )
-            elif vc < cfg.aim_propose_min_speed:
-                # Too slow for a constant-speed crossing to be worth
-                # reserving; let the safe-stop clause bring the vehicle
-                # to rest at the line, then propose a launch.
-                yield self.env.timeout(cfg.aim_retry_interval)
-                continue
-            else:
-                toa_local = self.local_time() + dist / vc
-                request = AimRequest(
-                    sender=self.radio.address,
-                    receiver=self.im_address,
-                    toa=toa_local,
-                    vc=vc,
-                    vehicle_info=self.info,
-                    accelerate=False,
-                )
-            sent_at = self.env.now
-            self.record.requests_sent += 1
-            self.radio.send(request)
-            response = yield from self._await_response(
-                self._next_retry_timeout(), AimAccept, AimReject,
-                reply_to=request.seq,
-            )
-            if response is None:
-                self._backoff()
-                continue  # lost message; retransmit
-            self._note_contact()
-            rtd = self.env.now - sent_at
-            self.record.rtds.append(rtd)
-            if rtd > cfg.max_rtd:
-                self.record.deadline_misses += 1
-            if isinstance(response, AimReject):
-                self.record.rejects_received += 1
-                if stopped:
-                    # Widen the launch lead: the rejection may be a
-                    # conflict (waiting works) or a clock-skew-induced
-                    # too-soon proposal (only a larger lead works).
-                    launch_lead = min(launch_lead * 1.5, self.LAUNCH_LEAD_MAX)
-                else:
-                    # Slow down one step and re-request (Ch 5.2).
-                    self.approach_speed = max(
-                        self.approach_speed - cfg.aim_speed_step, cfg.v_crawl
-                    )
-                yield self.env.timeout(cfg.aim_retry_interval)
-                continue
-            # Accepted: follow through at the reserved speed/time.
-            delay_to_toa = response.toa - self.local_time()
-            # Stale-accept rejection: a grant arriving after its own
-            # ToA (delay spike past the bound, duplicated old accept)
-            # reserves tiles the vehicle can no longer occupy on time.
-            # Give the slot back and renegotiate from current state.
-            if delay_to_toa < -1e-9:
-                self.record.stale_rejected += 1
-                self.radio.send(
-                    CancelReservation(
-                        sender=self.radio.address, receiver=self.im_address
-                    )
-                )
-                yield self.env.timeout(cfg.aim_retry_interval)
-                continue
-            self._note_executed(delay_to_toa)
-            if request.accelerate:
-                # ``toa`` is the launch time: wait it out, then floor it.
-                if delay_to_toa > 0:
-                    yield self.env.timeout(delay_to_toa)
-                builder = ProfileBuilder(self.env.now, self.plant.position, self.speed)
-                self._set_plan(self._extend_through_box(builder, spec.v_max))
-            else:
-                # Keep cruising at the accepted speed; the reservation
-                # was made for exactly this profile.
-                self._commit_cruise_plan(min(response.vc, spec.v_max))
-
-
-def make_vehicle(policy: str, *args, **kwargs) -> BaseVehicle:
-    """Instantiate the agent class matching an IM policy name."""
-    from repro.core.policy import normalize_policy
-
-    classes = {
-        "vt-im": VtimVehicle,
-        "crossroads": CrossroadsVehicle,
-        "batch-crossroads": CrossroadsVehicle,  # same vehicle protocol
-        "aim": AimVehicle,
-    }
-    return classes[normalize_policy(policy)](*args, **kwargs)
+    return resolve_policy(policy).vehicle_cls(*args, **kwargs)

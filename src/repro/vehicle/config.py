@@ -1,0 +1,88 @@
+"""Vehicle-side tunables (testbed defaults)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AgentConfig"]
+
+
+@dataclass
+class AgentConfig:
+    """Vehicle-side tunables."""
+
+    #: Control period, seconds (testbed Arduinos ran ~50 Hz).
+    dt: float = 0.02
+    #: Response timeout before retransmitting, seconds (> WC-RTD).
+    retry_timeout: float = 0.25
+    #: AIM: pause between a reject and the next request, seconds.
+    aim_retry_interval: float = 0.15
+    #: AIM: speed reduction applied after each reject, m/s.
+    aim_speed_step: float = 0.5
+    #: AIM: slowest speed worth proposing a constant-speed crossing at;
+    #: below this the vehicle stops at the line and proposes a launch.
+    aim_propose_min_speed: float = 0.5
+    #: Crawl-speed floor, m/s.
+    v_crawl: float = 0.10
+    #: Minimum bumper-to-bumper gap kept by the follower clamp, metres.
+    gap_min: float = 0.30
+    #: Extra margin added to the safe-stop distance, metres.
+    stop_margin: float = 0.05
+    #: Distance driven past the box before despawning, metres.
+    outrun: float = 1.0
+    #: Proportional gain of the plan-position tracking loop, 1/s.
+    position_gain: float = 3.0
+    #: Feedforward lead, seconds: command the plan velocity this far
+    #: ahead to cancel the plant's first-order response lag.
+    velocity_lead: float = 0.025
+    #: Crossroads: cruise floor below which a launch is planned; must
+    #: match the IM's ``IMConfig.v_arrive_floor``.
+    arrive_floor: float = 1.2
+    #: Slowest plannable cruise speed; must match ``IMConfig.v_min`` so
+    #: the vehicle reconstructs exactly the trajectory the IM booked.
+    plan_v_min: float = 0.25
+    #: Drop the plan and re-request when lagging it by more than this
+    #: (a blocked vehicle cannot honour its slot; renegotiate).
+    replan_lag: float = 0.30
+    #: Largest acceptable request->response round trip, seconds.  A
+    #: command that took longer is based on state older than the WC-RTD
+    #: bound assumes; VT-IM (whose safety argument *is* that bound)
+    #: rejects it and re-requests.
+    max_rtd: float = 0.150
+    #: Multiplicative retransmit jitter: each retry waits
+    #: ``timeout * (1 + U[0, backoff_jitter])`` so a fleet silenced by
+    #: the same blackout does not re-request in lockstep.
+    backoff_jitter: float = 0.1
+    #: Consecutive unanswered requests before entering degraded mode
+    #: (safe-stop hold until the IM is heard from again).
+    silence_limit: int = 5
+    #: Largest NTP round trip a sync sample may show before the vehicle
+    #: distrusts it and re-exchanges: the offset-estimate error is
+    #: bounded by *half the round trip*, so a delay-spiked sync exchange
+    #: silently skews the local clock by tens of ms — more than the
+    #: paper's whole Ch 3.2 sync buffer.  Default is 2x the testbed
+    #: delay model's one-way worst case (2 * 7.5 ms), which fault-free
+    #: samples never exceed.
+    sync_rtt_limit: float = 0.015
+    #: Sync-exchange budget: after this many samples the best
+    #: (minimum-delay) one is used regardless — safe degradation inside
+    #: a forced delay-spike window, not an infinite loop.
+    sync_attempts: int = 4
+
+    def __post_init__(self):
+        if self.dt <= 0:
+            raise ValueError("dt must be positive")
+        if self.retry_timeout <= 0:
+            raise ValueError("retry_timeout must be positive")
+        if self.v_crawl <= 0:
+            raise ValueError("v_crawl must be positive")
+        if self.max_rtd <= 0:
+            raise ValueError("max_rtd must be positive")
+        if self.backoff_jitter < 0:
+            raise ValueError("backoff_jitter must be non-negative")
+        if self.silence_limit < 1:
+            raise ValueError("silence_limit must be >= 1")
+        if self.sync_rtt_limit <= 0:
+            raise ValueError("sync_rtt_limit must be positive")
+        if self.sync_attempts < 1:
+            raise ValueError("sync_attempts must be >= 1")

@@ -1,0 +1,82 @@
+"""Per-vehicle protocol states and outcome bookkeeping.
+
+:class:`VehicleState` names the Ch 2 protocol phases; a
+:class:`VehicleRecord` is filled in as a run progresses and is what the
+metrics layer reads — enter/exit times, measured RTDs, request counts,
+and the robustness accounting (stale rejections, retries, degraded
+time) the fault suite pins.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["VehicleRecord", "VehicleState"]
+
+
+class VehicleState(enum.Enum):
+    """Protocol states of Ch 2."""
+
+    ARRIVING = "arriving"
+    SYNC = "sync"
+    REQUEST = "request"
+    FOLLOW = "follow"
+    DONE = "done"
+
+
+@dataclass
+class VehicleRecord:
+    """Per-vehicle outcome, filled in as the run progresses."""
+
+    vehicle_id: int
+    movement_key: str
+    spawn_time: float
+    spawn_speed: float
+    enter_time: Optional[float] = None
+    exit_time: Optional[float] = None
+    despawn_time: Optional[float] = None
+    #: Free-flow transit time from spawn to box exit (delay baseline).
+    ideal_transit: float = 0.0
+    requests_sent: int = 0
+    rejects_received: int = 0
+    replans: int = 0
+    #: Worst |planned - actual| position while following a plan, metres
+    #: (should stay within the claimed safety buffer).
+    max_tracking_error: float = 0.0
+    #: Measured request->response round trips, seconds.
+    rtds: List[float] = field(default_factory=list)
+    came_to_stop: bool = False
+    #: Commands refused because their execution deadline (TE / ToA)
+    #: had already passed on the local clock when they arrived.
+    stale_rejected: int = 0
+    #: Responses whose measured round trip exceeded ``max_rtd``.
+    deadline_misses: int = 0
+    #: Timeout-triggered retransmissions (not reject renegotiations).
+    retries: int = 0
+    #: Simulated seconds spent in degraded (safe-stop hold) mode.
+    degraded_time: float = 0.0
+    #: Times the vehicle entered degraded mode.
+    degraded_entries: int = 0
+    #: Smallest deadline margin (seconds) of any *executed* command:
+    #: ``TE - now`` / ``ToA - now`` at arrival, or ``max_rtd - rtd``
+    #: for VT-IM.  The stale-rejection clauses guarantee this never
+    #: goes negative; the property suite asserts it.
+    min_command_margin: float = float("inf")
+
+    @property
+    def finished(self) -> bool:
+        """True once the vehicle cleared the box."""
+        return self.exit_time is not None
+
+    @property
+    def delay(self) -> Optional[float]:
+        """Wait time: actual transit minus free-flow transit (Ch 7)."""
+        if self.exit_time is None:
+            return None
+        return max((self.exit_time - self.spawn_time) - self.ideal_transit, 0.0)
+
+    @property
+    def worst_rtd(self) -> float:
+        return max(self.rtds) if self.rtds else 0.0

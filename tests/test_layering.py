@@ -1,0 +1,39 @@
+"""The DESIGN.md layer rules hold (tools/check_layers.py is clean).
+
+Runs the same AST lint CI runs, so a layer violation fails tier-1
+locally instead of surfacing only on push.
+"""
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _load_lint():
+    spec = importlib.util.spec_from_file_location(
+        "check_layers", REPO_ROOT / "tools" / "check_layers.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_no_layer_violations():
+    lint = _load_lint()
+    violations, graph = lint.check(REPO_ROOT / "src")
+    assert violations == []
+    # Spot-check the spine of the architecture is actually observed.
+    assert "protocol" in graph.get("vehicle", set())
+    assert "protocol" in graph.get("core", set())
+    assert "core" in graph.get("sim", set())
+
+
+def test_every_package_has_a_level():
+    lint = _load_lint()
+    packages = {
+        p.name
+        for p in (REPO_ROOT / "src" / "repro").iterdir()
+        if p.is_dir() and (p / "__init__.py").exists()
+    }
+    assert packages <= set(lint.LAYERS)

@@ -1,0 +1,421 @@
+"""Direct unit tests for the repro.protocol state machines.
+
+Each machine is exercised in isolation — no World, no vehicle, no IM —
+which is the point of the layer: the retransmit/backoff/degradation,
+staleness-validation, sequence-guard and time-sync semantics the fault
+suite pins end-to-end are testable here against a bare DES environment
+and channel (or no DES at all for the pure-state machines).
+"""
+
+import numpy as np
+import pytest
+
+from repro.des import Environment
+from repro.network.channel import Channel
+from repro.network.messages import (
+    SyncRequest,
+    SyncResponse,
+    VelocityCommand,
+)
+from repro.protocol import (
+    CommandValidator,
+    DegradationMonitor,
+    RequestLoop,
+    SequenceGuard,
+    TimeSyncResponder,
+    TimeSyncSession,
+)
+from repro.timesync.clock import Clock
+from repro.timesync.ntp import NtpClient
+
+
+class RecordSink:
+    """Minimal duck-typed record for CommandValidator."""
+
+    def __init__(self):
+        self.rtds = []
+        self.deadline_misses = 0
+        self.stale_rejected = 0
+        self.min_command_margin = float("inf")
+
+
+# -- DegradationMonitor ------------------------------------------------------
+
+class TestDegradationMonitor:
+    def test_backoff_growth_and_cap(self):
+        monitor = DegradationMonitor(0.25, growth=1.5, timeout_cap=0.8)
+        assert monitor.retry_timeout == 0.25
+        monitor.on_timeout()
+        assert monitor.retry_timeout == pytest.approx(0.375)
+        for _ in range(10):
+            monitor.on_timeout()
+        assert monitor.retry_timeout == pytest.approx(0.8)
+
+    def test_contact_resets_everything(self):
+        monitor = DegradationMonitor(0.25, silence_limit=2)
+        monitor.on_timeout()
+        monitor.on_timeout()
+        assert monitor.degraded
+        monitor.on_contact()
+        assert not monitor.degraded
+        assert monitor.retry_timeout == 0.25
+        assert monitor.timeouts_in_a_row == 0
+
+    def test_degrades_after_silence_limit(self):
+        monitor = DegradationMonitor(0.25, silence_limit=3)
+        assert not monitor.on_timeout()
+        assert not monitor.on_timeout()
+        assert monitor.on_timeout()  # third strike: newly degraded
+        assert monitor.degraded
+        assert not monitor.on_timeout()  # already degraded: not "newly"
+
+    def test_committed_endpoint_never_degrades(self):
+        monitor = DegradationMonitor(0.25, silence_limit=1)
+        for _ in range(5):
+            assert not monitor.on_timeout(committed=True)
+        assert not monitor.degraded
+        # ... but the backoff still grows (poll pacing).
+        assert monitor.retry_timeout > 0.25
+
+    def test_jitter_bounds_and_determinism(self):
+        rng = np.random.default_rng(3)
+        monitor = DegradationMonitor(0.2, backoff_jitter=0.1, rng=rng)
+        draws = [monitor.next_timeout() for _ in range(100)]
+        assert all(0.2 <= d <= 0.2 * 1.1 for d in draws)
+        assert len(set(draws)) > 1  # jitter is drawn fresh per call
+        rng2 = np.random.default_rng(3)
+        monitor2 = DegradationMonitor(0.2, backoff_jitter=0.1, rng=rng2)
+        assert draws == [monitor2.next_timeout() for _ in range(100)]
+
+    def test_no_jitter_is_exact(self):
+        monitor = DegradationMonitor(0.2)
+        assert monitor.next_timeout() == 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DegradationMonitor(0.0)
+        with pytest.raises(ValueError):
+            DegradationMonitor(0.2, backoff_jitter=-0.1)
+        with pytest.raises(ValueError):
+            DegradationMonitor(0.2, silence_limit=0)
+        with pytest.raises(ValueError):
+            DegradationMonitor(0.2, growth=0.9)
+        with pytest.raises(ValueError):
+            DegradationMonitor(0.2, timeout_cap=0.1)
+
+
+# -- CommandValidator --------------------------------------------------------
+
+class TestCommandValidator:
+    def test_rtd_within_bound(self):
+        record = RecordSink()
+        validator = CommandValidator(0.15, record)
+        assert validator.admit_rtd(0.1)
+        assert record.rtds == [0.1]
+        assert record.deadline_misses == 0
+
+    def test_rtd_miss_logged_and_counted(self):
+        record = RecordSink()
+        validator = CommandValidator(0.15, record)
+        assert not validator.admit_rtd(0.2)
+        # The full RTD distribution is kept either way (WC-RTD study).
+        assert record.rtds == [0.2]
+        assert record.deadline_misses == 1
+        assert record.stale_rejected == 0  # rejecting is the policy's call
+
+    def test_deadline_margin_folds_into_minimum(self):
+        record = RecordSink()
+        validator = CommandValidator(0.15, record)
+        assert validator.admit_deadline(0.5)
+        assert validator.admit_deadline(0.05)
+        assert validator.admit_deadline(0.2)
+        assert record.min_command_margin == pytest.approx(0.05)
+        assert record.stale_rejected == 0
+
+    def test_passed_deadline_rejected(self):
+        record = RecordSink()
+        validator = CommandValidator(0.15, record)
+        assert not validator.admit_deadline(-0.01)
+        assert record.stale_rejected == 1
+        # A rejected command never contaminates the executed-margin min.
+        assert record.min_command_margin == float("inf")
+
+    def test_deadline_epsilon_tolerance(self):
+        record = RecordSink()
+        validator = CommandValidator(0.15, record)
+        # Float noise just below zero still executes (margin ~ 0).
+        assert validator.admit_deadline(-1e-12)
+        assert record.stale_rejected == 0
+
+    def test_note_executed(self):
+        record = RecordSink()
+        validator = CommandValidator(0.15, record)
+        validator.note_executed(0.03)
+        assert record.min_command_margin == pytest.approx(0.03)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CommandValidator(0.0, RecordSink())
+
+
+# -- SequenceGuard -----------------------------------------------------------
+
+class TestSequenceGuard:
+    def test_monotonic_requests(self):
+        guard = SequenceGuard()
+        assert guard.admit_request("V1", 5)
+        assert not guard.admit_request("V1", 5)  # duplicate
+        assert not guard.admit_request("V1", 3)  # reordered
+        assert guard.admit_request("V1", 6)
+
+    def test_senders_are_independent(self):
+        guard = SequenceGuard()
+        assert guard.admit_request("V1", 10)
+        assert guard.admit_request("V2", 2)
+        assert not guard.admit_request("V2", 2)
+
+    def test_stale_cancel(self):
+        guard = SequenceGuard()
+        guard.note_grant("V1", 7)
+        assert guard.stale_cancel("V1", 6)  # predates the grant
+        assert not guard.stale_cancel("V1", 7)
+        assert not guard.stale_cancel("V1", 9)
+        assert not guard.stale_cancel("V9", 1)  # never granted: not stale
+
+
+# -- RequestLoop -------------------------------------------------------------
+
+def _drive(env, gen, results, key):
+    """Run a protocol generator as a DES process, capturing its return."""
+
+    def proc():
+        results[key] = yield from gen
+
+    env.process(proc())
+
+
+class TestRequestLoop:
+    def _loop(self):
+        env = Environment()
+        channel = Channel(env)
+        vehicle_radio = channel.attach("V1")
+        im_radio = channel.attach("IM")
+        monitor = DegradationMonitor(0.25)
+        return env, vehicle_radio, im_radio, RequestLoop(env, vehicle_radio, monitor)
+
+    def test_exchange_answered(self):
+        env, vehicle_radio, im_radio, loop = self._loop()
+        results = {}
+        request = SyncRequest(sender="V1", receiver="IM", t0=0.0)
+
+        def im():
+            message = yield im_radio.receive()
+            im_radio.send(
+                SyncResponse(sender="IM", receiver="V1", t0=message.t0,
+                             t1=env.now, t2=env.now)
+            )
+
+        env.process(im())
+        _drive(env, loop.exchange(request, SyncResponse), results, "r")
+        env.run()
+        assert isinstance(results["r"], SyncResponse)
+
+    def test_exchange_timeout_returns_none(self):
+        env, _, _, loop = self._loop()
+        results = {}
+        request = SyncRequest(sender="V1", receiver="IM", t0=0.0)
+        _drive(env, loop.exchange(request, SyncResponse), results, "r")
+        env.run()  # IM never answers
+        assert results["r"] is None
+        assert env.now == pytest.approx(0.25)  # monitor's base timeout
+
+    def test_foreign_types_discarded(self):
+        env, vehicle_radio, im_radio, loop = self._loop()
+        results = {}
+
+        def im():
+            yield env.timeout(0.01)
+            im_radio.send(VelocityCommand(sender="IM", receiver="V1", vt=1.0))
+            yield env.timeout(0.01)
+            im_radio.send(SyncResponse(sender="IM", receiver="V1"))
+
+        env.process(im())
+        _drive(env, loop.await_response(0.2, SyncResponse), results, "r")
+        env.run()
+        assert isinstance(results["r"], SyncResponse)
+
+    def test_superseded_reply_discarded(self):
+        env, vehicle_radio, im_radio, loop = self._loop()
+        results = {}
+
+        def im():
+            yield env.timeout(0.01)
+            im_radio.send(
+                VelocityCommand(sender="IM", receiver="V1", vt=1.0,
+                                in_reply_to=999)  # answers an older request
+            )
+            yield env.timeout(0.01)
+            im_radio.send(
+                VelocityCommand(sender="IM", receiver="V1", vt=2.0,
+                                in_reply_to=1000)
+            )
+
+        env.process(im())
+        _drive(env, loop.await_response(0.2, VelocityCommand, reply_to=1000),
+               results, "r")
+        env.run()
+        assert results["r"].vt == 2.0
+
+    def test_uncorrelated_reply_accepted(self):
+        # in_reply_to == 0 means "uncorrelated" and always matches.
+        env, vehicle_radio, im_radio, loop = self._loop()
+        results = {}
+
+        def im():
+            yield env.timeout(0.01)
+            im_radio.send(VelocityCommand(sender="IM", receiver="V1", vt=3.0))
+
+        env.process(im())
+        _drive(env, loop.await_response(0.2, VelocityCommand, reply_to=1234),
+               results, "r")
+        env.run()
+        assert results["r"].vt == 3.0
+
+    def test_timeout_withdraws_pending_get(self):
+        # A reply landing *after* the timeout must not be swallowed by
+        # the abandoned get — the next await must still receive it.
+        env, vehicle_radio, im_radio, loop = self._loop()
+        results = {}
+
+        def im():
+            yield env.timeout(0.3)  # past the 0.2 s timeout below
+            im_radio.send(SyncResponse(sender="IM", receiver="V1"))
+
+        def vehicle():
+            first = yield from loop.await_response(0.2, SyncResponse)
+            second = yield from loop.await_response(0.5, SyncResponse)
+            results["first"], results["second"] = first, second
+
+        env.process(im())
+        env.process(vehicle())
+        env.run()
+        assert results["first"] is None
+        assert isinstance(results["second"], SyncResponse)
+
+
+# -- TimeSyncSession / TimeSyncResponder -------------------------------------
+
+class TestTimeSync:
+    def _fixture(self, *, offset=0.05, rtt_limit=0.015, attempt_budget=4,
+                 delay_model=None):
+        env = Environment()
+        channel = Channel(env, delay_model=delay_model)
+        vehicle_radio = channel.attach("V1")
+        im_radio = channel.attach("IM")
+        clock = Clock(offset=offset)
+        ntp = NtpClient(clock)
+        monitor = DegradationMonitor(0.25)
+        loop = RequestLoop(env, vehicle_radio, monitor)
+        session = TimeSyncSession(
+            loop, ntp, server="IM",
+            local_time=lambda: clock.read(env.now),
+            rtt_limit=rtt_limit, attempt_budget=attempt_budget,
+        )
+        return env, im_radio, clock, session
+
+    def test_clean_exchange_steps_clock(self):
+        env, im_radio, clock, session = self._fixture(offset=0.05)
+        responder = TimeSyncResponder(im_radio)
+        results = {}
+
+        def im():
+            while True:
+                message = yield im_radio.receive()
+                responder.respond(message, env.now)
+
+        env.process(im())
+        _drive(env, session.run(), results, "synced")
+        env.run(until=2.0)
+        assert results["synced"] is True
+        assert responder.responses == 1
+        # Zero channel delay => exact offset recovery.
+        assert clock.read(env.now) == pytest.approx(env.now, abs=1e-9)
+
+    def test_responder_echoes_and_counts(self):
+        env = Environment()
+        channel = Channel(env)
+        im_radio = channel.attach("IM")
+        channel.attach("V1")
+        responder = TimeSyncResponder(im_radio)
+        request = SyncRequest(sender="V1", receiver="IM", t0=42.0)
+        responder.respond(request, 7.0)
+        assert responder.responses == 1
+        # Deliver and inspect via the DES.
+        results = {}
+
+        def vehicle():
+            results["m"] = yield channel._radios["V1"].receive()
+
+        env.process(vehicle())
+        env.run()
+        reply = results["m"]
+        assert reply.t0 == 42.0 and reply.t1 == 7.0 and reply.t2 == 7.0
+
+    def test_spiked_samples_resample_then_settle(self):
+        from repro.network.delay import ConstantDelay
+
+        # One-way 20 ms => RTT 40 ms, far over the 15 ms trust bound:
+        # every sample is "spiked", so the session re-exchanges up to
+        # the budget and then settles for the best sample it has.
+        env, im_radio, clock, session = self._fixture(
+            offset=0.05, delay_model=ConstantDelay(0.02), attempt_budget=3,
+        )
+        responder = TimeSyncResponder(im_radio)
+        resamples = []
+        results = {}
+
+        def im():
+            while True:
+                message = yield im_radio.receive()
+                responder.respond(message, env.now)
+
+        env.process(im())
+        _drive(env, session.run(on_resample=lambda: resamples.append(1)),
+               results, "synced")
+        env.run(until=5.0)
+        assert results["synced"] is True
+        assert responder.responses == 3  # budget exhausted
+        assert len(resamples) == 2  # budget - 1 forced re-exchanges
+        # Symmetric delay still recovers the offset exactly.
+        assert clock.read(env.now) == pytest.approx(env.now, abs=1e-9)
+
+    def test_timeout_fires_backoff_hook(self):
+        env, _, clock, session = self._fixture()
+        timeouts = []
+        aborted = {"flag": False}
+        results = {}
+
+        def on_timeout():
+            timeouts.append(env.now)
+            if len(timeouts) >= 3:
+                aborted["flag"] = True
+
+        _drive(
+            env,
+            session.run(should_abort=lambda: aborted["flag"],
+                        on_timeout=on_timeout),
+            results, "synced",
+        )
+        env.run(until=10.0)  # IM never answers
+        assert results["synced"] is False  # aborted, never synced
+        assert len(timeouts) == 3
+
+    def test_validation(self):
+        env, _, clock, session = self._fixture()
+        with pytest.raises(ValueError):
+            TimeSyncSession(session.loop, session.ntp, server="IM",
+                            local_time=lambda: 0.0, rtt_limit=0.0)
+        with pytest.raises(ValueError):
+            TimeSyncSession(session.loop, session.ntp, server="IM",
+                            local_time=lambda: 0.0, rtt_limit=0.1,
+                            attempt_budget=0)

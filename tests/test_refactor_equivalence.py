@@ -1,0 +1,135 @@
+"""Golden-replay bit-identity suite for the layered-protocol refactor.
+
+The ``repro.protocol`` extraction (PR 3) re-expresses the vehicle agents
+and the IMs as compositions of small state machines.  The refactor is
+*behaviour-preserving by construction*: the DES event sequence and every
+RNG draw must be unchanged, so a fixed ``(policy, flow, seed)`` triple
+must reproduce the exact pre-refactor summary, bit for bit.
+
+``tests/golden/refactor_equivalence.json`` pins the summaries recorded
+at the pre-refactor seed commit (3 policies x 2 flows x 2 seeds, 12
+cars per cell).  This suite replays every cell serially *and* across a
+2-worker pool and asserts float-exact equality.  If a later PR changes
+behaviour *intentionally*, re-record with::
+
+    PYTHONPATH=src python tests/test_refactor_equivalence.py --record
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict
+
+import pytest
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "golden", "refactor_equivalence.json"
+)
+
+#: The pinned grid: every cell is one (policy, flow, seed) triple.
+POLICIES = ("vt-im", "crossroads", "aim")
+FLOWS = (0.3, 0.8)
+SEEDS = (7, 11)
+N_CARS = 12
+
+
+def cell_key(policy: str, flow: float, seed: int) -> str:
+    return f"{policy}@{flow:g}#s{seed}"
+
+
+def run_cell(policy: str, flow: float, seed: int) -> Dict[str, float]:
+    """One grid cell through the stock ``run_flow`` entry point."""
+    from repro.sim.flowsweep import run_flow
+
+    point = run_flow(policy, flow, n_cars=N_CARS, seed=seed)
+    return point.result.summary()
+
+
+def record_goldens(path: str = GOLDEN_PATH) -> Dict[str, Dict[str, float]]:
+    goldens = {
+        cell_key(policy, flow, seed): run_cell(policy, flow, seed)
+        for policy in POLICIES
+        for flow in FLOWS
+        for seed in SEEDS
+    }
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(goldens, fh, indent=2, sort_keys=True)
+    return goldens
+
+
+@pytest.fixture(scope="module")
+def goldens() -> Dict[str, Dict[str, float]]:
+    if not os.path.exists(GOLDEN_PATH):  # pragma: no cover - setup error
+        pytest.fail(
+            "golden file missing; record with "
+            "`PYTHONPATH=src python tests/test_refactor_equivalence.py --record`"
+        )
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+def _assert_summary_equal(observed: Dict[str, float], pinned: Dict[str, float], label: str):
+    assert set(observed) == set(pinned), f"{label}: summary keys changed"
+    for key in sorted(pinned):
+        assert observed[key] == pinned[key], (
+            f"{label}: {key} drifted: {observed[key]!r} != pinned {pinned[key]!r}"
+        )
+
+
+class TestSerialReplay:
+    """Every pinned cell replays bit-identically through ``run_flow``."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("flow", FLOWS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_cell_matches_golden(self, goldens, policy, flow, seed):
+        key = cell_key(policy, flow, seed)
+        assert key in goldens, f"golden file lacks {key}; re-record"
+        _assert_summary_equal(run_cell(policy, flow, seed), goldens[key], key)
+
+
+class TestParallelReplay:
+    """The same grid through ``run_flow_sweep(jobs=2)`` matches too.
+
+    Worker placement must not perturb any RNG stream or resolution
+    path: the registry-resolved policy name crosses the process
+    boundary as a plain string and the worker rebuilds the identical
+    world.
+    """
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_sweep_jobs2_matches_golden(self, goldens, seed):
+        from repro.sim.flowsweep import run_flow_sweep
+
+        sweep = run_flow_sweep(
+            policies=list(POLICIES),
+            flow_rates=list(FLOWS),
+            n_cars=N_CARS,
+            seed=seed,
+            jobs=2,
+        )
+        for policy in POLICIES:
+            points = sweep[policy]
+            assert [p.flow_rate for p in points] == list(FLOWS)
+            for point in points:
+                key = cell_key(policy, point.flow_rate, seed)
+                _assert_summary_equal(
+                    point.result.summary(), goldens[key], f"jobs=2 {key}"
+                )
+
+
+if __name__ == "__main__":
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--record", action="store_true",
+                        help="(re-)record the golden summaries")
+    args = parser.parse_args()
+    if not args.record:
+        parser.error("run under pytest, or pass --record")
+    recorded = record_goldens()
+    print(f"recorded {len(recorded)} cells -> {GOLDEN_PATH}")
+    sys.exit(0)

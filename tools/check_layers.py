@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""Import-layering lint for the repro package.
+
+Enforces the layered architecture documented in DESIGN.md: every
+package is assigned a level, and a module may only *module-level*
+import packages at a strictly lower level.  Function-level (lazy)
+imports are the sanctioned escape hatch for the two deliberate
+back-edges and are therefore not flagged:
+
+* ``repro.vehicle.agent.make_vehicle`` resolves vehicle classes
+  through ``repro.core.registry`` (vehicle -> core), and
+* ``repro.core.registry`` lazily imports ``repro.core.policy`` to
+  self-register the built-ins.
+
+Run from the repository root::
+
+    python tools/check_layers.py            # exit 1 on any violation
+    python tools/check_layers.py --graph    # print the observed graph
+
+No third-party dependencies; pure ``ast``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, Iterator, List, Set, Tuple
+
+#: Package (or top-level module) -> architectural level.  A package may
+#: only module-level import packages with a strictly smaller level.
+LAYERS: Dict[str, int] = {
+    # Level 0 — substrate: the DES kernel and perf counters.
+    "des": 0,
+    "perf": 0,
+    # Level 1 — domain primitives: pure models with no protocol logic.
+    "geometry": 1,
+    "kinematics": 1,
+    "timesync": 1,
+    "sensors": 1,
+    "network": 1,
+    "faults": 1,
+    # Level 2 — protocol machines (composable, endpoint-agnostic).
+    "protocol": 2,
+    # Level 3 — vehicle agents (compose protocol machines on a plant).
+    "vehicle": 3,
+    # Level 4 — traffic generation (spawns vehicles).
+    "traffic": 4,
+    # Level 5 — intersection managers + the policy registry.
+    "core": 5,
+    # Level 6 — the simulation world and experiment engines.
+    "sim": 6,
+    # Level 7 — analysis/reporting over simulation results.
+    "analysis": 7,
+    # Level 8 — the CLI facade.
+    "cli": 8,
+    # The repro/__init__.py + __main__.py facade re-exports everything.
+    "<top>": 9,
+}
+
+ROOT_PACKAGE = "repro"
+
+
+def _package_of(path: Path, src_root: Path) -> str:
+    parts = path.relative_to(src_root / ROOT_PACKAGE).parts
+    if len(parts) == 1:  # repro/__init__.py, repro/__main__.py, repro/perf.py
+        stem = Path(parts[0]).stem
+        return stem if stem in LAYERS else "<top>"
+    return parts[0]
+
+
+def _module_level_imports(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Top-level import statements, including those inside module-level
+    ``if``/``try`` blocks (they still execute at import time)."""
+    stack: List[ast.stmt] = list(tree.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            yield node
+        elif isinstance(node, (ast.If, ast.Try)):
+            stack.extend(getattr(node, "body", []))
+            stack.extend(getattr(node, "orelse", []))
+            stack.extend(getattr(node, "finalbody", []))
+            for handler in getattr(node, "handlers", []):
+                stack.extend(handler.body)
+
+
+def _imported_packages(node: ast.stmt) -> Iterator[str]:
+    if isinstance(node, ast.Import):
+        names = [alias.name for alias in node.names]
+    elif isinstance(node, ast.ImportFrom):
+        if node.level != 0 or node.module is None:
+            return  # relative imports stay inside a package
+        names = [node.module]
+    else:
+        return
+    for name in names:
+        if name == ROOT_PACKAGE:
+            yield "<top>"
+        elif name.startswith(ROOT_PACKAGE + "."):
+            yield name.split(".")[1]
+
+
+def check(src_root: Path) -> Tuple[List[str], Dict[str, Set[str]]]:
+    """Return (violations, observed package graph)."""
+    violations: List[str] = []
+    graph: Dict[str, Set[str]] = defaultdict(set)
+    for path in sorted((src_root / ROOT_PACKAGE).rglob("*.py")):
+        package = _package_of(path, src_root)
+        if package not in LAYERS:
+            violations.append(
+                f"{path}: package {package!r} has no level in "
+                f"tools/check_layers.py LAYERS — assign one"
+            )
+            continue
+        level = LAYERS[package]
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in _module_level_imports(tree):
+            for target in _imported_packages(node):
+                if target == package:
+                    continue  # intra-package imports are free
+                graph[package].add(target)
+                target_level = LAYERS.get(target)
+                if target_level is None:
+                    violations.append(
+                        f"{path}:{node.lineno}: imports unknown package "
+                        f"repro.{target}"
+                    )
+                elif target_level >= level:
+                    violations.append(
+                        f"{path}:{node.lineno}: layer violation — "
+                        f"{package} (level {level}) module-level imports "
+                        f"repro.{target} (level {target_level}); move the "
+                        f"import into the function that needs it or fix "
+                        f"the layering"
+                    )
+    return violations, graph
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--src", default="src", help="source root (default: src)")
+    parser.add_argument("--graph", action="store_true",
+                        help="print the observed package import graph")
+    args = parser.parse_args(argv)
+    src_root = Path(args.src)
+    if not (src_root / ROOT_PACKAGE).is_dir():
+        print(f"error: {src_root / ROOT_PACKAGE} is not a directory",
+              file=sys.stderr)
+        return 2
+    violations, graph = check(src_root)
+    if args.graph:
+        for package in sorted(graph, key=lambda p: (LAYERS.get(p, 99), p)):
+            targets = ", ".join(sorted(graph[package]))
+            print(f"  {package:10s} (L{LAYERS.get(package, '?')}) -> {targets}")
+    if violations:
+        print(f"{len(violations)} layer violation(s):", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    n_files = sum(1 for _ in (src_root / ROOT_PACKAGE).rglob("*.py"))
+    print(f"layering OK: {n_files} files, {len(LAYERS)} layers, "
+          f"0 violations")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
