@@ -1,0 +1,120 @@
+"""Per-machine protocol telemetry breakdown (the ``repro.obs`` bench).
+
+Runs one traced workload per policy and tabulates the per-machine
+counters (``count.machine.*``) that ride on ``SimResult.perf`` next to
+the exchange-span latency histogram (``SimResult.obs``): RequestLoop
+exchanges/timeouts, TimeSyncSession samples/resamples, DegradationMonitor
+entries/degraded time, SequenceGuard admissions/drops, plus RTD and
+IM-compute percentiles reconstructed from the event log.
+
+The table makes Ch 7.2's overhead story attributable: AIM's extra
+messages show up as RequestLoop exchanges, not as an opaque total.
+Writes ``BENCH_obs_machines.json`` (``REPRO_BENCH_DIR`` redirects).
+"""
+
+import json
+import os
+
+from conftest import banner
+from repro.analysis import render_table
+from repro.obs import EventLog
+from repro.sim.world import run_scenario
+from repro.traffic.generator import PoissonTraffic
+
+POLICIES = ("aim", "vt-im", "crossroads")
+FLOW = 0.4
+N_CARS = 24
+SEED = 7
+
+#: (row label, perf key) for the per-machine table.
+MACHINE_ROWS = (
+    ("request_loop.exchanges", "count.machine.request_loop.exchanges"),
+    ("request_loop.timeouts", "count.machine.request_loop.timeouts"),
+    ("timesync.samples", "count.machine.timesync.samples"),
+    ("timesync.resamples", "count.machine.timesync.resamples"),
+    ("degradation.entries", "count.machine.degradation.entries"),
+    ("degradation.degraded_s", "count.machine.degradation.degraded_s"),
+    ("sequence_guard.admitted", "count.machine.sequence_guard.admitted"),
+    ("sequence_guard.drops", "count.machine.sequence_guard.drops"),
+)
+
+SPAN_ROWS = (
+    ("spans complete", "spans_complete"),
+    ("spans incomplete", "spans_incomplete"),
+    ("RTD p50 (ms)", "rtd_p50_s"),
+    ("RTD p95 (ms)", "rtd_p95_s"),
+    ("compute p95 (ms)", "compute_p95_s"),
+)
+
+
+def _traced_results():
+    arrivals = PoissonTraffic(FLOW, seed=SEED).generate(N_CARS)
+    results = {}
+    for policy in POLICIES:
+        results[policy] = run_scenario(
+            policy, arrivals, seed=SEED, obs=EventLog()
+        )
+    return results
+
+
+def test_obs_machine_breakdown(benchmark):
+    results = benchmark.pedantic(_traced_results, rounds=1, iterations=1)
+
+    headers = ["machine counter"] + list(POLICIES)
+    rows = []
+    for label, key in MACHINE_ROWS:
+        rows.append(
+            [label] + [results[p].perf.get(key, 0.0) for p in POLICIES]
+        )
+    for label, key in SPAN_ROWS:
+        scale = 1000.0 if key.endswith("_s") else 1.0
+        rows.append(
+            [label] + [results[p].obs.get(key, 0.0) * scale for p in POLICIES]
+        )
+
+    print(banner("repro.obs - per-machine telemetry breakdown"))
+    print(f"flow {FLOW} veh/s | {N_CARS} cars | seed {SEED} | traced runs")
+    print(render_table(headers, rows, precision=2))
+
+    payload = {
+        "workload": {"flow": FLOW, "n_cars": N_CARS, "seed": SEED},
+        "machines": {
+            policy: {
+                key: results[policy].perf.get(key, 0.0)
+                for _, key in MACHINE_ROWS
+            }
+            for policy in POLICIES
+        },
+        "spans": {policy: results[policy].obs for policy in POLICIES},
+    }
+    out_dir = os.environ.get("REPRO_BENCH_DIR", ".")
+    out_path = os.path.join(out_dir, "BENCH_obs_machines.json")
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    print(f"wrote {out_path}")
+
+    for policy in POLICIES:
+        result = results[policy]
+        # Safety and liveness of the traced runs themselves.
+        assert result.safe
+        # Every vehicle talked to the IM at least once...
+        exchanges = result.perf.get(
+            "count.machine.request_loop.exchanges", 0.0
+        )
+        assert exchanges >= result.n_finished
+        # ...and the event log reconstructed complete spans for them.
+        assert result.obs.get("spans_complete", 0.0) >= result.n_finished
+        assert result.obs.get("rtd_p95_s", 0.0) > 0.0
+        # Per-machine counters agree with the summary-level aggregates
+        # (two independent accounting paths must tell one story).
+        assert result.perf.get(
+            "count.machine.degradation.entries", 0.0
+        ) == float(result.degraded_entries)
+
+    # The Ch 7.2 overhead story, attributed: AIM's trial-and-error
+    # scheme costs more request-loop exchanges than Crossroads.
+    assert payload["machines"]["aim"][
+        "count.machine.request_loop.exchanges"
+    ] > payload["machines"]["crossroads"][
+        "count.machine.request_loop.exchanges"
+    ]

@@ -19,24 +19,29 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run one workload under one policy")
-    run.add_argument("--policy", default="crossroads",
-                     help="vt-im | crossroads | aim | batch-crossroads")
-    group = run.add_mutually_exclusive_group()
-    group.add_argument("--scenario", type=int, metavar="N",
-                       help="scale-model scenario number 1..10")
-    group.add_argument("--flow", type=float, metavar="RATE",
-                       help="Poisson flow, cars/lane/second")
-    run.add_argument("--cars", type=int, default=20, help="vehicles for --flow")
-    run.add_argument("--seed", type=int, default=2017)
-    run.add_argument("--faults", metavar="SPEC", default=None,
-                     help="fault-injection spec, e.g. 'burst,spike', "
-                          "'chaos', 'spike=0.1:0.05:0.4,blackout=40:45' "
-                          "(see repro.faults.FaultConfig.from_spec); "
-                          "runs are replayable: same --seed + same spec "
-                          "=> identical fault trace and metrics")
+    _add_workload_arguments(run)
     run.add_argument("--perf", action="store_true",
                      help="print repro.perf timers/counters after the run")
+    run.add_argument("--trace", metavar="FILE", default=None,
+                     help="record the run on the repro.obs event bus and "
+                          "write a Chrome trace-event file FILE (open it "
+                          "at https://ui.perfetto.dev)")
     _add_plugin_argument(run)
+
+    trace = sub.add_parser(
+        "trace",
+        help="traced run: Chrome trace (Perfetto) + span statistics",
+    )
+    _add_workload_arguments(trace)
+    trace.add_argument("--out", metavar="FILE", default="out.trace.json",
+                       help="Chrome trace-event output file "
+                            "(default: out.trace.json)")
+    trace.add_argument("--jsonl", metavar="FILE", default=None,
+                       help="also dump the raw event stream as JSON Lines")
+    trace.add_argument("--kernel", action="store_true",
+                       help="also record per-DES-event des.step records "
+                            "(high volume)")
+    _add_plugin_argument(trace)
 
     sweep = sub.add_parser("sweep", help="Fig 7.2: throughput vs flow grid")
     sweep.add_argument("--policies", nargs="+",
@@ -54,6 +59,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "integer, 'auto' (one per CPU), or unset to "
                             "honour $REPRO_JOBS (default: serial); results "
                             "are bit-identical to a serial run")
+    sweep.add_argument("--perf", action="store_true",
+                       help="print the merged repro.perf timers/counters "
+                            "of every sweep cell (micro engine only)")
     _add_plugin_argument(sweep)
 
     scen = sub.add_parser("scenarios", help="Fig 7.1: the 10 scale-model cases")
@@ -66,6 +74,61 @@ def build_parser() -> argparse.ArgumentParser:
     pol = sub.add_parser("policies", help="list registered IM policies")
     _add_plugin_argument(pol)
     return parser
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    """The workload knobs shared by ``run`` and ``trace``."""
+    parser.add_argument("--policy", default="crossroads",
+                        help="vt-im | crossroads | aim | batch-crossroads")
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--scenario", type=int, metavar="N",
+                       help="scale-model scenario number 1..10")
+    group.add_argument("--flow", type=float, metavar="RATE",
+                       help="Poisson flow, cars/lane/second")
+    parser.add_argument("--cars", type=int, default=20,
+                        help="vehicles for --flow")
+    parser.add_argument("--seed", type=int, default=2017)
+    parser.add_argument("--faults", metavar="SPEC", default=None,
+                        help="fault-injection spec, e.g. 'burst,spike', "
+                             "'chaos', 'spike=0.1:0.05:0.4,blackout=40:45' "
+                             "(see repro.faults.FaultConfig.from_spec); "
+                             "runs are replayable: same --seed + same spec "
+                             "=> identical fault trace and metrics")
+
+
+def _build_workload(args):
+    """Resolve the shared workload args.
+
+    Returns ``(status, arrivals, label, config, fault_config)``;
+    ``status`` is 0 on success, 2 (argparse's usage-error code) when
+    the arguments were invalid (an error was already printed).
+    """
+    from repro.faults import FaultConfig
+    from repro.sim.world import WorldConfig
+    from repro.traffic import PoissonTraffic, scale_model_scenarios
+
+    config = None
+    fault_config = None
+    if args.faults is not None:
+        try:
+            fault_config = FaultConfig.from_spec(args.faults)
+        except ValueError as exc:
+            print(f"bad --faults spec: {exc}", file=sys.stderr)
+            return 2, None, None, None, None
+        config = WorldConfig(faults=fault_config)
+
+    if args.flow is not None:
+        arrivals = PoissonTraffic(args.flow, seed=args.seed).generate(args.cars)
+        label = f"flow {args.flow} car/lane/s, {args.cars} cars"
+    else:
+        number = args.scenario if args.scenario is not None else 1
+        if not 1 <= number <= 10:
+            print("scenario must be 1..10", file=sys.stderr)
+            return 2, None, None, None, None
+        scenario = scale_model_scenarios()[number - 1]
+        arrivals = scenario.arrivals
+        label = f"scenario {scenario.name}"
+    return 0, arrivals, label, config, fault_config
 
 
 def _add_plugin_argument(parser: argparse.ArgumentParser) -> None:
@@ -96,37 +159,23 @@ def _load_plugins(modules: List[str]) -> int:
 
 def _cmd_run(args) -> int:
     from repro.analysis import render_table
-    from repro.faults import FaultConfig
     from repro.sim import run_scenario
-    from repro.sim.world import WorldConfig
-    from repro.traffic import PoissonTraffic, scale_model_scenarios
 
     status = _load_plugins(args.plugin)
     if status:
         return status
-    config = None
-    fault_config = None
-    if args.faults is not None:
-        try:
-            fault_config = FaultConfig.from_spec(args.faults)
-        except ValueError as exc:
-            print(f"bad --faults spec: {exc}", file=sys.stderr)
-            return 2
-        config = WorldConfig(faults=fault_config)
+    status, arrivals, label, config, fault_config = _build_workload(args)
+    if status:
+        return status
 
-    if args.flow is not None:
-        arrivals = PoissonTraffic(args.flow, seed=args.seed).generate(args.cars)
-        label = f"flow {args.flow} car/lane/s, {args.cars} cars"
-    else:
-        number = args.scenario if args.scenario is not None else 1
-        if not 1 <= number <= 10:
-            print("scenario must be 1..10", file=sys.stderr)
-            return 2
-        scenario = scale_model_scenarios()[number - 1]
-        arrivals = scenario.arrivals
-        label = f"scenario {scenario.name}"
+    log = None
+    if args.trace is not None:
+        from repro.obs import EventLog
 
-    result = run_scenario(args.policy, arrivals, config=config, seed=args.seed)
+        log = EventLog()
+    result = run_scenario(
+        args.policy, arrivals, config=config, seed=args.seed, obs=log
+    )
     print(f"{args.policy} on {label}")
     if fault_config is not None:
         print(f"faults: {fault_config.describe()} (seed {args.seed})")
@@ -166,6 +215,66 @@ def _cmd_run(args) -> int:
         print("\nperf counters (repro.perf):")
         for name, value in sorted(result.perf.items()):
             print(f"  {name:28s} {value:.6g}")
+    if log is not None:
+        from repro.obs import to_chrome_trace
+
+        to_chrome_trace(log.events, path=args.trace)
+        print(f"\ntrace: {len(log)} events -> {args.trace} "
+              f"(open at https://ui.perfetto.dev)")
+        _print_span_stats(result.obs)
+    return 0 if result.safe else 1
+
+
+def _print_span_stats(stats) -> None:
+    if not stats:
+        return
+    print(
+        "spans: {total:.0f} total, {complete:.0f} complete, "
+        "{retried:.0f} retried | RTD p50 {p50:.1f} ms, p95 {p95:.1f} ms, "
+        "max {mx:.1f} ms | IM compute p95 {cp95:.1f} ms".format(
+            total=stats["spans_total"],
+            complete=stats["spans_complete"],
+            retried=stats["spans_retried"],
+            p50=stats["rtd_p50_s"] * 1000,
+            p95=stats["rtd_p95_s"] * 1000,
+            mx=stats["rtd_max_s"] * 1000,
+            cp95=stats["compute_p95_s"] * 1000,
+        )
+    )
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import EventLog, to_chrome_trace, to_jsonl
+    from repro.sim import run_scenario
+
+    status = _load_plugins(args.plugin)
+    if status:
+        return status
+    status, arrivals, label, config, fault_config = _build_workload(args)
+    if status:
+        return status
+
+    log = EventLog(kernel=args.kernel)
+    result = run_scenario(
+        args.policy, arrivals, config=config, seed=args.seed, obs=log
+    )
+    print(f"{args.policy} on {label} (traced)")
+    if fault_config is not None:
+        print(f"faults: {fault_config.describe()} (seed {args.seed})")
+    to_chrome_trace(log.events, path=args.out)
+    print(f"trace: {len(log)} events ({log.dropped} evicted) -> {args.out} "
+          f"(open at https://ui.perfetto.dev)")
+    if args.jsonl is not None:
+        to_jsonl(log.events, path=args.jsonl)
+        print(f"jsonl: {args.jsonl}")
+    _print_span_stats(result.obs)
+    machines = {
+        k: v for k, v in result.perf.items() if k.startswith("count.machine.")
+    }
+    if machines:
+        print("\nper-machine counters:")
+        for name, value in sorted(machines.items()):
+            print(f"  {name:44s} {value:.6g}")
     return 0 if result.safe else 1
 
 
@@ -211,6 +320,24 @@ def _cmd_sweep(args) -> int:
         for baseline, stats in speedup_summary(sweep, subject="crossroads").items():
             print(f"  vs {baseline:12s} worst {stats['worst_case']:.2f}X, "
                   f"avg {stats['average']:.2f}X")
+    if getattr(args, "perf", False):
+        from repro.perf import merge_snapshots
+
+        snapshots = [
+            point.result.perf
+            for points in sweep.values()
+            for point in points
+            if getattr(point.result, "perf", None)
+        ]
+        merged = merge_snapshots(snapshots)
+        if merged:
+            print("\nperf counters (merged over "
+                  f"{len(snapshots)} sweep cells):")
+            for name, value in sorted(merged.items()):
+                print(f"  {name:44s} {value:.6g}")
+        else:
+            print("\nperf counters: none recorded "
+                  "(the analytic engine keeps no perf state)")
     return 0
 
 
@@ -297,6 +424,7 @@ def _cmd_policies(args) -> int:
 
 _COMMANDS = {
     "run": _cmd_run,
+    "trace": _cmd_trace,
     "sweep": _cmd_sweep,
     "scenarios": _cmd_scenarios,
     "buffer": _cmd_buffer,

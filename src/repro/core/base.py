@@ -23,6 +23,8 @@ from typing import Optional, Tuple
 
 from repro.core.compute import ComputeModel
 from repro.des import Environment, Store
+from repro.obs.events import NULL_LOG
+from repro.perf import PerfCounters
 from repro.network.channel import Radio
 from repro.network.messages import (
     AimRequest,
@@ -145,6 +147,12 @@ class BaseIM:
         if radio.address != self.config.address:
             raise ValueError("radio address must match config.address")
         self.stats = IMStats()
+        #: Observability sink (the world injects its event bus when
+        #: tracing; the default null log costs one attribute test).
+        self.obs = NULL_LOG
+        #: Wall-clock hot-path timers/counters, folded into
+        #: :attr:`~repro.sim.metrics.SimResult.perf` by the world.
+        self.perf = PerfCounters()
         #: FIFO of sender addresses with work pending; only the *latest*
         #: request per sender is kept (a retransmission supersedes the
         #: original — re-answering every duplicate would melt the queue).
@@ -214,6 +222,13 @@ class BaseIM:
                 self.sync_responder.respond(message, self.env.now)
             elif isinstance(message, (CrossingRequest, AimRequest)):
                 self.stats.crossing_requests += 1
+                if self.obs.enabled:
+                    self.obs.emit(
+                        "im.recv", self.env.now, self.config.address,
+                        corr=getattr(message, "corr", 0),
+                        msg=type(message).__name__, sender=message.sender,
+                        queue=len(self._work_queue),
+                    )
                 if not self.guard.admit_request(message.sender, message.seq):
                     # Reordered or long-delayed stale request: the
                     # sender has already issued (and may be driving on
@@ -221,6 +236,12 @@ class BaseIM:
                     # out-of-date state would release the live
                     # reservation and hand its window to cross traffic.
                     self.stats.stale_requests_dropped += 1
+                    if self.obs.enabled:
+                        self.obs.emit(
+                            "im.drop_stale", self.env.now, self.config.address,
+                            corr=getattr(message, "corr", 0),
+                            sender=message.sender, seq=message.seq,
+                        )
                     continue
                 if message.sender not in self._pending:
                     self._work_queue.put_nowait(message.sender)
@@ -233,15 +254,59 @@ class BaseIM:
                 self.handle_cancel(message)
             # Unknown message types are dropped silently, like hardware.
 
+    def _serve_one(self, message: Message):
+        """Serve one admitted crossing/AIM request (DES generator).
+
+        Shared by the serial worker and the batch worker
+        (:class:`~repro.core.batch.BatchCrossroadsIM`): builds the
+        reply, charges the compute model's service time, propagates the
+        exchange correlation id onto the reply and sends it.  Emits the
+        ``im.compute.begin`` / ``im.compute.end`` / ``im.reply`` (or
+        ``im.silent``) observability records and times the policy's
+        ``handle_crossing`` under ``perf.timer("im.handle_crossing")``.
+        """
+        corr = getattr(message, "corr", 0)
+        obs = self.obs
+        if obs.enabled:
+            obs.emit(
+                "im.compute.begin", self.env.now, self.config.address,
+                corr=corr, sender=message.sender,
+            )
+        with self.perf.timer("im.handle_crossing"):
+            response, work = self.handle_crossing(message)
+        service = self.compute.charge(**work)
+        self.stats.service_times.append(service)
+        yield self.env.timeout(service)
+        if obs.enabled:
+            obs.emit(
+                "im.compute.end", self.env.now, self.config.address,
+                corr=corr, service=service,
+            )
+        if response is not None:
+            response.corr = corr
+            if obs.enabled:
+                data = {"msg": type(response).__name__}
+                te = getattr(response, "te", None)
+                if te is not None:
+                    data["te"] = te
+                toa = getattr(response, "toa", None)
+                if toa is not None:
+                    data["toa"] = toa
+                obs.emit(
+                    "im.reply", self.env.now, self.config.address,
+                    corr=corr, **data,
+                )
+            self.radio.send(response)
+        elif obs.enabled:
+            obs.emit(
+                "im.silent", self.env.now, self.config.address,
+                corr=corr, sender=message.sender,
+            )
+
     def _compute_worker(self):
         while True:
             sender = yield self._work_queue.get()
             message = self._pending.pop(sender, None)
             if message is None:
                 continue
-            response, work = self.handle_crossing(message)
-            service = self.compute.charge(**work)
-            self.stats.service_times.append(service)
-            yield self.env.timeout(service)
-            if response is not None:
-                self.radio.send(response)
+            yield from self._serve_one(message)

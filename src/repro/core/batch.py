@@ -89,12 +89,7 @@ class BatchCrossroadsIM(CrossroadsIM):
             self.batches += 1
             self.max_batch = max(self.max_batch, len(messages))
             for message in self.reorder(messages):
-                response, work = self.handle_crossing(message)
-                service = self.compute.charge(**work)
-                self.stats.service_times.append(service)
-                yield self.env.timeout(service)
-                if response is not None:
-                    self.radio.send(response)
+                yield from self._serve_one(message)
 
     # -- re-organisation heuristic ---------------------------------------------
     def reorder(self, messages: List[CrossingRequest]) -> List[CrossingRequest]:

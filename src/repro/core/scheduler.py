@@ -43,6 +43,7 @@ from repro.geometry.conflicts import ConflictTable
 from repro.geometry.layout import Movement
 from repro.kinematics.arrival import ArrivalPlan
 from repro.kinematics.profiles import MotionProfile
+from repro.obs.events import NULL_LOG
 
 __all__ = ["ConflictScheduler", "ScheduledCrossing", "SlotAssignment"]
 
@@ -130,6 +131,14 @@ class ConflictScheduler:
         self._waiting: Dict[int, "tuple[float, Movement, float]"] = {}
         #: Number of reservation comparisons done (compute-cost proxy).
         self.comparisons = 0
+        #: Observability sink + sim-clock callable; the world injects
+        #: both when tracing (the scheduler itself is clock-free).
+        self.obs = NULL_LOG
+        self.obs_now: Optional[Callable[[], float]] = None
+
+    def _emit(self, kind: str, **data) -> None:
+        if self.obs.enabled and self.obs_now is not None:
+            self.obs.emit(kind, self.obs_now(), "sched", **data)
 
     # -- FCFS waitlist -------------------------------------------------------
     def note_request(self, vehicle_id: int, movement: Movement, now: float) -> None:
@@ -175,6 +184,7 @@ class ConflictScheduler:
         if entry is None:
             return False
         self._book.remove(entry)
+        self._emit("sched.release", vehicle_id=vehicle_id, book=len(self._book))
         return True
 
     def prune(self, now: float, grace: float = 5.0) -> int:
@@ -240,6 +250,8 @@ class ConflictScheduler:
         clause).
         """
         if self._blocked_by_senior_waiter(vehicle_id, movement):
+            self._emit("sched.blocked", vehicle_id=vehicle_id,
+                       movement=movement.key)
             return None  # FCFS: an older conflicting requester goes first
         toa = etoa
         final: Optional[ArrivalPlan] = None
@@ -282,6 +294,10 @@ class ConflictScheduler:
         if len(self._book) > self.max_book:
             dropped = self._book.pop(0)
             self._by_vehicle.pop(dropped.vehicle_id, None)
+        self._emit(
+            "sched.assign", vehicle_id=vehicle_id, movement=movement.key,
+            toa=final.arrival_time, book=len(self._book),
+        )
         return SlotAssignment(toa=final.arrival_time, plan=final)
 
     def __len__(self) -> int:

@@ -345,6 +345,11 @@ class Environment:
         self._active_process: Optional[Process] = None
         #: Events processed by :meth:`step` (perf counter).
         self.events_processed = 0
+        #: Optional observability sink (duck-typed — ``des`` sits at the
+        #: same layer level as ``repro.obs`` and never imports it).  When
+        #: set to an event log whose ``kernel`` flag is true, :meth:`step`
+        #: emits one high-volume ``des.step`` record per processed event.
+        self.obs = None
 
     # -- clock ------------------------------------------------------------
     @property
@@ -396,6 +401,9 @@ class Environment:
             raise SimulationError("time cannot run backwards")
         self._now = max(self._now, time)
         self.events_processed += 1
+        obs = self.obs
+        if obs is not None and obs.kernel:
+            obs.emit("des.step", self._now, "kernel", type=type(event).__name__)
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks or ():
             callback(event)

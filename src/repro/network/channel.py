@@ -35,6 +35,7 @@ import numpy as np
 from repro.des import Environment, Event, Store
 from repro.network.delay import ConstantDelay, DelayModel
 from repro.network.messages import Message
+from repro.obs.events import NULL_LOG
 
 __all__ = ["Channel", "NetworkStats", "Radio"]
 
@@ -148,6 +149,11 @@ class Channel:
         Optional :class:`~repro.faults.FaultInjector`.  Consulted per
         transmission; owns its own RNG, so a null injector changes
         nothing about the channel's random sequence.
+    obs:
+        Optional :class:`~repro.obs.EventLog`.  When given, the channel
+        emits ``net.send`` / ``net.deliver`` / ``net.drop`` records
+        (tracing never touches the channel RNG, so a traced run stays
+        bit-identical to an untraced one).
     """
 
     def __init__(
@@ -157,6 +163,7 @@ class Channel:
         loss_probability: float = 0.0,
         rng: Optional[np.random.Generator] = None,
         faults: Optional["FaultInjector"] = None,
+        obs=None,
     ):
         if not 0.0 <= loss_probability < 1.0:
             raise ValueError("loss_probability must be in [0, 1)")
@@ -165,6 +172,7 @@ class Channel:
         self.loss_probability = loss_probability
         self.rng = rng if rng is not None else np.random.default_rng()
         self.faults = faults
+        self.obs = obs if obs is not None else NULL_LOG
         self.stats = NetworkStats()
         self._radios: Dict[str, Radio] = {}
 
@@ -181,20 +189,37 @@ class Channel:
         attributed to ``no_route`` in :attr:`NetworkStats.by_reason`."""
         self._radios.pop(address, None)
 
+    def _emit_drop(self, message: Message, reason: str) -> None:
+        if self.obs.enabled:
+            self.obs.emit(
+                "net.drop", self.env.now, message.sender,
+                corr=getattr(message, "corr", 0),
+                msg=type(message).__name__, reason=reason,
+            )
+
     def transmit(self, message: Message) -> None:
         """Schedule delivery of ``message`` to its receiver."""
         self.stats.record_send(message)
+        if self.obs.enabled:
+            self.obs.emit(
+                "net.send", self.env.now, message.sender,
+                corr=getattr(message, "corr", 0),
+                msg=type(message).__name__, to=message.receiver,
+                size=message.size,
+            )
         extra_delay = 0.0
         duplicate_delay = None
         if self.faults is not None:
             verdict = self.faults.on_transmit(message, self.env.now)
             if verdict.drop_reason is not None:
                 self.stats.record_loss(verdict.drop_reason)
+                self._emit_drop(message, verdict.drop_reason)
                 return
             extra_delay = verdict.extra_delay
             duplicate_delay = verdict.duplicate_delay
         if self.loss_probability and self.rng.random() < self.loss_probability:
             self.stats.record_loss("channel")
+            self._emit_drop(message, "channel")
             return
         delay = self.delay_model.sample(self.rng) + extra_delay
         self.env.process(self._deliver(message, delay))
@@ -209,8 +234,17 @@ class Channel:
         radio = self._radios.get(message.receiver)
         if radio is None:
             self.stats.record_loss("no_route")
+            self._emit_drop(message, "no_route")
             return
         if radio.accept(message):
             self.stats.record_delivery()
+            if self.obs.enabled:
+                self.obs.emit(
+                    "net.deliver", self.env.now, message.receiver,
+                    corr=getattr(message, "corr", 0),
+                    msg=type(message).__name__, sender=message.sender,
+                    duplicate=duplicate,
+                )
         else:
             self.stats.record_duplicate_dropped()
+            self._emit_drop(message, "duplicate")

@@ -54,6 +54,12 @@ class Message:
     sender: str
     receiver: str
     seq: int = field(default_factory=lambda: next(_seq), init=False)
+    #: Correlation id tying the message to one request/response
+    #: exchange for observability (the request's ``seq``; 0 when the
+    #: message belongs to no exchange).  Set by attribute assignment —
+    #: :class:`~repro.protocol.loop.RequestLoop` mints it on requests,
+    #: the IM echoes it onto replies.
+    corr: int = field(default=0, init=False)
 
     #: Representative on-air size in bytes (header only for the base).
     SIZE = 8

@@ -1,0 +1,22 @@
+"""Structured observability: event bus, exchange spans, exporters.
+
+Layer level 0 — imports nothing from the rest of the package.  See
+README "Observability" for the event vocabulary and the wiring map.
+"""
+
+from repro.obs.events import NULL_LOG, EventLog, NullLog, ObsEvent
+from repro.obs.export import to_chrome_trace, to_jsonl
+from repro.obs.spans import ExchangeSpan, build_spans, percentile, span_stats
+
+__all__ = [
+    "EventLog",
+    "ExchangeSpan",
+    "NULL_LOG",
+    "NullLog",
+    "ObsEvent",
+    "build_spans",
+    "percentile",
+    "span_stats",
+    "to_chrome_trace",
+    "to_jsonl",
+]

@@ -1,0 +1,198 @@
+"""Exporters: JSONL event dumps and Chrome trace-event (Perfetto) files.
+
+Two serialisations of the same :class:`~repro.obs.events.EventLog`:
+
+* :func:`to_jsonl` — one JSON object per event, in emission order.  The
+  flat shape (``{"t": ..., "kind": ..., "actor": ..., ...}``) greps and
+  ``jq``-s well and round-trips losslessly.
+* :func:`to_chrome_trace` — the Chrome trace-event JSON that Perfetto
+  (https://ui.perfetto.dev) and ``chrome://tracing`` load directly.
+  Exchange spans become ``ph: "X"`` *complete* slices on their owning
+  vehicle's track, IM computation becomes slices on the IM track, and
+  point events (drops, timeouts, executes-at-TE) become ``ph: "i"``
+  instants.  Timestamps are sim-time seconds scaled to microseconds
+  (the format's native unit), so one sim second reads as one second on
+  the Perfetto timeline.
+
+Both functions accept an optional ``path``; when given, the rendered
+text is also written to disk (UTF-8).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.events import ObsEvent
+from repro.obs.spans import ExchangeSpan, build_spans
+
+__all__ = ["to_chrome_trace", "to_jsonl"]
+
+#: Sim seconds -> trace-event microseconds.
+_US = 1_000_000.0
+
+#: Point events rendered as Perfetto instants, with the slice track
+#: they attach to ("actor" uses the emitting actor's own track).
+_INSTANT_KINDS = {
+    "net.drop": "actor",
+    "span.timeout": "actor",
+    "vehicle.execute": "actor",
+    "vehicle.degraded": "actor",
+    "im.drop_stale": "actor",
+    "im.silent": "actor",
+    "sched.blocked": "actor",
+}
+
+
+def to_jsonl(events: Iterable[ObsEvent], path: Optional[str] = None) -> str:
+    """Render events as JSON Lines (one flat object per event)."""
+    lines = [json.dumps(e.to_dict(), sort_keys=True) for e in events]
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    return text
+
+
+def _tid_map(actors: Iterable[str]) -> Dict[str, int]:
+    """Stable actor -> thread-id assignment (IM and subsystems first)."""
+
+    def rank(actor: str) -> tuple:
+        # IM first, then scheduler/kernel, then vehicles by numeric id.
+        if actor == "IM":
+            return (0, 0, actor)
+        if not actor.startswith("V"):
+            return (1, 0, actor)
+        try:
+            return (2, int(actor[1:]), actor)
+        except ValueError:
+            return (3, 0, actor)
+
+    ordered = sorted(set(actors), key=rank)
+    return {actor: tid for tid, actor in enumerate(ordered, start=1)}
+
+
+def _span_slice(span: ExchangeSpan, tid: int) -> Optional[Dict[str, Any]]:
+    """One ``ph: "X"`` slice covering a request/response exchange."""
+    if span.t_request is None:
+        return None
+    end = span.end_time
+    if end is None:
+        return None
+    args: Dict[str, Any] = {"corr": span.corr, "complete": span.complete}
+    if span.tt is not None:
+        args["tt"] = span.tt
+    if span.rtd is not None:
+        args["rtd_s"] = span.rtd
+    if span.te is not None:
+        args["te"] = span.te
+    if span.compute_delay is not None:
+        args["compute_s"] = span.compute_delay
+    if span.timed_out:
+        args["timed_out"] = True
+    if span.drops:
+        args["drops"] = list(span.drops)
+    name = span.kind or "exchange"
+    return {
+        "name": f"{name}#{span.corr}",
+        "cat": "exchange",
+        "ph": "X",
+        "ts": span.t_request * _US,
+        "dur": max(end - span.t_request, 0.0) * _US,
+        "pid": 1,
+        "tid": tid,
+        "args": args,
+    }
+
+
+def _compute_slice(span: ExchangeSpan, tid: int) -> Optional[Dict[str, Any]]:
+    """One ``ph: "X"`` slice for the IM's computation of an exchange."""
+    if span.t_compute_begin is None or span.t_compute_end is None:
+        return None
+    return {
+        "name": f"im.compute#{span.corr}",
+        "cat": "im",
+        "ph": "X",
+        "ts": span.t_compute_begin * _US,
+        "dur": max(span.t_compute_end - span.t_compute_begin, 0.0) * _US,
+        "pid": 1,
+        "tid": tid,
+        "args": {"corr": span.corr, "actor": span.actor},
+    }
+
+
+def to_chrome_trace(
+    events: Sequence[ObsEvent],
+    path: Optional[str] = None,
+    spans: Optional[Sequence[ExchangeSpan]] = None,
+) -> Dict[str, Any]:
+    """Render an event list as a Perfetto-loadable Chrome trace dict.
+
+    Parameters
+    ----------
+    events:
+        The event stream (an :class:`~repro.obs.events.EventLog`
+        iterates in emission order).
+    path:
+        When given, the JSON is also written to this file.
+    spans:
+        Pre-built exchange spans; reconstructed from ``events`` via
+        :func:`~repro.obs.spans.build_spans` when omitted.
+    """
+    events = list(events)
+    if spans is None:
+        spans = build_spans(events)
+
+    actors = {e.actor for e in events} | {s.actor for s in spans}
+    actors.add("IM")
+    tids = _tid_map(actors)
+    im_tid = tids["IM"]
+
+    records: List[Dict[str, Any]] = []
+    # Track naming metadata (one per actor).
+    for actor, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        records.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": actor},
+            }
+        )
+
+    # Exchange + compute slices.
+    for span in spans:
+        tid = tids.get(span.actor, im_tid)
+        slice_ = _span_slice(span, tid)
+        if slice_ is not None:
+            records.append(slice_)
+        compute = _compute_slice(span, im_tid)
+        if compute is not None:
+            records.append(compute)
+
+    # Point events.
+    for event in events:
+        if event.kind not in _INSTANT_KINDS:
+            continue
+        args = dict(event.data)
+        if event.corr:
+            args["corr"] = event.corr
+        records.append(
+            {
+                "name": event.kind,
+                "cat": event.kind.split(".", 1)[0],
+                "ph": "i",
+                "s": "t",
+                "ts": event.t * _US,
+                "pid": 1,
+                "tid": tids.get(event.actor, im_tid),
+                "args": args,
+            }
+        )
+
+    trace = {"traceEvents": records, "displayTimeUnit": "ms"}
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(trace, fh)
+    return trace

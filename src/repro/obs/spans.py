@@ -1,0 +1,218 @@
+"""Exchange-span reconstruction from the event bus.
+
+One *span* is the full lifetime of a single request/response
+transaction, keyed by its correlation id (the request message's
+``seq``, minted in :class:`~repro.protocol.loop.RequestLoop` and
+propagated through message headers by the channel and the IM):
+
+.. code-block:: text
+
+    span.request ──> net.send ──> net.deliver ──> im.recv
+        (TT)                                        │
+                                            im.compute.begin
+                                            im.compute.end (service)
+                                                    │
+    span.reply  <── net.deliver <── net.send <── im.reply
+      (RTD)
+        │
+    vehicle.execute (TE)
+
+A dropped reply leaves the span *incomplete* (it ends in
+``span.timeout`` instead — the vehicle retransmits under a fresh
+correlation id, so retries never double-count latency); a duplicated
+reply is suppressed by the receiver-side dedup before it can reach the
+:class:`~repro.protocol.loop.RequestLoop`, so every span folds at most
+one ``span.reply``.  The fault property suite pins both.
+
+:func:`build_spans` is a single pass over an event list;
+:func:`span_stats` folds the spans into the flat p50/p95/max RTD and
+compute-delay histogram dict that rides on
+:attr:`repro.sim.metrics.SimResult.obs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.events import ObsEvent
+
+__all__ = ["ExchangeSpan", "build_spans", "percentile", "span_stats"]
+
+
+@dataclass
+class ExchangeSpan:
+    """Reconstructed timeline of one request/response transaction."""
+
+    corr: int
+    actor: str
+    kind: str = ""
+    #: Sim time the request left the vehicle's protocol loop.
+    t_request: Optional[float] = None
+    #: Local-clock transmission timestamp (``TT``), when the request
+    #: carried one (crossing requests do; sync requests use ``t0``).
+    tt: Optional[float] = None
+    #: Sim time the IM's receive loop admitted the request.
+    t_im_recv: Optional[float] = None
+    #: Sim time the IM's compute worker picked the request up.
+    t_compute_begin: Optional[float] = None
+    #: Sim time the (simulated) computation finished.
+    t_compute_end: Optional[float] = None
+    #: Sim time the IM handed the reply to the channel.
+    t_reply_sent: Optional[float] = None
+    #: Sim time the matching reply reached the vehicle's loop.
+    t_reply: Optional[float] = None
+    #: Measured round trip (``span.reply`` payload), seconds.
+    rtd: Optional[float] = None
+    #: Commanded execution time ``TE`` (Crossroads) when known.
+    te: Optional[float] = None
+    #: Sim time the vehicle committed the granted plan.
+    t_execute: Optional[float] = None
+    #: The exchange ended in a vehicle-side timeout (reply lost or too
+    #: late); the retransmission opens a *new* span.
+    timed_out: bool = False
+    #: ``span.reply`` events folded in (receiver dedup bounds this at 1).
+    replies: int = 0
+    #: Channel drop reasons seen for messages of this exchange.
+    drops: List[str] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """Request observed and exactly one matching reply arrived."""
+        return self.t_request is not None and self.t_reply is not None
+
+    @property
+    def incomplete(self) -> bool:
+        return not self.complete
+
+    @property
+    def retried(self) -> bool:
+        """The vehicle gave up on this exchange and retransmitted."""
+        return self.timed_out
+
+    @property
+    def compute_delay(self) -> Optional[float]:
+        """IM computation (service) time of this exchange, seconds."""
+        if self.t_compute_begin is None or self.t_compute_end is None:
+            return None
+        return self.t_compute_end - self.t_compute_begin
+
+    @property
+    def end_time(self) -> Optional[float]:
+        """Last known sim time of the span (reply, execute or IM end)."""
+        candidates = [
+            t
+            for t in (self.t_reply, self.t_execute, self.t_reply_sent,
+                      self.t_compute_end, self.t_request)
+            if t is not None
+        ]
+        return max(candidates) if candidates else None
+
+
+def build_spans(events: Iterable[ObsEvent]) -> List[ExchangeSpan]:
+    """Fold an event stream into per-correlation-id exchange spans.
+
+    Events with ``corr == 0`` (uncorrelated lifecycle/kernel records)
+    are ignored.  Order-insensitive except that the opening
+    ``span.request`` names the owning actor; spans whose request was
+    evicted from the ring buffer still materialise from later events
+    (flagged incomplete, never crashing the reconstruction).
+    """
+    spans: Dict[int, ExchangeSpan] = {}
+
+    def span_for(event: ObsEvent) -> ExchangeSpan:
+        span = spans.get(event.corr)
+        if span is None:
+            span = ExchangeSpan(corr=event.corr, actor="?")
+            spans[event.corr] = span
+        return span
+
+    for event in events:
+        if event.corr == 0:
+            continue
+        kind = event.kind
+        if kind == "span.request":
+            span = span_for(event)
+            span.actor = event.actor
+            span.kind = event.data.get("msg", span.kind)
+            span.t_request = event.t
+            if "tt" in event.data:
+                span.tt = event.data["tt"]
+        elif kind == "span.reply":
+            span = span_for(event)
+            span.t_reply = event.t
+            span.replies += 1
+            if "rtd" in event.data:
+                span.rtd = event.data["rtd"]
+        elif kind == "span.timeout":
+            span_for(event).timed_out = True
+        elif kind == "im.recv":
+            span_for(event).t_im_recv = event.t
+        elif kind == "im.compute.begin":
+            span_for(event).t_compute_begin = event.t
+        elif kind == "im.compute.end":
+            span_for(event).t_compute_end = event.t
+        elif kind == "im.reply":
+            span = span_for(event)
+            span.t_reply_sent = event.t
+            if "te" in event.data:
+                span.te = event.data["te"]
+        elif kind == "vehicle.execute":
+            span = span_for(event)
+            span.t_execute = event.t
+            if "te" in event.data:
+                span.te = event.data["te"]
+        elif kind == "net.drop":
+            span_for(event).drops.append(event.data.get("reason", "?"))
+    return sorted(
+        spans.values(),
+        key=lambda s: (s.t_request if s.t_request is not None else -1.0, s.corr),
+    )
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (numpy's default), pure python.
+
+    Returns 0.0 for an empty sequence — histogram entries must stay
+    defined (and deterministic) even when nothing was measured.
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return float(ordered[low] * (1.0 - frac) + ordered[high] * frac)
+
+
+def span_stats(spans: Sequence[ExchangeSpan]) -> Dict[str, float]:
+    """Flat histogram summary of a span list.
+
+    The dict is what :class:`~repro.sim.world.World` folds into
+    :attr:`~repro.sim.metrics.SimResult.obs`: span counts plus
+    p50/p95/max of the measured RTD (complete spans) and of the IM
+    compute delay (spans that reached the compute worker).  All values
+    derive from sim-time stamps, so they are deterministic per seed.
+    """
+    rtds = [s.rtd for s in spans if s.complete and s.rtd is not None]
+    computes = [s.compute_delay for s in spans if s.compute_delay is not None]
+    return {
+        "spans_total": float(len(spans)),
+        "spans_complete": float(sum(1 for s in spans if s.complete)),
+        "spans_incomplete": float(sum(1 for s in spans if s.incomplete)),
+        "spans_retried": float(sum(1 for s in spans if s.retried)),
+        "spans_executed": float(
+            sum(1 for s in spans if s.t_execute is not None)
+        ),
+        "rtd_p50_s": percentile(rtds, 50.0),
+        "rtd_p95_s": percentile(rtds, 95.0),
+        "rtd_max_s": max(rtds) if rtds else 0.0,
+        "compute_p50_s": percentile(computes, 50.0),
+        "compute_p95_s": percentile(computes, 95.0),
+        "compute_max_s": max(computes) if computes else 0.0,
+    }

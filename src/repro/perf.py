@@ -28,7 +28,7 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
-__all__ = ["PerfCounters", "hit_rate"]
+__all__ = ["PerfCounters", "hit_rate", "merge_snapshots"]
 
 
 def hit_rate(hits: float, misses: float) -> float:
@@ -54,7 +54,13 @@ class PerfCounters:
 
     # -- counters ----------------------------------------------------------
     def incr(self, name: str, n: float = 1) -> None:
-        """Add ``n`` to counter ``name`` (created at 0 on first use)."""
+        """Add ``n`` to counter ``name`` (created at 0 on first use).
+
+        Counters are documented as monotonic: a negative increment
+        would silently corrupt merged snapshots, so it is rejected.
+        """
+        if n < 0:
+            raise ValueError(f"counter increments must be non-negative, got {n!r}")
         self.counts[name] = self.counts.get(name, 0) + n
 
     def count(self, name: str) -> float:
@@ -107,6 +113,22 @@ class PerfCounters:
             out[f"time.{name}_s"] = float(self.times[name])
         return out
 
+    @classmethod
+    def from_snapshot(cls, snapshot: Dict[str, float]) -> "PerfCounters":
+        """Rebuild counters/timers from a :meth:`snapshot` dict.
+
+        Keys outside the ``count.`` / ``time.*_s`` scheme (derived
+        ratios such as ``tile_cache_hit_rate``) are skipped — they are
+        not additive and must be recomputed after a merge.
+        """
+        counters = cls()
+        for key, value in snapshot.items():
+            if key.startswith("count."):
+                counters.incr(key[len("count."):], float(value))
+            elif key.startswith("time.") and key.endswith("_s"):
+                counters.add_time(key[len("time."):-len("_s")], float(value))
+        return counters
+
     def reset(self) -> None:
         """Zero every counter and timer."""
         self.counts.clear()
@@ -116,3 +138,16 @@ class PerfCounters:
         return (
             f"PerfCounters(counts={len(self.counts)}, timers={len(self.times)})"
         )
+
+
+def merge_snapshots(snapshots: "list[Dict[str, float]]") -> Dict[str, float]:
+    """Fold flat :meth:`PerfCounters.snapshot` dicts from several runs
+    (e.g. parallel workers or sweep cells) into one combined snapshot.
+
+    Only additive ``count.`` / ``time.*_s`` keys participate; derived
+    ratios are dropped (recompute them from the merged counters).
+    """
+    merged = PerfCounters()
+    for snapshot in snapshots:
+        merged.merge(PerfCounters.from_snapshot(snapshot))
+    return merged.snapshot()

@@ -82,6 +82,18 @@ class DegradationMonitor:
         #: Degraded mode: prolonged peer silence -> safe-stop hold
         #: until the peer is heard from again.
         self.degraded = False
+        #: Lifetime unanswered exchanges (never reset — telemetry).
+        self.timeouts_total = 0
+        #: Lifetime answered exchanges (never reset — telemetry).
+        self.contacts = 0
+        #: Times the machine latched degraded mode.
+        self.degraded_entries = 0
+        #: Total time spent degraded, in the caller-supplied clock
+        #: (accumulated by :meth:`on_contact` from :attr:`degraded_since`).
+        self.degraded_time = 0.0
+        #: Clock reading when degraded mode was last entered (callers
+        #: pass ``now`` into :meth:`on_timeout` / :meth:`on_contact`).
+        self.degraded_since: Optional[float] = None
 
     def next_timeout(self) -> float:
         """Current retransmit timeout with the call-time jitter applied.
@@ -94,28 +106,37 @@ class DegradationMonitor:
             return self.retry_timeout
         return self.retry_timeout * (1.0 + jitter * float(self._rng.random()))
 
-    def on_timeout(self, *, committed: bool = False) -> bool:
+    def on_timeout(self, *, committed: bool = False, now: Optional[float] = None) -> bool:
         """Record one unanswered exchange.
 
         Grows the retransmit timeout (capped) and bumps the silence
         counter.  ``committed`` is True while the endpoint holds a
         granted plan — a committed vehicle keeps driving its plan and
-        must *not* degrade to a stop mid-manoeuvre.  Returns True when
+        must *not* degrade to a stop mid-manoeuvre.  ``now`` (optional,
+        any monotonic clock) stamps when degraded mode was entered so
+        :attr:`degraded_time` can be accumulated.  Returns True when
         this very timeout pushed the machine into degraded mode.
         """
         self.retry_timeout = min(self.retry_timeout * self.growth, self.timeout_cap)
         self.timeouts_in_a_row += 1
+        self.timeouts_total += 1
         if (
             self.timeouts_in_a_row >= self.silence_limit
             and not committed
             and not self.degraded
         ):
             self.degraded = True
+            self.degraded_entries += 1
+            self.degraded_since = now
             return True
         return False
 
-    def on_contact(self) -> None:
+    def on_contact(self, *, now: Optional[float] = None) -> None:
         """The peer answered: reset backoff and leave degraded mode."""
         self.retry_timeout = self.base_timeout
         self.timeouts_in_a_row = 0
+        self.contacts += 1
+        if self.degraded and self.degraded_since is not None and now is not None:
+            self.degraded_time += max(now - self.degraded_since, 0.0)
         self.degraded = False
+        self.degraded_since = None

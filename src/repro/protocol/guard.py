@@ -31,12 +31,20 @@ class SequenceGuard:
         self._last_request_seq: Dict[str, int] = {}
         #: Seq of the last *granted* request per sender.
         self._last_grant_seq: Dict[str, int] = {}
+        #: Requests admitted (fresh, in-order).
+        self.admitted = 0
+        #: Stale/reordered requests rejected.
+        self.drops = 0
+        #: Cancels identified as stale (predating the live grant).
+        self.stale_cancels = 0
 
     def admit_request(self, sender: str, seq: int) -> bool:
         """Record a request; False iff it is reordered/duplicated stale."""
         if seq <= self._last_request_seq.get(sender, -1):
+            self.drops += 1
             return False
         self._last_request_seq[sender] = seq
+        self.admitted += 1
         return True
 
     def note_grant(self, sender: str, seq: int) -> None:
@@ -45,4 +53,7 @@ class SequenceGuard:
 
     def stale_cancel(self, sender: str, seq: int) -> bool:
         """True iff a cancel with ``seq`` predates the sender's last grant."""
-        return seq < self._last_grant_seq.get(sender, -1)
+        stale = seq < self._last_grant_seq.get(sender, -1)
+        if stale:
+            self.stale_cancels += 1
+        return stale

@@ -16,6 +16,16 @@ Both are DES generators, driven with ``yield from`` inside an agent
 process.  The loop needs only an environment and a radio — no World,
 no vehicle — so the retransmit semantics are unit-testable against a
 bare :class:`~repro.network.channel.Channel`.
+
+Observability: :meth:`exchange` mints the *correlation id* of the whole
+request/response transaction — the request's ``seq``, stamped onto the
+outgoing message's ``corr`` header so the channel and the IM propagate
+it — and emits ``span.request`` / ``span.reply`` / ``span.timeout``
+records.  A retransmission is a *new* message with a new seq, hence a
+new span: retries never double-count latency.  The machine also keeps
+the ROADMAP's per-machine counters (:attr:`exchanges`,
+:attr:`timeouts`, :attr:`discarded`) regardless of whether tracing is
+enabled — counting is cheap and deterministic.
 """
 
 from __future__ import annotations
@@ -25,6 +35,7 @@ from typing import Optional
 from repro.des import AnyOf, Environment
 from repro.network.channel import Radio
 from repro.network.messages import Message
+from repro.obs.events import NULL_LOG
 from repro.protocol.degrade import DegradationMonitor
 
 __all__ = ["RequestLoop"]
@@ -41,12 +52,28 @@ class RequestLoop:
         The endpoint's attached radio.
     monitor:
         Backoff state machine supplying the per-exchange timeout.
+    obs:
+        Optional :class:`~repro.obs.EventLog`; defaults to the
+        zero-cost null sink.
     """
 
-    def __init__(self, env: Environment, radio: Radio, monitor: DegradationMonitor):
+    def __init__(
+        self,
+        env: Environment,
+        radio: Radio,
+        monitor: DegradationMonitor,
+        obs=None,
+    ):
         self.env = env
         self.radio = radio
         self.monitor = monitor
+        self.obs = obs if obs is not None else NULL_LOG
+        #: Exchanges started (requests sent through :meth:`exchange`).
+        self.exchanges = 0
+        #: Exchanges that ended in a response timeout.
+        self.timeouts = 0
+        #: Foreign/stale messages discarded while awaiting a reply.
+        self.discarded = 0
 
     def await_response(self, timeout: float, *types, reply_to: Optional[int] = None):
         """Wait up to ``timeout`` for a message of one of ``types``.
@@ -69,6 +96,13 @@ class RequestLoop:
                     tag = getattr(message, "in_reply_to", 0)
                     if reply_to is None or tag in (0, reply_to):
                         return message
+                self.discarded += 1
+                if self.obs.enabled:
+                    self.obs.emit(
+                        "loop.discard", self.env.now, self.radio.address,
+                        corr=getattr(message, "corr", 0),
+                        msg=type(message).__name__,
+                    )
                 continue  # stale or foreign message; keep waiting
             # Timed out: withdraw the pending get so it cannot swallow
             # a later delivery meant for the next exchange.
@@ -85,8 +119,36 @@ class RequestLoop:
         request degrade through the same monitor but update different
         records.
         """
+        request.corr = request.seq
+        self.exchanges += 1
+        obs = self.obs
+        sent_at = self.env.now
+        if obs.enabled:
+            data = {"msg": type(request).__name__}
+            tt = getattr(request, "tt", None)
+            if tt is None:
+                tt = getattr(request, "t0", None)
+            if tt is not None:
+                data["tt"] = tt
+            obs.emit(
+                "span.request", sent_at, self.radio.address,
+                corr=request.corr, **data,
+            )
         self.radio.send(request)
         response = yield from self.await_response(
             self.monitor.next_timeout(), *types, reply_to=reply_to
         )
+        if response is None:
+            self.timeouts += 1
+            if obs.enabled:
+                obs.emit(
+                    "span.timeout", self.env.now, self.radio.address,
+                    corr=request.corr,
+                )
+        elif obs.enabled:
+            obs.emit(
+                "span.reply", self.env.now, self.radio.address,
+                corr=request.corr, msg=type(response).__name__,
+                rtd=self.env.now - sent_at,
+            )
         return response

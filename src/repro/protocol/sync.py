@@ -74,6 +74,12 @@ class TimeSyncSession:
         self.local_time = local_time
         self.rtt_limit = rtt_limit
         self.attempt_budget = attempt_budget
+        #: Completed sync sessions (clock actually stepped).
+        self.sessions = 0
+        #: Answered NTP exchanges (samples collected).
+        self.samples = 0
+        #: Re-exchanges forced by the ``rtt_limit`` trust bound.
+        self.resamples = 0
 
     def run(
         self,
@@ -104,13 +110,16 @@ class TimeSyncSession:
             t3 = self.local_time()
             sample = NtpSample(t0=response.t0, t1=response.t1, t2=response.t2, t3=t3)
             self.ntp.add_sample(sample)
+            self.samples += 1
             if on_contact is not None:
                 on_contact()
             attempts += 1
             if sample.delay <= self.rtt_limit or attempts >= self.attempt_budget:
                 self.ntp.synchronize()
+                self.sessions += 1
                 return True
             # Spiked sample: count the re-exchange and try again.
+            self.resamples += 1
             if on_resample is not None:
                 on_resample()
         return False
@@ -128,12 +137,13 @@ class TimeSyncResponder:
     def respond(self, message: SyncRequest, now: float) -> None:
         """Answer one sync request; ``now`` is the server clock."""
         self.responses += 1
-        self.radio.send(
-            SyncResponse(
-                sender=self.address,
-                receiver=message.sender,
-                t0=message.t0,
-                t1=now,
-                t2=now,
-            )
+        response = SyncResponse(
+            sender=self.address,
+            receiver=message.sender,
+            t0=message.t0,
+            t1=now,
+            t2=now,
         )
+        # Propagate the exchange correlation id for observability.
+        response.corr = getattr(message, "corr", 0)
+        self.radio.send(response)

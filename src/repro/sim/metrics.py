@@ -59,6 +59,12 @@ class SimResult:
     #: summary must stay bit-identical between serial and parallel
     #: executions of the same seeds.
     perf: Dict[str, float] = field(default_factory=dict)
+    #: Flat :func:`repro.obs.span_stats` histogram of the run's
+    #: exchange spans (p50/p95/max RTD and IM compute delay) — empty
+    #: unless the world ran with an event log attached.  Like ``perf``,
+    #: deliberately *not* part of :meth:`summary`: attaching tracing
+    #: must never change the scientific metrics.
+    obs: Dict[str, float] = field(default_factory=dict)
 
     # -- vehicle-level aggregates ------------------------------------------
     @property

@@ -14,6 +14,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.perf import merge_snapshots
 from repro.sim.metrics import SimResult
 from repro.sim.parallel import ParallelRunner, RunTask, resolve_jobs
 from repro.sim.world import WorldConfig, run_scenario
@@ -77,6 +78,18 @@ class Replication:
     def all_safe(self) -> bool:
         """True when no replicate saw a collision."""
         return all(r.collisions == 0 for r in self.results)
+
+    def merged_perf(self) -> Dict[str, float]:
+        """Fold every replicate's perf snapshot into one.
+
+        Perf dicts are plain floats, so they travel back from
+        :class:`~repro.sim.parallel.ParallelRunner` workers unchanged;
+        the ``count.*`` keys (per-machine protocol counters included)
+        are deterministic per seed, so the merge is identical under
+        ``jobs=1`` and ``jobs=2``.  Wall-clock ``time.*`` keys are
+        summed too but naturally vary run to run.
+        """
+        return merge_snapshots([r.perf for r in self.results])
 
     def summary_table(self) -> "tuple[list, list]":
         """(headers, rows) of mean ± CI for every metric."""

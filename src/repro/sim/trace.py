@@ -58,7 +58,16 @@ class TraceRecorder:
         self.world = world
         self.period = period
         self.samples: List[TraceSample] = []
+        #: Per-vehicle index maintained at append time so trajectory
+        #: queries stop re-scanning the whole sample list (the sampler
+        #: appends in time order, so each bucket is already sorted).
+        self._by_vehicle: Dict[int, List[TraceSample]] = {}
         world.env.process(self._sampler())
+
+    def _append(self, sample: TraceSample) -> None:
+        """Record one sample in both the flat list and the index."""
+        self.samples.append(sample)
+        self._by_vehicle.setdefault(sample.vehicle_id, []).append(sample)
 
     def _sampler(self):
         while True:
@@ -66,7 +75,7 @@ class TraceRecorder:
             for vehicle in self.world.vehicles:
                 if vehicle.done:
                     continue
-                self.samples.append(
+                self._append(
                     TraceSample(
                         time=now,
                         vehicle_id=vehicle.info.vehicle_id,
@@ -82,12 +91,12 @@ class TraceRecorder:
     # -- queries ---------------------------------------------------------------
     @property
     def vehicle_ids(self) -> List[int]:
-        """Ids seen in the trace, ascending."""
-        return sorted({s.vehicle_id for s in self.samples})
+        """Ids seen in the trace, ascending (O(V log V), no re-scan)."""
+        return sorted(self._by_vehicle)
 
     def trajectory(self, vehicle_id: int) -> List[TraceSample]:
-        """All samples of one vehicle, time-ordered."""
-        return [s for s in self.samples if s.vehicle_id == vehicle_id]
+        """All samples of one vehicle, time-ordered (indexed lookup)."""
+        return list(self._by_vehicle.get(vehicle_id, ()))
 
     def at(self, time: float, tolerance: Optional[float] = None) -> List[TraceSample]:
         """Samples from the tick nearest ``time``."""
@@ -121,3 +130,33 @@ class TraceRecorder:
             with open(path, "w") as handle:
                 handle.write(text)
         return text
+
+    @classmethod
+    def parse_csv(cls, text: str) -> List[TraceSample]:
+        """Inverse of :meth:`to_csv` — rebuild samples from CSV text.
+
+        Values round-trip at the export precision (time %.3f,
+        position/velocity %.4f), which is what the round-trip test
+        pins.
+        """
+        reader = csv.reader(io.StringIO(text))
+        header = next(reader, None)
+        if header is None or tuple(header) != cls.FIELDS:
+            raise ValueError(f"unexpected CSV header {header!r}")
+        samples: List[TraceSample] = []
+        for row in reader:
+            if not row:
+                continue
+            time_s, vehicle_id, movement_key, pos, vel, state, has_plan = row
+            samples.append(
+                TraceSample(
+                    time=float(time_s),
+                    vehicle_id=int(vehicle_id),
+                    movement_key=movement_key,
+                    position=float(pos),
+                    velocity=float(vel),
+                    state=state,
+                    has_plan=bool(int(has_plan)),
+                )
+            )
+        return samples

@@ -40,6 +40,8 @@ from repro.geometry.conflicts import ConflictTable
 from repro.geometry.layout import IntersectionGeometry
 from repro.network.channel import Channel
 from repro.network.delay import DelayModel, testbed_delay_model
+from repro.obs.events import EventLog
+from repro.obs.spans import build_spans, span_stats
 from repro.perf import PerfCounters
 from repro.sensors.plant import PlantConfig
 from repro.sim.metrics import SimResult
@@ -102,6 +104,12 @@ class World:
         World knobs.
     seed:
         Master seed: spawns per-vehicle RNGs and clock parameters.
+    obs:
+        Optional :class:`~repro.obs.EventLog` threaded through every
+        runtime layer (kernel, channel, protocol machines, vehicles,
+        IM, scheduler).  Tracing never touches an RNG and never
+        schedules a DES event, so a traced run's ``summary()`` is
+        bit-identical to an untraced one.
     """
 
     def __init__(
@@ -112,6 +120,7 @@ class World:
         conflicts: Optional[ConflictTable] = None,
         config: Optional[WorldConfig] = None,
         seed: Optional[int] = None,
+        obs: Optional[EventLog] = None,
     ):
         self._spec = resolve_policy(policy)
         self.policy = self._spec.name
@@ -119,8 +128,11 @@ class World:
         self.config = config if config is not None else WorldConfig()
         self.geometry = geometry if geometry is not None else IntersectionGeometry()
         self.rng = np.random.default_rng(seed)
+        self.obs = obs
 
         self.env = Environment()
+        if obs is not None:
+            self.env.obs = obs
         delay = (
             self.config.delay_model
             if self.config.delay_model is not None
@@ -145,6 +157,7 @@ class World:
             loss_probability=self.config.message_loss,
             rng=np.random.default_rng(channel_seed),
             faults=self.faults,
+            obs=obs,
         )
         if self._spec.needs_conflicts and conflicts is None:
             conflicts = ConflictTable(self.geometry)
@@ -158,6 +171,15 @@ class World:
             config=self.config.im,
             aim_config=self.config.aim,
         )
+        if obs is not None:
+            # Injected post-construction to keep the policy-plugin IM
+            # builder signature stable; safe because DES processes
+            # scheduled in the constructor only execute under env.run().
+            self.im.obs = obs
+            scheduler = getattr(self.im, "scheduler", None)
+            if scheduler is not None:
+                scheduler.obs = obs
+                scheduler.obs_now = lambda: self.env.now
         self.vehicles: List[BaseVehicle] = []
         self._lanes: Dict[str, List[BaseVehicle]] = {}
         self.collisions = 0
@@ -228,6 +250,7 @@ class World:
             config=cfg.agent,
             rng=np.random.default_rng(self.rng.integers(2 ** 63)),
             plant_headroom=1.0 if cfg.ideal_vehicles else cfg.plant_headroom,
+            obs=self.obs,
         )
         if cfg.ideal_vehicles:
             vehicle.plant.ideal = True
@@ -329,10 +352,46 @@ class World:
                 self.env.run(until=self.env.now + step)
         return self.result()
 
+    def _machine_counters(self, perf: PerfCounters) -> None:
+        """Harvest the ROADMAP's per-machine protocol counters.
+
+        All values derive from deterministic machine state (sim-time
+        and message accounting, never wall clock), so jobs=1 and
+        jobs=2 merges of the same seeds agree exactly.
+        """
+        loops = [v.proto for v in self.vehicles]
+        perf.incr("machine.request_loop.exchanges",
+                  sum(l.exchanges for l in loops))
+        perf.incr("machine.request_loop.timeouts",
+                  sum(l.timeouts for l in loops))
+        perf.incr("machine.request_loop.discarded",
+                  sum(l.discarded for l in loops))
+        syncs = [v.sync for v in self.vehicles]
+        perf.incr("machine.timesync.sessions", sum(s.sessions for s in syncs))
+        perf.incr("machine.timesync.samples", sum(s.samples for s in syncs))
+        perf.incr("machine.timesync.resamples", sum(s.resamples for s in syncs))
+        monitors = [v.monitor for v in self.vehicles]
+        perf.incr("machine.degradation.timeouts",
+                  sum(m.timeouts_total for m in monitors))
+        perf.incr("machine.degradation.contacts",
+                  sum(m.contacts for m in monitors))
+        perf.incr("machine.degradation.entries",
+                  sum(m.degraded_entries for m in monitors))
+        perf.incr("machine.degradation.degraded_s",
+                  sum(m.degraded_time for m in monitors))
+        guard = self.im.guard
+        perf.incr("machine.sequence_guard.admitted", guard.admitted)
+        perf.incr("machine.sequence_guard.drops", guard.drops)
+        perf.incr("machine.sequence_guard.stale_cancels", guard.stale_cancels)
+        perf.incr("machine.timesync_responder.responses",
+                  self.im.sync_responder.responses)
+
     def _perf_snapshot(self) -> Dict[str, float]:
         """Timers from this world + counters harvested from subsystems."""
         perf = PerfCounters(times=self.perf.times)
+        perf.merge(self.im.perf)
         perf.incr("des_events", self.env.events_processed)
+        self._machine_counters(perf)
         reservations = getattr(self.im, "reservations", None)
         if reservations is not None:  # AIM only
             grid = reservations.grid
@@ -371,6 +430,11 @@ class World:
             reservation_invalidations=self.im.stats.invalidations,
             stale_requests_dropped=self.im.stats.stale_requests_dropped,
             perf=self._perf_snapshot(),
+            obs=(
+                span_stats(build_spans(self.obs))
+                if self.obs is not None
+                else {}
+            ),
         )
 
 
@@ -381,6 +445,7 @@ def run_scenario(
     conflicts: Optional[ConflictTable] = None,
     geometry: Optional[IntersectionGeometry] = None,
     seed: Optional[int] = None,
+    obs: Optional[EventLog] = None,
 ) -> SimResult:
     """One-call wrapper: build a :class:`World`, run it, return results."""
     world = World(
@@ -390,5 +455,6 @@ def run_scenario(
         conflicts=conflicts,
         config=config,
         seed=seed,
+        obs=obs,
     )
     return world.run()

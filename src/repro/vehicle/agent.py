@@ -38,6 +38,7 @@ from repro.des import Environment
 from repro.kinematics.profiles import MotionProfile, ProfileBuilder, brake_distance
 from repro.network.channel import Radio
 from repro.network.messages import CancelReservation, ExitNotification, Message
+from repro.obs.events import NULL_LOG
 from repro.protocol import (
     CommandValidator,
     DegradationMonitor,
@@ -84,12 +85,19 @@ class BaseVehicle:
         config: Optional[AgentConfig] = None,
         rng: Optional[np.random.Generator] = None,
         plant_headroom: float = 1.0,
+        obs=None,
     ):
         if spawn_speed < 0 or spawn_speed > info.spec.v_max + 1e-9:
             raise ValueError("spawn_speed must be in [0, v_max]")
         self.env = env
         self.info = info
         self.radio = radio
+        #: Observability sink (zero-cost null log unless a traced
+        #: :class:`~repro.sim.world.World` supplies its event bus).
+        self.obs = obs if obs is not None else NULL_LOG
+        #: Correlation id of the last successfully answered exchange —
+        #: ties ``vehicle.execute`` back to the granting span.
+        self._last_reply_corr = 0
         self.clock = clock
         self.ntp = NtpClient(clock)
         self.config = config if config is not None else AgentConfig()
@@ -139,7 +147,7 @@ class BaseVehicle:
             rng=self._proto_rng,
         )
         #: Request/response matching + jittered retransmission.
-        self.proto = RequestLoop(env, radio, self.monitor)
+        self.proto = RequestLoop(env, radio, self.monitor, obs=self.obs)
         self.record = VehicleRecord(
             vehicle_id=info.vehicle_id,
             movement_key=info.movement.key,
@@ -158,6 +166,11 @@ class BaseVehicle:
             rtt_limit=cfg.sync_rtt_limit,
             attempt_budget=cfg.sync_attempts,
         )
+        if self.obs.enabled:
+            self.obs.emit(
+                "vehicle.spawn", env.now, radio.address,
+                vehicle_id=info.vehicle_id, movement=info.movement.key,
+            )
         self._drive_proc = env.process(self._drive_loop())
         self._protocol_proc = env.process(self._protocol_loop())
 
@@ -315,9 +328,13 @@ class BaseVehicle:
         now = self.env.now
         if self.record.enter_time is None and self.front >= self.approach_length:
             self.record.enter_time = now
+            if self.obs.enabled:
+                self.obs.emit("vehicle.enter", now, self.radio.address)
         box_end = self.approach_length + self.path_length
         if self.record.exit_time is None and self.rear >= box_end:
             self.record.exit_time = now
+            if self.obs.enabled:
+                self.obs.emit("vehicle.exit", now, self.radio.address)
             self.radio.send(
                 ExitNotification(
                     sender=self.radio.address,
@@ -328,6 +345,8 @@ class BaseVehicle:
         if self.front >= self.route_length:
             self.record.despawn_time = now
             self.state = VehicleState.DONE
+            if self.obs.enabled:
+                self.obs.emit("vehicle.despawn", now, self.radio.address)
 
     # -- protocol loop ----------------------------------------------------------
     def _protocol_loop(self):
@@ -375,12 +394,17 @@ class BaseVehicle:
     def _backoff(self) -> None:
         """One unanswered exchange: count it and grow the monitor."""
         self.record.retries += 1
-        if self.monitor.on_timeout(committed=self.plan is not None):
+        if self.monitor.on_timeout(committed=self.plan is not None, now=self.env.now):
             self.record.degraded_entries += 1
+            if self.obs.enabled:
+                self.obs.emit(
+                    "vehicle.degraded", self.env.now, self.radio.address,
+                    silence=self.monitor.timeouts_in_a_row,
+                )
 
     def _note_contact(self) -> None:
         """The IM answered: reset backoff and leave degraded mode."""
-        self.monitor.on_contact()
+        self.monitor.on_contact(now=self.env.now)
 
     def _count_retry(self) -> None:
         self.record.retries += 1
@@ -402,6 +426,7 @@ class BaseVehicle:
             self._backoff()
             return None, 0.0
         self._note_contact()
+        self._last_reply_corr = getattr(response, "corr", 0) or request.seq
         return response, self.env.now - sent_at
 
     def _request_phase(self):
@@ -425,6 +450,11 @@ class BaseVehicle:
         self.plan = plan
         self._hold = False
         self.state = VehicleState.FOLLOW
+        if self.obs.enabled:
+            self.obs.emit(
+                "vehicle.execute", self.env.now, self.radio.address,
+                corr=self._last_reply_corr, te=plan.start_time,
+            )
 
     def _commit_cruise_plan(self, v_target: float) -> None:
         """VT-IM style: accelerate to ``v_target`` now and maintain."""

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -14,6 +16,7 @@ class TestParser:
         args = build_parser().parse_args(["run"])
         assert args.policy == "crossroads"
         assert args.scenario is None and args.flow is None
+        assert args.trace is None
 
     def test_run_flow_and_scenario_exclusive(self):
         with pytest.raises(SystemExit):
@@ -22,6 +25,41 @@ class TestParser:
     def test_sweep_flows_parsed(self):
         args = build_parser().parse_args(["sweep", "--flows", "0.1", "0.5"])
         assert args.flows == [0.1, 0.5]
+        assert args.perf is False
+
+    def test_sweep_perf_flag(self):
+        args = build_parser().parse_args(["sweep", "--perf"])
+        assert args.perf is True
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.out == "out.trace.json"
+        assert args.jsonl is None
+        assert args.kernel is False
+
+    def test_trace_workload_knobs_shared_with_run(self):
+        args = build_parser().parse_args(
+            ["trace", "--policy", "aim", "--flow", "0.3", "--cars", "8",
+             "--seed", "4", "--out", "x.json", "--kernel"]
+        )
+        assert args.policy == "aim" and args.flow == 0.3
+        assert args.out == "x.json" and args.kernel is True
+
+    def test_help_mentions_trace(self, capsys):
+        """`trace` and `--trace` are discoverable from --help."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        out = capsys.readouterr().out
+        assert "trace" in out
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--help"])
+        run_help = capsys.readouterr().out
+        assert "--trace" in run_help
+        assert "perfetto" in run_help.lower()
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--help"])
+        trace_help = capsys.readouterr().out
+        assert "--out" in trace_help and "--jsonl" in trace_help
 
 
 class TestCommands:
@@ -45,6 +83,29 @@ class TestCommands:
     def test_run_bad_scenario_number(self, capsys):
         assert main(["run", "--scenario", "11"]) == 2
 
+    def test_run_with_trace_writes_chrome_trace(self, capsys, tmp_path):
+        out_file = tmp_path / "run.trace.json"
+        assert main(["run", "--flow", "0.2", "--cars", "5", "--seed", "3",
+                     "--trace", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "spans" in out
+        doc = json.loads(out_file.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert any(r["ph"] == "X" for r in doc["traceEvents"])
+
+    def test_trace_command(self, capsys, tmp_path):
+        out_file = tmp_path / "out.trace.json"
+        jsonl_file = tmp_path / "events.jsonl"
+        assert main(["trace", "--flow", "0.2", "--cars", "5", "--seed", "3",
+                     "--out", str(out_file), "--jsonl", str(jsonl_file)]) == 0
+        out = capsys.readouterr().out
+        assert "traced" in out
+        assert "machine counter" in out or "machine." in out
+        doc = json.loads(out_file.read_text())
+        assert {r["ph"] for r in doc["traceEvents"]} >= {"M", "X"}
+        lines = jsonl_file.read_text().splitlines()
+        assert lines and all(json.loads(line)["kind"] for line in lines)
+
     def test_sweep_analytic(self, capsys):
         code = main([
             "sweep", "--engine", "analytic",
@@ -55,6 +116,27 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "crossroads thr" in out
         assert "Crossroads advantage" in out
+
+    def test_sweep_perf_micro(self, capsys):
+        code = main([
+            "sweep", "--engine", "micro", "--perf",
+            "--policies", "crossroads",
+            "--flows", "0.2", "--cars", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "perf counters" in out
+        assert "count.des_events" in out
+        assert "count.machine.request_loop.exchanges" in out
+
+    def test_sweep_perf_analytic_has_none(self, capsys):
+        code = main([
+            "sweep", "--engine", "analytic", "--perf",
+            "--policies", "crossroads",
+            "--flows", "0.2", "--cars", "8",
+        ])
+        assert code == 0
+        assert "none recorded" in capsys.readouterr().out
 
     def test_buffer(self, capsys):
         assert main(["buffer"]) == 0

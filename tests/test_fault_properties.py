@@ -194,3 +194,92 @@ class TestHeavyDemo:
         # The run was genuinely faulted, not a no-op.
         assert sum(result.fault_injections.values()) > 0
         assert result.retries > 0
+
+
+class TestSpanReconstruction:
+    """ISSUE 4 satellite: exchange spans reconstruct sanely under
+    faults — dropped replies leave *incomplete/retried* spans (never a
+    crash), duplicated replies are folded at most once (no
+    double-counted latency), and tracing a faulted run never changes
+    its scientific summary."""
+
+    BURST = "burst=0.05:0.2:0.9"
+    DUP = "dup=0.2:0.01"
+
+    def _traced(self, spec, policy="crossroads", seed=29, n=8):
+        from repro.obs import EventLog, build_spans
+
+        log = EventLog()
+        result = run_scenario(
+            policy,
+            _workload(seed, n=n),
+            config=WorldConfig(faults=FaultConfig.from_spec(spec)),
+            seed=seed,
+            obs=log,
+        )
+        return result, build_spans(log.events)
+
+    def test_dropped_replies_leave_incomplete_spans(self):
+        result, spans = self._traced(self.BURST)
+        assert result.retries > 0, "regime produced no retries; bump spec"
+        retried = [s for s in spans if s.retried]
+        assert retried, "no span carries the timeout flag"
+        for span in retried:
+            # A timed-out exchange never also folds a reply: the
+            # retransmission opened a fresh correlation id.
+            assert span.replies == 0
+            assert span.rtd is None
+        # Loop-level accounting and span-level accounting agree.
+        assert len(retried) == result.perf[
+            "count.machine.request_loop.timeouts"
+        ]
+        assert result.obs["spans_retried"] == float(len(retried))
+
+    def test_no_double_counted_latency(self):
+        for spec in (self.BURST, self.DUP):
+            result, spans = self._traced(spec)
+            # Receiver-side dedup bounds every span at one reply, so
+            # each exchange contributes at most one RTD sample.
+            assert all(s.replies <= 1 for s in spans), spec
+            with_rtd = [s for s in spans if s.rtd is not None]
+            assert len(with_rtd) == sum(1 for s in spans if s.complete)
+            assert result.obs["spans_complete"] == float(len(with_rtd))
+
+    def test_duplicated_replies_are_suppressed(self):
+        result, spans = self._traced(self.DUP)
+        assert result.duplicates_dropped > 0, "regime produced no dups"
+        assert all(s.replies <= 1 for s in spans)
+        # The suppressed copies are visible as net.drop attributions.
+        dropped_dup = [s for s in spans if "duplicate" in s.drops]
+        assert dropped_dup
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_tracing_faulted_run_is_bit_identical(self, policy):
+        from repro.obs import EventLog
+
+        arrivals = _workload(29, n=6)
+        config = WorldConfig(faults=FaultConfig.from_spec("burst,spike"))
+        plain = run_scenario(policy, arrivals, config=config, seed=29)
+        traced = run_scenario(
+            policy, arrivals, config=config, seed=29, obs=EventLog()
+        )
+        assert plain.summary() == traced.summary()
+
+    def test_ring_buffer_survives_fault_storm(self):
+        """A tiny capacity under heavy faults evicts events mid-span;
+        reconstruction must stay well-defined (orphans fold into
+        incomplete spans, no crash)."""
+        from repro.obs import EventLog, build_spans, span_stats
+
+        log = EventLog(capacity=64)
+        result = run_scenario(
+            "crossroads",
+            _workload(29, n=8),
+            config=WorldConfig(faults=FaultConfig.from_spec(self.BURST)),
+            seed=29,
+            obs=log,
+        )
+        assert log.dropped > 0, "capacity too large to exercise eviction"
+        stats = span_stats(build_spans(log.events))
+        assert stats["spans_total"] >= 1.0
+        assert result.collisions == 0

@@ -1,0 +1,327 @@
+"""Tests for the structured observability layer (``repro.obs``).
+
+Covers the event bus (ring buffer, null sink), exchange-span
+reconstruction, the exporters (JSONL + Chrome trace-event), and the
+ISSUE 4 acceptance properties:
+
+* tracing disabled -> ``SimResult.summary()`` **bit-identical** to a
+  traced run of the same seed (the null sink really is zero-cost on
+  the scientific metrics);
+* a traced run yields >= 1 complete exchange span per admitted vehicle
+  with the full TT -> IM-compute -> reply -> TE timeline;
+* per-machine protocol counters on ``SimResult.perf`` merge
+  identically under ``jobs=1`` and ``jobs=2``.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    EventLog,
+    NULL_LOG,
+    NullLog,
+    ObsEvent,
+    build_spans,
+    percentile,
+    span_stats,
+    to_chrome_trace,
+    to_jsonl,
+)
+from repro.sim.replication import run_replicated
+from repro.sim.world import run_scenario
+from repro.traffic.generator import PoissonTraffic
+
+
+def _arrivals(n=10, flow=0.3, seed=11):
+    return PoissonTraffic(flow, seed=seed).generate(n)
+
+
+# ---------------------------------------------------------------------------
+# Event bus
+# ---------------------------------------------------------------------------
+class TestEventLog:
+    def test_emit_and_query(self):
+        log = EventLog()
+        log.emit("net.send", 1.0, "V1", corr=5, msg="CrossingRequest")
+        log.emit("net.deliver", 1.2, "IM", corr=5)
+        log.emit("vehicle.spawn", 0.0, "V2")
+        assert len(log) == 3
+        assert log.emitted == 3
+        assert log.dropped == 0
+        assert [e.kind for e in log.by_corr(5)] == ["net.send", "net.deliver"]
+        assert log.counts()["net.send"] == 1
+        assert log.by_kind("vehicle.spawn")[0].actor == "V2"
+
+    def test_ring_buffer_bounds_memory(self):
+        log = EventLog(capacity=4)
+        for i in range(10):
+            log.emit("tick", float(i), "kernel")
+        assert len(log) == 4
+        assert log.emitted == 10
+        assert log.dropped == 6
+        # Newest events are the ones retained.
+        assert [e.t for e in log.events] == [6.0, 7.0, 8.0, 9.0]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+    def test_unbounded_capacity(self):
+        log = EventLog(capacity=None)
+        for i in range(100):
+            log.emit("tick", float(i), "kernel")
+        assert len(log) == 100 and log.dropped == 0
+
+    def test_event_to_dict_omits_empty(self):
+        event = ObsEvent(t=1.5, kind="net.send", actor="V1")
+        assert event.to_dict() == {"t": 1.5, "kind": "net.send", "actor": "V1"}
+        rich = ObsEvent(t=2.0, kind="net.drop", actor="ch", corr=3,
+                        data={"reason": "loss"})
+        assert rich.to_dict()["corr"] == 3
+        assert rich.to_dict()["reason"] == "loss"
+
+    def test_null_sink_is_inert(self):
+        assert NULL_LOG.enabled is False
+        assert NULL_LOG.kernel is False
+        assert NULL_LOG.emit("anything", 0.0, "x", corr=9, data=1) is None
+        assert len(NULL_LOG) == 0
+        assert list(NULL_LOG) == []
+        assert isinstance(NULL_LOG, NullLog)
+
+
+# ---------------------------------------------------------------------------
+# Span reconstruction (unit level)
+# ---------------------------------------------------------------------------
+def _exchange_events(corr=7, actor="V1"):
+    """A hand-built complete exchange timeline."""
+    return [
+        ObsEvent(0.00, "span.request", actor, corr,
+                 {"msg": "CrossingRequest", "tt": 0.001}),
+        ObsEvent(0.01, "im.recv", "IM", corr, {"sender": actor}),
+        ObsEvent(0.02, "im.compute.begin", "IM", corr, {}),
+        ObsEvent(0.05, "im.compute.end", "IM", corr, {"service": 0.03}),
+        ObsEvent(0.05, "im.reply", "IM", corr, {"te": 4.2}),
+        ObsEvent(0.06, "span.reply", actor, corr, {"rtd": 0.06}),
+        ObsEvent(4.20, "vehicle.execute", actor, corr, {"te": 4.2}),
+    ]
+
+
+class TestSpans:
+    def test_complete_span_timeline(self):
+        (span,) = build_spans(_exchange_events())
+        assert span.complete and not span.incomplete and not span.retried
+        assert span.actor == "V1"
+        assert span.kind == "CrossingRequest"
+        assert span.tt == 0.001
+        assert span.t_im_recv == 0.01
+        assert span.compute_delay == pytest.approx(0.03)
+        assert span.rtd == pytest.approx(0.06)
+        assert span.te == 4.2
+        assert span.t_execute == 4.20
+        assert span.end_time == 4.20
+        assert span.replies == 1
+
+    def test_timeout_span_is_incomplete(self):
+        events = [
+            ObsEvent(0.0, "span.request", "V1", 3, {"msg": "CrossingRequest"}),
+            ObsEvent(0.01, "net.drop", "ch", 3, {"reason": "loss"}),
+            ObsEvent(0.5, "span.timeout", "V1", 3, {}),
+        ]
+        (span,) = build_spans(events)
+        assert span.incomplete and span.retried
+        assert span.drops == ["loss"]
+        assert span.rtd is None
+
+    def test_uncorrelated_events_ignored(self):
+        events = [ObsEvent(0.0, "vehicle.spawn", "V1", 0, {})]
+        assert build_spans(events) == []
+
+    def test_orphan_events_never_crash(self):
+        # Request evicted from the ring buffer: later events still fold.
+        events = _exchange_events()[1:]
+        (span,) = build_spans(events)
+        assert span.incomplete
+        assert span.compute_delay == pytest.approx(0.03)
+
+    def test_spans_sorted_by_request_time(self):
+        events = _exchange_events(corr=2) + [
+            ObsEvent(-0.5, "span.request", "V9", 1, {"msg": "TimeSyncRequest"}),
+            ObsEvent(-0.4, "span.reply", "V9", 1, {"rtd": 0.1}),
+        ]
+        spans = build_spans(events)
+        assert [s.corr for s in spans] == [1, 2]
+
+    def test_percentile(self):
+        assert percentile([], 95.0) == 0.0
+        assert percentile([3.0], 50.0) == 3.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == pytest.approx(2.5)
+        assert percentile([1.0, 2.0, 3.0, 4.0], 100.0) == 4.0
+        with pytest.raises(ValueError):
+            percentile([1.0], 150.0)
+
+    def test_span_stats_keys_and_values(self):
+        stats = span_stats(build_spans(_exchange_events()))
+        assert stats["spans_total"] == 1.0
+        assert stats["spans_complete"] == 1.0
+        assert stats["spans_incomplete"] == 0.0
+        assert stats["spans_retried"] == 0.0
+        assert stats["spans_executed"] == 1.0
+        assert stats["rtd_p50_s"] == pytest.approx(0.06)
+        assert stats["rtd_max_s"] == pytest.approx(0.06)
+        assert stats["compute_p95_s"] == pytest.approx(0.03)
+
+    def test_span_stats_empty_is_defined(self):
+        stats = span_stats([])
+        assert stats["spans_total"] == 0.0
+        assert stats["rtd_p95_s"] == 0.0
+        assert stats["compute_max_s"] == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Exporters
+# ---------------------------------------------------------------------------
+class TestExporters:
+    def test_jsonl_round_trip(self, tmp_path):
+        log = EventLog()
+        log.emit("net.send", 0.5, "V1", corr=2, msg="CrossingRequest")
+        log.emit("vehicle.spawn", 0.0, "V1")
+        path = tmp_path / "events.jsonl"
+        text = to_jsonl(log.events, path=str(path))
+        lines = [json.loads(line) for line in text.splitlines()]
+        assert lines[0]["kind"] == "net.send" and lines[0]["corr"] == 2
+        assert lines[1] == {"t": 0.0, "kind": "vehicle.spawn", "actor": "V1"}
+        assert path.read_text() == text
+
+    def test_chrome_trace_shape(self, tmp_path):
+        events = _exchange_events()
+        spans = build_spans(events)
+        path = tmp_path / "out.trace.json"
+        doc = to_chrome_trace(events, path=str(path), spans=spans)
+        # Valid Perfetto/chrome://tracing JSON on disk.
+        assert json.loads(path.read_text()) == doc
+        assert doc["displayTimeUnit"] == "ms"
+        records = doc["traceEvents"]
+        phases = {r["ph"] for r in records}
+        assert {"M", "X", "i"} <= phases
+        # One complete slice for the exchange, in microseconds.
+        slices = [r for r in records if r["ph"] == "X"]
+        exchange = next(r for r in slices if r["name"].startswith("Crossing"))
+        assert exchange["ts"] == pytest.approx(0.0)
+        assert exchange["dur"] == pytest.approx(4.20 * 1e6)
+        assert exchange["args"]["complete"] is True
+        compute = next(r for r in slices if r["name"].startswith("im.compute"))
+        assert compute["dur"] == pytest.approx(0.03 * 1e6)
+        # Thread metadata names every actor.
+        names = {r["args"]["name"] for r in records if r["ph"] == "M"}
+        assert {"IM", "V1"} <= names
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: traced runs
+# ---------------------------------------------------------------------------
+POLICIES = ("crossroads", "vt-im", "aim")
+
+
+class TestTracedRuns:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_summary_bit_identical_with_tracing(self, policy):
+        """Attaching an EventLog must not change the science."""
+        arrivals = _arrivals()
+        plain = run_scenario(policy, arrivals, seed=11)
+        traced = run_scenario(policy, arrivals, seed=11, obs=EventLog())
+        assert plain.summary() == traced.summary()
+
+    def test_untraced_runs_have_no_span_stats(self):
+        result = run_scenario("crossroads", _arrivals(), seed=11)
+        assert result.obs == {}
+
+    def test_complete_span_per_admitted_vehicle(self):
+        """>= 1 complete crossing span per finished vehicle, with the
+        full TT -> IM-compute -> reply -> TE timeline."""
+        log = EventLog()
+        result = run_scenario("crossroads", _arrivals(), seed=11, obs=log)
+        assert result.n_finished > 0
+        spans = build_spans(log.events)
+        crossing = [s for s in spans if s.kind == "CrossingRequest"]
+        complete = [s for s in crossing if s.complete]
+        assert len(complete) >= result.n_finished
+        executed_actors = {s.actor for s in crossing if s.t_execute is not None}
+        assert len(executed_actors) >= result.n_finished
+        for span in complete:
+            assert span.tt is not None
+            assert span.t_im_recv is not None
+            assert span.compute_delay is not None and span.compute_delay >= 0
+            assert span.rtd is not None and span.rtd > 0
+            # Causality along the reconstructed timeline.
+            assert span.t_request <= span.t_im_recv
+            assert span.t_im_recv <= span.t_compute_begin
+            assert span.t_compute_begin <= span.t_compute_end
+            assert span.t_compute_end <= span.t_reply
+        # The folded histogram rides on the result.
+        assert result.obs["spans_complete"] >= float(result.n_finished)
+        assert result.obs["rtd_p95_s"] > 0.0
+
+    def test_span_stats_deterministic_per_seed(self):
+        arrivals = _arrivals()
+        a = run_scenario("crossroads", arrivals, seed=11, obs=EventLog())
+        b = run_scenario("crossroads", arrivals, seed=11, obs=EventLog())
+        assert a.obs == b.obs
+
+    def test_kernel_events_opt_in(self):
+        arrivals = _arrivals(n=4)
+        quiet = EventLog()
+        run_scenario("crossroads", arrivals, seed=11, obs=quiet)
+        assert quiet.counts()["des.step"] == 0
+        chatty = EventLog(kernel=True)
+        run_scenario("crossroads", arrivals, seed=11, obs=chatty)
+        assert chatty.counts()["des.step"] > 0
+
+    def test_lifecycle_events_present(self):
+        log = EventLog()
+        result = run_scenario("crossroads", _arrivals(), seed=11, obs=log)
+        counts = log.counts()
+        assert counts["vehicle.spawn"] == len(result.records)
+        assert counts["vehicle.exit"] == result.n_finished
+        assert counts["net.send"] > 0 and counts["net.deliver"] > 0
+        assert counts["im.recv"] > 0 and counts["im.reply"] > 0
+        assert counts["sched.assign"] >= result.n_finished
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: per-machine counters, serial == parallel
+# ---------------------------------------------------------------------------
+class TestMachineCounters:
+    def test_machine_counters_on_perf(self):
+        result = run_scenario("crossroads", _arrivals(), seed=11)
+        perf = result.perf
+        assert perf["count.machine.request_loop.exchanges"] > 0
+        assert perf["count.machine.timesync.samples"] > 0
+        assert perf["count.machine.sequence_guard.admitted"] > 0
+        # Cross-check against the summary-level aggregates.
+        assert perf["count.machine.degradation.entries"] == float(
+            result.degraded_entries
+        )
+        assert perf["count.machine.request_loop.timeouts"] >= float(
+            result.retries
+        )
+
+    def test_merged_counters_identical_jobs_1_vs_2(self):
+        """The ISSUE 4 merge property: fold per-machine counters across
+        ParallelRunner workers and get the same totals as serial."""
+        arrivals = _arrivals(n=8)
+        seeds = (1, 2, 3)
+        serial = run_replicated("crossroads", arrivals, seeds=seeds, jobs=1)
+        pooled = run_replicated("crossroads", arrivals, seeds=seeds, jobs=2)
+        merged_serial = serial.merged_perf()
+        merged_pooled = pooled.merged_perf()
+        count_keys = {
+            k for k in merged_serial if k.startswith("count.")
+        }
+        assert count_keys == {
+            k for k in merged_pooled if k.startswith("count.")
+        }
+        machine_keys = {k for k in count_keys if ".machine." in k}
+        assert machine_keys  # the per-machine counters did travel
+        for key in count_keys:  # wall timers vary; counts must not
+            assert merged_serial[key] == merged_pooled[key], key

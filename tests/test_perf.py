@@ -6,7 +6,7 @@ import time
 import pytest
 
 from repro.geometry import Approach, Movement, Turn
-from repro.perf import PerfCounters, hit_rate
+from repro.perf import PerfCounters, hit_rate, merge_snapshots
 from repro.sim import run_scenario
 from repro.traffic import Arrival
 
@@ -82,6 +82,44 @@ class TestCounters:
         perf.add_time("y", 1.0)
         perf.reset()
         assert perf.snapshot() == {}
+
+    def test_negative_incr_rejected(self):
+        """Counters are documented as monotonic; a negative increment
+        would silently corrupt merged snapshots."""
+        perf = PerfCounters()
+        perf.incr("x", 2)
+        with pytest.raises(ValueError):
+            perf.incr("x", -1)
+        assert perf.count("x") == 2  # untouched by the rejected call
+        perf.incr("x", 0)  # zero is a legal no-op
+        assert perf.count("x") == 2
+
+
+class TestSnapshotMerge:
+    def test_from_snapshot_round_trip(self):
+        perf = PerfCounters()
+        perf.incr("cells", 7)
+        perf.add_time("run", 0.5)
+        rebuilt = PerfCounters.from_snapshot(perf.snapshot())
+        assert rebuilt.snapshot() == perf.snapshot()
+
+    def test_from_snapshot_skips_derived_keys(self):
+        snap = {"count.hits": 3.0, "tile_cache_hit_rate": 0.75}
+        rebuilt = PerfCounters.from_snapshot(snap)
+        assert rebuilt.snapshot() == {"count.hits": 3.0}
+
+    def test_merge_snapshots(self):
+        a = {"count.cells": 10.0, "time.run_s": 1.0}
+        b = {"count.cells": 5.0, "count.events": 2.0, "time.run_s": 0.5,
+             "tile_cache_hit_rate": 0.9}
+        merged = merge_snapshots([a, b])
+        assert merged["count.cells"] == 15.0
+        assert merged["count.events"] == 2.0
+        assert merged["time.run_s"] == pytest.approx(1.5)
+        assert "tile_cache_hit_rate" not in merged  # derived, not additive
+
+    def test_merge_snapshots_empty(self):
+        assert merge_snapshots([]) == {}
 
 
 class TestSimResultPerf:

@@ -64,6 +64,61 @@ class TestTraceRecorder:
         with pytest.raises(ValueError):
             TraceRecorder(small_world(), period=0.0)
 
+    def test_index_matches_flat_scan(self):
+        """The per-vehicle index built at append time must agree with a
+        brute-force scan of the flat sample list."""
+        world = small_world()
+        recorder = TraceRecorder(world, period=0.1)
+        world.run()
+        assert recorder.vehicle_ids == sorted(
+            {s.vehicle_id for s in recorder.samples}
+        )
+        for vid in recorder.vehicle_ids:
+            indexed = recorder.trajectory(vid)
+            scanned = [s for s in recorder.samples if s.vehicle_id == vid]
+            assert indexed == scanned
+            times = [s.time for s in indexed]
+            assert times == sorted(times)
+        # Unknown ids return an empty list, and mutating the returned
+        # list must not corrupt the index.
+        assert recorder.trajectory(999) == []
+        recorder.trajectory(0).clear()
+        assert recorder.trajectory(0)  # still populated
+
+    def test_csv_round_trip(self):
+        """parse_csv(to_csv(samples)) reproduces the samples at export
+        precision (time %.3f, position/velocity %.4f)."""
+        world = small_world()
+        recorder = TraceRecorder(world, period=0.2)
+        world.run()
+        parsed = TraceRecorder.parse_csv(recorder.to_csv())
+        assert len(parsed) == len(recorder.samples)
+        for original, back in zip(recorder.samples, parsed):
+            assert back.vehicle_id == original.vehicle_id
+            assert back.movement_key == original.movement_key
+            assert back.state == original.state
+            assert back.has_plan == original.has_plan
+            assert back.time == pytest.approx(original.time, abs=5e-4)
+            assert back.position == pytest.approx(original.position, abs=5e-5)
+            assert back.velocity == pytest.approx(original.velocity, abs=5e-5)
+        # A second round trip is exact: the precision loss happened once.
+        again = TraceRecorder.parse_csv(
+            _csv_of(parsed)
+        )
+        assert again == parsed
+
+    def test_parse_csv_rejects_bad_header(self):
+        with pytest.raises(ValueError):
+            TraceRecorder.parse_csv("wrong,header\n1,2\n")
+
+
+def _csv_of(samples):
+    """Render arbitrary samples with the recorder's writer (helper for
+    the double round-trip assertion)."""
+    recorder = TraceRecorder.__new__(TraceRecorder)
+    recorder.samples = list(samples)
+    return TraceRecorder.to_csv(recorder)
+
 
 class TestSparkline:
     def test_empty(self):

@@ -32,9 +32,12 @@ from typing import Dict, Iterator, List, Set, Tuple
 #: Package (or top-level module) -> architectural level.  A package may
 #: only module-level import packages with a strictly smaller level.
 LAYERS: Dict[str, int] = {
-    # Level 0 — substrate: the DES kernel and perf counters.
+    # Level 0 — substrate: the DES kernel, perf counters and the
+    # observability bus (des reaches obs via a duck-typed attribute,
+    # never an import, so no same-level edge exists).
     "des": 0,
     "perf": 0,
+    "obs": 0,
     # Level 1 — domain primitives: pure models with no protocol logic.
     "geometry": 1,
     "kinematics": 1,
