@@ -1,0 +1,135 @@
+"""G1 — corridor scaling study: 1-node vs 3-node grids.
+
+Measures how the grid layer scales the single-intersection world to a
+corridor: wall-clock vehicles/second, DES events, hand-off counts and
+the per-node scheduler/compute split (``SimResult.perf``), and records
+everything in ``BENCH_grid.json`` for the CI artefact trail.
+
+Also pins the two scientific properties the corridor rests on:
+
+* the 1-node grid run **is** the single-intersection run (identical
+  summary, so the corridor numbers extend the paper reproduction);
+* the 3-node corridor completes every trip with zero ground-truth
+  collisions.
+
+Wall-clock numbers are *recorded, not asserted*: CI boxes vary.  Set
+``REPRO_BENCH_DIR`` to redirect the JSON artefact (default: CWD).
+"""
+
+import json
+import os
+import time
+
+from conftest import banner
+from repro.analysis import render_table
+from repro.grid import GridPoissonTraffic, GridWorld, corridor_spec
+from repro.sim import World
+from repro.traffic import PoissonTraffic
+
+POLICY = "crossroads"
+N_CARS = 24
+FLOW = 0.25
+SEED = 11
+
+
+def _run_nodes(n_nodes):
+    spec = corridor_spec(n_nodes, policies=[POLICY] * n_nodes)
+    arrivals = GridPoissonTraffic(spec, flow_rate=FLOW,
+                                  seed=SEED).generate(N_CARS)
+    start = time.perf_counter()
+    result = GridWorld(spec, arrivals, seed=SEED).run()
+    wall = time.perf_counter() - start
+    return result, wall
+
+
+def _node_row(name, node_result):
+    perf = node_result.perf
+    return [
+        name,
+        node_result.n_finished,
+        node_result.average_delay,
+        node_result.compute_time * 1000.0,
+        perf.get("count.machine.request_loop.exchanges", 0.0),
+        node_result.messages_sent,
+    ]
+
+
+def test_grid_scaling(benchmark):
+    def both():
+        return _run_nodes(1), _run_nodes(3)
+
+    (single, single_wall), (corridor, corridor_wall) = benchmark.pedantic(
+        both, rounds=1, iterations=1
+    )
+
+    # Property 1: the 1-node grid is the plain world, bit for bit.
+    plain = World(
+        POLICY, PoissonTraffic(FLOW, seed=SEED).generate(N_CARS), seed=SEED
+    ).run()
+    assert single.per_node["N0"].summary() == plain.summary()
+
+    # Property 2: the corridor completes safely.
+    assert corridor.n_completed == corridor.n_vehicles
+    assert corridor.collisions == 0
+    assert corridor.safe
+
+    print(banner("G1 - corridor scaling, 1 vs 3 nodes"))
+    rows = [_node_row(name, node)
+            for name, node in corridor.per_node.items()]
+    print(render_table(
+        ["node", "served", "avg wait (s)", "IM compute (ms)",
+         "proto exchanges", "messages"],
+        rows, precision=2,
+    ))
+
+    def rate(result, wall):
+        return result.n_vehicles / wall if wall > 0 else 0.0
+
+    single_rate = rate(single, single_wall)
+    corridor_rate = rate(corridor, corridor_wall)
+    print(f"\n1 node:  {single_wall:.3f} s wall, "
+          f"{single_rate:.1f} vehicles/s, "
+          f"{single.perf.get('count.des_events', 0):.0f} DES events")
+    print(f"3 nodes: {corridor_wall:.3f} s wall, "
+          f"{corridor_rate:.1f} vehicles/s, "
+          f"{corridor.perf.get('count.des_events', 0):.0f} DES events, "
+          f"{corridor.handoffs} hand-offs "
+          f"({corridor.handoffs_delayed} delayed)")
+
+    payload = {
+        "workload": {"policy": POLICY, "n_cars": N_CARS, "flow": FLOW,
+                     "seed": SEED},
+        "single_node": {
+            "wall_s": round(single_wall, 4),
+            "vehicles_per_s": round(single_rate, 2),
+            "des_events": single.perf.get("count.des_events", 0.0),
+            "sim_duration_s": round(single.sim_duration, 3),
+            "matches_world": True,
+        },
+        "corridor_3": {
+            "wall_s": round(corridor_wall, 4),
+            "vehicles_per_s": round(corridor_rate, 2),
+            "des_events": corridor.perf.get("count.des_events", 0.0),
+            "sim_duration_s": round(corridor.sim_duration, 3),
+            "handoffs": corridor.handoffs,
+            "handoffs_delayed": corridor.handoffs_delayed,
+            "handoff_wait_s": round(corridor.handoff_wait_s, 4),
+            "avg_corridor_time_s": round(corridor.average_corridor_time, 4),
+            "per_node": {
+                name: {
+                    "served": node.n_finished,
+                    "avg_wait_s": round(node.average_delay, 4),
+                    "im_compute_s": round(node.compute_time, 6),
+                    "messages": node.messages_sent,
+                    "proto_exchanges": node.perf.get(
+                        "count.machine.request_loop.exchanges", 0.0),
+                }
+                for name, node in corridor.per_node.items()
+            },
+        },
+    }
+    out_dir = os.environ.get("REPRO_BENCH_DIR", ".")
+    out_path = os.path.join(out_dir, "BENCH_grid.json")
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    print(f"\nrecorded {out_path}")

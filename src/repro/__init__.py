@@ -23,6 +23,15 @@ paper-vs-measured numbers.
 
 from repro.core import AimIM, CrossroadsIM, VtimIM, make_im
 from repro.geometry import Approach, IntersectionGeometry, Movement, Turn
+from repro.grid import (
+    GridPoissonTraffic,
+    GridResult,
+    GridSpec,
+    GridWorld,
+    corridor_spec,
+    run_grid,
+    sweep_grid,
+)
 from repro.perf import PerfCounters
 from repro.sensors import SafetyBufferCalculator
 from repro.sim import (
@@ -49,6 +58,10 @@ __all__ = [
     "Approach",
     "Arrival",
     "CrossroadsIM",
+    "GridPoissonTraffic",
+    "GridResult",
+    "GridSpec",
+    "GridWorld",
     "IntersectionGeometry",
     "Movement",
     "ParallelRunner",
@@ -66,12 +79,15 @@ __all__ = [
     "World",
     "WorldConfig",
     "compare_policies",
+    "corridor_spec",
     "make_im",
     "run_analytic",
     "run_flow",
     "run_flow_sweep",
+    "run_grid",
     "run_replicated",
     "run_scenario",
     "scale_model_scenarios",
+    "sweep_grid",
     "__version__",
 ]

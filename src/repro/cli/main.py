@@ -64,6 +64,46 @@ def build_parser() -> argparse.ArgumentParser:
                             "of every sweep cell (micro engine only)")
     _add_plugin_argument(sweep)
 
+    grid = sub.add_parser(
+        "grid",
+        help="multi-intersection corridor: routed graph of IMs with "
+             "per-hop hand-off",
+    )
+    topo = grid.add_mutually_exclusive_group()
+    topo.add_argument("--grid", metavar="FILE", default=None,
+                      help="load a GridSpec from a JSON file "
+                           "(see repro.grid.GridSpec.to_json)")
+    topo.add_argument("--nodes", type=int, default=3, metavar="N",
+                      help="build a two-way west-east corridor of N "
+                           "intersections (default: 3)")
+    grid.add_argument("--policy", default="crossroads",
+                      help="IM policy run at every node (for --nodes)")
+    grid.add_argument("--policies", nargs="+", default=None, metavar="P",
+                      help="per-node policies (one per node, for --nodes); "
+                           "mixed policies are allowed")
+    grid.add_argument("--link-length", type=float, default=6.0,
+                      help="box-exit to transmission-line link distance, m")
+    grid.add_argument("--flow", type=float, default=0.10,
+                      help="Poisson boundary flow, cars/lane/second")
+    grid.add_argument("--cars", type=int, default=20,
+                      help="total boundary vehicles")
+    grid.add_argument("--seed", type=int, default=2017)
+    grid.add_argument("--seeds", nargs="+", type=int, default=None,
+                      metavar="S",
+                      help="replicate the corridor across these seeds on "
+                           "the parallel runner instead of one full run")
+    grid.add_argument("--jobs", default=None,
+                      help="worker processes for --seeds replication "
+                           "(int | 'auto' | unset for $REPRO_JOBS); "
+                           "results are bit-identical to a serial run")
+    grid.add_argument("--trace", metavar="FILE", default=None,
+                      help="record the run on the repro.obs event bus "
+                           "(grid.handoff + per-node spans) and write a "
+                           "Chrome trace-event file FILE")
+    grid.add_argument("--save-spec", metavar="FILE", default=None,
+                      help="also write the resolved GridSpec as JSON")
+    _add_plugin_argument(grid)
+
     scen = sub.add_parser("scenarios", help="Fig 7.1: the 10 scale-model cases")
     scen.add_argument("--repeats", type=int, default=3)
     scen.add_argument("--policies", nargs="+", default=["vt-im", "crossroads"])
@@ -341,6 +381,90 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_grid(args) -> int:
+    from repro.analysis import render_table
+    from repro.grid import GridSpec, corridor_spec, run_grid, sweep_grid
+
+    status = _load_plugins(args.plugin)
+    if status:
+        return status
+    try:
+        if args.grid is not None:
+            spec = GridSpec.from_file(args.grid)
+            label = f"spec {args.grid}"
+        else:
+            spec = corridor_spec(
+                args.nodes,
+                link_length=args.link_length,
+                policy=args.policy,
+                policies=args.policies,
+            )
+            label = f"{args.nodes}-node corridor"
+    except (ValueError, OSError) as exc:
+        print(f"bad grid spec: {exc}", file=sys.stderr)
+        return 2
+    if args.save_spec is not None:
+        spec.to_json(args.save_spec)
+        print(f"spec -> {args.save_spec}")
+
+    if args.seeds is not None:
+        cells = sweep_grid(
+            spec, args.cars, seeds=args.seeds, flow_rate=args.flow,
+            jobs=args.jobs,
+        )
+        headers = ["seed", "completed", "avg corridor (s)", "avg wait (s)",
+                   "handoffs", "delayed", "collisions"]
+        rows = [
+            [c["seed"], c["summary"]["completed"],
+             c["summary"]["avg_corridor_time_s"],
+             c["summary"]["avg_delay_s"], c["summary"]["handoffs"],
+             c["summary"]["handoffs_delayed"], c["summary"]["collisions"]]
+            for c in cells
+        ]
+        print(f"{label}: {len(spec)} nodes, flow {args.flow}, "
+              f"{args.cars} cars x {len(args.seeds)} seeds")
+        print(render_table(headers, rows, precision=3))
+        return 0 if all(
+            c["summary"]["collisions"] == 0 for c in cells
+        ) else 1
+
+    log = None
+    if args.trace is not None:
+        from repro.obs import EventLog
+
+        log = EventLog()
+    result = run_grid(
+        spec, args.cars, flow_rate=args.flow, seed=args.seed, obs=log
+    )
+    print(f"{label}: flow {args.flow} car/lane/s, {args.cars} cars, "
+          f"seed {args.seed}\n")
+    rows = []
+    for name, node in result.per_node.items():
+        rows.append([
+            name, node.policy, node.n_finished, node.average_delay,
+            node.messages_sent, node.compute_time, node.collisions,
+        ])
+    print(render_table(
+        ["node", "policy", "served", "avg wait (s)", "messages",
+         "IM compute (s)", "collisions"],
+        rows, precision=3,
+    ))
+    summary = result.summary()
+    print(f"\ncorridor: {result.n_completed}/{result.n_vehicles} trips "
+          f"complete | avg corridor time {summary['avg_corridor_time_s']:.3f} s | "
+          f"avg wait {summary['avg_delay_s']:.3f} s | "
+          f"handoffs {result.handoffs} ({result.handoffs_delayed} delayed, "
+          f"{result.handoff_wait_s:.2f} s waiting) | safe {result.safe}")
+    if log is not None:
+        from repro.obs import to_chrome_trace
+
+        to_chrome_trace(log.events, path=args.trace)
+        print(f"\ntrace: {len(log)} events -> {args.trace} "
+              f"(open at https://ui.perfetto.dev)")
+        _print_span_stats(result.obs)
+    return 0 if result.safe else 1
+
+
 def _cmd_scenarios(args) -> int:
     from repro.analysis import render_table
     from repro.sim import run_scenario
@@ -426,6 +550,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "trace": _cmd_trace,
     "sweep": _cmd_sweep,
+    "grid": _cmd_grid,
     "scenarios": _cmd_scenarios,
     "buffer": _cmd_buffer,
     "info": _cmd_info,

@@ -24,6 +24,7 @@ from repro.geometry.layout import (
     Path,
     Turn,
     exit_approach,
+    turn_for,
 )
 from repro.geometry.tiles import TileGrid, TileReservations
 
@@ -40,4 +41,5 @@ __all__ = [
     "Turn",
     "exit_approach",
     "rects_overlap",
+    "turn_for",
 ]

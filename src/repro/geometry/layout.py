@@ -19,7 +19,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -30,6 +30,7 @@ __all__ = [
     "Path",
     "Turn",
     "exit_approach",
+    "turn_for",
 ]
 
 
@@ -57,6 +58,18 @@ class Approach(enum.Enum):
         h = self.heading
         return (math.cos(h), math.sin(h))
 
+    @property
+    def opposite(self) -> "Approach":
+        """The arm across the box (N <-> S, E <-> W).
+
+        This is the *hop-transition kernel* of the corridor layer: a
+        vehicle exiting one intersection through arm ``X`` travels in
+        the direction of ``X`` and therefore arrives at the next
+        (compass-aligned) intersection *coming from* ``X.opposite``.
+        """
+        idx = _ORDER.index(self)
+        return _ORDER[(idx + 2) % 4]
+
 
 class Turn(enum.Enum):
     """Movement type through the intersection."""
@@ -81,6 +94,25 @@ def exit_approach(entry: Approach, turn: Turn) -> Approach:
     if turn is Turn.RIGHT:
         return _ORDER[(idx - 1) % 4]
     return _ORDER[(idx + 1) % 4]
+
+
+def turn_for(entry: Approach, exit_arm: Approach) -> Optional[Turn]:
+    """Inverse of :func:`exit_approach`: the turn taking ``entry`` to
+    ``exit_arm``.
+
+    Returns ``None`` when ``exit_arm == entry`` — a U-turn, which no
+    movement of this intersection performs.  Together with
+    :func:`exit_approach` and :attr:`Approach.opposite` this is the
+    complete hop-transition kernel used by the corridor router
+    (:mod:`repro.grid.routing`) to translate a shortest path over links
+    into per-intersection turns.
+    """
+    if exit_arm is entry:
+        return None
+    for turn in Turn:
+        if exit_approach(entry, turn) is exit_arm:
+            return turn
+    raise AssertionError("unreachable: three turns cover three exit arms")
 
 
 class Path:

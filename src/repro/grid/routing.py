@@ -1,0 +1,312 @@
+"""Routes over the corridor network.
+
+A :class:`RoutePlan` is the multi-hop generalisation of a single
+:class:`~repro.geometry.Movement`: an ordered list of :class:`Hop` s
+(node + movement through that node's box) glued together by the
+:class:`~repro.grid.spec.LinkSpec` s the vehicle travels between them.
+The :class:`Router` builds plans three ways:
+
+* :meth:`Router.route` — deterministic: walk an explicit turn sequence
+  through the graph (the grid analogue of handing an
+  :class:`~repro.traffic.Arrival` its movement);
+* :meth:`Router.random_route` — stochastic: extend a first movement
+  hop by hop, drawing each subsequent turn from a seeded
+  :class:`RouteMix` (mirroring how :class:`~repro.traffic.TurnMix`
+  assigns single-intersection turns) until the vehicle exits through a
+  boundary arm, declines to continue, or hits ``max_hops``;
+* :meth:`Router.shortest_path` — static: Dijkstra over
+  ``(node, entry approach)`` states weighted by link length, so U-turn
+  prohibitions (no movement of the four-way geometry performs one) are
+  respected structurally rather than patched afterwards.
+
+Every hop-to-hop transition uses the promoted geometry kernel:
+``exit arm = exit_approach(entry, turn)``, next entry approach =
+``LinkSpec.entry_approach`` (compass ``opposite`` by default), and
+``turn_for`` inverts an arm sequence back into turns.
+
+Determinism: :meth:`Router.random_route` draws **zero** RNG values for
+a route that ends at its first hop (a boundary exit, or a single-node
+grid), which is what keeps a 1-node :class:`~repro.grid.world.GridWorld`
+workload bit-identical to the plain :class:`~repro.sim.world.World`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.layout import Approach, Movement, Turn, exit_approach, turn_for
+from repro.grid.spec import GridSpec, LinkSpec
+from repro.traffic.generator import TurnMix
+
+__all__ = ["Hop", "RouteMix", "RoutePlan", "Router"]
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One intersection traversal of a route."""
+
+    node: str
+    movement: Movement
+
+    @property
+    def key(self) -> str:
+        """Stable identifier, e.g. ``"N0/S-straight"``."""
+        return f"{self.node}/{self.movement.key}"
+
+    @property
+    def exit_arm(self) -> Approach:
+        """Compass arm this hop's movement exits through."""
+        return exit_approach(self.movement.entry, self.movement.turn)
+
+
+@dataclass(frozen=True)
+class RoutePlan:
+    """A validated multi-hop route: hops + the links between them.
+
+    ``links[i]`` is the road segment travelled between ``hops[i]`` and
+    ``hops[i + 1]``; construction checks the chain is geometrically
+    consistent (each link leaves its hop's exit arm and feeds the next
+    hop's entry approach).
+    """
+
+    hops: Tuple[Hop, ...]
+    links: Tuple[LinkSpec, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "hops", tuple(self.hops))
+        object.__setattr__(self, "links", tuple(self.links))
+        if not self.hops:
+            raise ValueError("a route needs at least one hop")
+        if len(self.links) != len(self.hops) - 1:
+            raise ValueError(
+                f"route with {len(self.hops)} hops needs "
+                f"{len(self.hops) - 1} links (got {len(self.links)})"
+            )
+        for i, link in enumerate(self.links):
+            hop, nxt = self.hops[i], self.hops[i + 1]
+            if link.src != hop.node:
+                raise ValueError(f"link {link.key} does not leave hop {hop.key}")
+            if link.exit_arm is not hop.exit_arm:
+                raise ValueError(
+                    f"hop {hop.key} exits arm {hop.exit_arm.value!r} but link "
+                    f"{link.key} leaves arm {link.src_exit!r}"
+                )
+            if link.dst != nxt.node:
+                raise ValueError(f"link {link.key} does not reach hop {nxt.key}")
+            if link.entry_approach is not nxt.movement.entry:
+                raise ValueError(
+                    f"link {link.key} feeds approach "
+                    f"{link.entry_approach.value!r} but hop {nxt.key} enters "
+                    f"from {nxt.movement.entry.value!r}"
+                )
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def n_hops(self) -> int:
+        return len(self.hops)
+
+    @property
+    def entry_node(self) -> str:
+        return self.hops[0].node
+
+    @property
+    def entry_movement(self) -> Movement:
+        return self.hops[0].movement
+
+    @property
+    def exit_node(self) -> str:
+        return self.hops[-1].node
+
+    @property
+    def length(self) -> float:
+        """Total link distance between hops, metres (box transits and
+        approach runs are owned by the per-node geometry)."""
+        return float(sum(link.length for link in self.links))
+
+    @property
+    def key(self) -> str:
+        """Stable identifier, e.g. ``"N0/W-straight>N1/W-left"``."""
+        return ">".join(hop.key for hop in self.hops)
+
+    def __len__(self) -> int:
+        return len(self.hops)
+
+
+@dataclass(frozen=True)
+class RouteMix:
+    """Stochastic route-extension policy (the grid's ``TurnMix``).
+
+    Attributes
+    ----------
+    turns:
+        Turn distribution drawn at every hop *after* the first (the
+        first hop's turn comes from the arrival workload, exactly as in
+        the single-intersection world).
+    continue_probability:
+        Probability of continuing onto an available outgoing link
+        instead of despawning at the current node; ``1.0`` (the
+        default) means "drive until a boundary arm" and — importantly —
+        consumes **no** RNG draw for the decision, preserving
+        single-node bit-identity.
+    max_hops:
+        Hard cap on route length (guards cyclic topologies).
+    """
+
+    turns: TurnMix = field(default_factory=TurnMix)
+    continue_probability: float = 1.0
+    max_hops: int = 8
+
+    def __post_init__(self):
+        if not 0.0 <= self.continue_probability <= 1.0:
+            raise ValueError("continue_probability must be in [0, 1]")
+        if self.max_hops < 1:
+            raise ValueError("max_hops must be >= 1")
+
+
+class Router:
+    """Route construction over one :class:`~repro.grid.spec.GridSpec`."""
+
+    def __init__(self, spec: GridSpec):
+        self.spec = spec
+
+    # -- deterministic -----------------------------------------------------
+    def route(
+        self, entry_node: str, entry: Approach, turns: Sequence[Turn]
+    ) -> RoutePlan:
+        """Walk an explicit turn sequence from ``(entry_node, entry)``.
+
+        Raises ``ValueError`` when a non-final turn exits through a
+        boundary arm (there is no road to carry the vehicle onwards).
+        """
+        if not turns:
+            raise ValueError("a route needs at least one turn")
+        self.spec.node(entry_node)  # raise on unknown
+        hops: List[Hop] = []
+        links: List[LinkSpec] = []
+        node, approach = entry_node, entry
+        for i, turn in enumerate(turns):
+            hop = Hop(node, Movement(approach, turn))
+            hops.append(hop)
+            if i == len(turns) - 1:
+                break
+            link = self.spec.out_link(node, hop.exit_arm)
+            if link is None:
+                raise ValueError(
+                    f"turn {i} of route exits boundary arm "
+                    f"{hop.exit_arm.value!r} of node {node!r} with "
+                    f"{len(turns) - 1 - i} turns left"
+                )
+            links.append(link)
+            node, approach = link.dst, link.entry_approach
+        return RoutePlan(tuple(hops), tuple(links))
+
+    # -- stochastic --------------------------------------------------------
+    def random_route(
+        self,
+        entry_node: str,
+        first_movement: Movement,
+        mix: RouteMix,
+        rng: np.random.Generator,
+    ) -> RoutePlan:
+        """Extend ``first_movement`` hop by hop under ``mix``.
+
+        The walk stops at a boundary arm, a declined continuation, or
+        ``mix.max_hops``.  A route that ends at its first hop consumes
+        zero draws from ``rng``.
+        """
+        hops = [Hop(entry_node, first_movement)]
+        links: List[LinkSpec] = []
+        while len(hops) < mix.max_hops:
+            link = self.spec.out_link(hops[-1].node, hops[-1].exit_arm)
+            if link is None:
+                break  # boundary arm: the vehicle leaves the network
+            if mix.continue_probability < 1.0 and (
+                rng.random() >= mix.continue_probability
+            ):
+                break  # this trip ends at the current node
+            turn = mix.turns.draw(rng)
+            hops.append(Hop(link.dst, Movement(link.entry_approach, turn)))
+            links.append(link)
+        return RoutePlan(tuple(hops), tuple(links))
+
+    # -- static shortest path ----------------------------------------------
+    def shortest_path(
+        self,
+        src: str,
+        entry: Approach,
+        dst: str,
+        final_turn: Turn = Turn.STRAIGHT,
+    ) -> Optional[RoutePlan]:
+        """Minimum-link-length route from ``(src, entry)`` to ``dst``.
+
+        Dijkstra over ``(node, entry approach)`` states — the entry arm
+        matters because the three turns reach different exit arms and a
+        U-turn is not a movement of the geometry.  ``final_turn`` is
+        the movement performed at ``dst`` itself (the route's purpose
+        is to *reach* ``dst``; what the vehicle does there is the
+        caller's business).  Returns ``None`` when ``dst`` is
+        unreachable.
+        """
+        self.spec.node(src)
+        self.spec.node(dst)
+        if src == dst:
+            return self.route(src, entry, [final_turn])
+        start = (src, entry)
+        dist: Dict[Tuple[str, Approach], float] = {start: 0.0}
+        prev: Dict[Tuple[str, Approach], Tuple[Tuple[str, Approach], Turn]] = {}
+        counter = itertools.count()
+        heap: List = [(0.0, next(counter), start)]
+        best: Optional[Tuple[str, Approach]] = None
+        while heap:
+            d, _, state = heapq.heappop(heap)
+            if d > dist.get(state, float("inf")):
+                continue
+            node, approach = state
+            if node == dst:
+                best = state
+                break
+            for turn in Turn:
+                arm = exit_approach(approach, turn)
+                link = self.spec.out_link(node, arm)
+                if link is None:
+                    continue
+                nxt = (link.dst, link.entry_approach)
+                nd = d + link.length
+                if nd < dist.get(nxt, float("inf")) - 1e-12:
+                    dist[nxt] = nd
+                    prev[nxt] = (state, turn)
+                    heapq.heappush(heap, (nd, next(counter), nxt))
+        if best is None:
+            return None
+        turns: List[Turn] = [final_turn]
+        state = best
+        while state != start:
+            state, turn = prev[state]
+            turns.insert(0, turn)
+        return self.route(src, entry, turns)
+
+    # -- helpers -----------------------------------------------------------
+    def turns_for_arms(
+        self, entry: Approach, arms: Sequence[Approach]
+    ) -> List[Turn]:
+        """Convert an exit-arm sequence into turns via :func:`turn_for`.
+
+        Raises ``ValueError`` on a U-turn (``turn_for`` returns None).
+        """
+        turns: List[Turn] = []
+        approach = entry
+        for arm in arms:
+            turn = turn_for(approach, arm)
+            if turn is None:
+                raise ValueError(
+                    f"arm sequence requires a U-turn at approach "
+                    f"{approach.value!r}"
+                )
+            turns.append(turn)
+            approach = arm.opposite
+        return turns

@@ -1,0 +1,299 @@
+"""Corridor-network description: nodes, links and their validation.
+
+A :class:`GridSpec` is a *routed directed graph of intersections*: each
+:class:`NodeSpec` is one four-way intersection (running any registered
+IM policy — mixed policies are allowed), and each :class:`LinkSpec` is
+a one-way road segment connecting the exit arm of one node to an entry
+arm of another.  The spec is pure data — frozen, picklable, JSON
+round-trippable — so a corridor sweep can ship it into
+:class:`~repro.sim.parallel.ParallelRunner` worker processes unchanged.
+
+Conventions
+-----------
+* ``LinkSpec.src_exit`` names the compass *arm* of ``src`` the link
+  leaves through (the value :func:`repro.geometry.exit_approach`
+  returns for the vehicle's movement).
+* The entry approach at ``dst`` defaults to the opposite compass arm
+  (``src_exit.opposite`` — a vehicle leaving through the EAST arm
+  travels east and arrives at the next node *from the west*), matching
+  a compass-aligned grid.  ``dst_entry`` may be given explicitly for
+  non-aligned topologies (ring roads, folded corridors).
+* ``length`` is the road distance from the source node's box exit to
+  the destination node's transmission line, metres.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.geometry.layout import Approach
+
+__all__ = ["GridSpec", "LinkSpec", "NodeSpec", "corridor_spec"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One intersection of the network.
+
+    Attributes
+    ----------
+    name:
+        Unique node identifier (used in link references, IM addresses
+        and per-node metrics keys).
+    policy:
+        Registered IM policy name/alias run at this node.  Nodes of one
+        grid may run *different* policies.
+    x, y:
+        Node-centre position in the global corridor frame, metres
+        (used by :class:`~repro.grid.geometry` composition and trace
+        rendering; the per-node physics stays in the node-local frame).
+    """
+
+    name: str
+    policy: str = "crossroads"
+    x: float = 0.0
+    y: float = 0.0
+
+    def __post_init__(self):
+        if not self.name or not str(self.name).strip():
+            raise ValueError("node name must be non-empty")
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One directed road segment between two nodes.
+
+    Attributes
+    ----------
+    src, dst:
+        Names of the source and destination nodes.
+    src_exit:
+        Compass arm of ``src`` the link leaves through (``"N"``,
+        ``"E"``, ``"S"``, ``"W"``).
+    length:
+        Box-exit to transmission-line distance, metres (> 0).
+    speed_limit:
+        Cruise speed cap on the link, m/s (> 0).
+    dst_entry:
+        Entry approach at ``dst``; ``None`` derives the compass-aligned
+        default ``src_exit.opposite``.
+    """
+
+    src: str
+    src_exit: str
+    dst: str
+    length: float = 6.0
+    speed_limit: float = 3.0
+    dst_entry: Optional[str] = None
+
+    def __post_init__(self):
+        if self.length <= 0:
+            raise ValueError(
+                f"link {self.src}->{self.dst}: length must be positive "
+                f"(got {self.length})"
+            )
+        if self.speed_limit <= 0:
+            raise ValueError(
+                f"link {self.src}->{self.dst}: speed_limit must be positive "
+                f"(got {self.speed_limit})"
+            )
+        Approach(self.src_exit)  # raises ValueError on a bad arm name
+        if self.dst_entry is not None:
+            Approach(self.dst_entry)
+        if self.src == self.dst:
+            raise ValueError(f"link {self.src}->{self.dst}: self-loops "
+                             "are not supported")
+
+    @property
+    def exit_arm(self) -> Approach:
+        """The source arm as an :class:`~repro.geometry.Approach`."""
+        return Approach(self.src_exit)
+
+    @property
+    def entry_approach(self) -> Approach:
+        """Entry approach at the destination node."""
+        if self.dst_entry is not None:
+            return Approach(self.dst_entry)
+        return Approach(self.src_exit).opposite
+
+    @property
+    def key(self) -> str:
+        """Stable identifier, e.g. ``"A/E->B"``."""
+        return f"{self.src}/{self.src_exit}->{self.dst}"
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """The full network: nodes + links, validated on construction.
+
+    Invariants enforced here (each with a clear ``ValueError``):
+
+    * node names are unique and non-empty;
+    * every link references known nodes, has positive length and speed
+      limit, and names a valid compass arm;
+    * at most one outgoing link per ``(node, exit arm)`` and at most
+      one incoming link per ``(node, entry approach)`` — one lane per
+      arm, exactly like the single-intersection geometry.
+    """
+
+    nodes: Tuple[NodeSpec, ...]
+    links: Tuple[LinkSpec, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+        object.__setattr__(self, "links", tuple(self.links))
+        if not self.nodes:
+            raise ValueError("a grid needs at least one node")
+        names = [node.name for node in self.nodes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate node names: {sorted(names)}")
+        known = set(names)
+        out_seen: set = set()
+        in_seen: set = set()
+        for link in self.links:
+            if link.src not in known:
+                raise ValueError(f"link {link.key}: unknown src node {link.src!r}")
+            if link.dst not in known:
+                raise ValueError(f"link {link.key}: unknown dst node {link.dst!r}")
+            out_key = (link.src, link.exit_arm)
+            if out_key in out_seen:
+                raise ValueError(
+                    f"link {link.key}: second outgoing link on arm "
+                    f"{link.src_exit!r} of node {link.src!r}"
+                )
+            out_seen.add(out_key)
+            in_key = (link.dst, link.entry_approach)
+            if in_key in in_seen:
+                raise ValueError(
+                    f"link {link.key}: second incoming link on approach "
+                    f"{link.entry_approach.value!r} of node {link.dst!r}"
+                )
+            in_seen.add(in_key)
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def node_names(self) -> Tuple[str, ...]:
+        return tuple(node.name for node in self.nodes)
+
+    def node(self, name: str) -> NodeSpec:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise KeyError(f"unknown node {name!r}")
+
+    def out_link(self, node: str, arm: Approach) -> Optional[LinkSpec]:
+        """The link leaving ``node`` through ``arm`` (None if the arm
+        is a network boundary — vehicles exiting there leave the grid)."""
+        for link in self.links:
+            if link.src == node and link.exit_arm is arm:
+                return link
+        return None
+
+    def in_link(self, node: str, approach: Approach) -> Optional[LinkSpec]:
+        """The link feeding ``node``'s ``approach`` lane (None when the
+        lane is fed by boundary traffic instead of a hand-off)."""
+        for link in self.links:
+            if link.dst == node and link.entry_approach is approach:
+                return link
+        return None
+
+    def boundary_entries(self, node: str) -> Tuple[Approach, ...]:
+        """Approaches of ``node`` not fed by any link — the arms where
+        fresh (boundary) traffic may spawn."""
+        self.node(node)  # raise on unknown
+        return tuple(
+            approach for approach in Approach
+            if self.in_link(node, approach) is None
+        )
+
+    # -- serialisation -----------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "nodes": [
+                {"name": n.name, "policy": n.policy, "x": n.x, "y": n.y}
+                for n in self.nodes
+            ],
+            "links": [
+                {
+                    "src": l.src, "src_exit": l.src_exit, "dst": l.dst,
+                    "length": l.length, "speed_limit": l.speed_limit,
+                    **({"dst_entry": l.dst_entry} if l.dst_entry else {}),
+                }
+                for l in self.links
+            ],
+        }
+
+    def to_json(self, path: Optional[str] = None) -> str:
+        """JSON form; also written to ``path`` when given."""
+        text = json.dumps(self.to_dict(), indent=2)
+        if path is not None:
+            with open(path, "w") as fh:
+                fh.write(text + "\n")
+        return text
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "GridSpec":
+        if "nodes" not in data:
+            raise ValueError("grid spec needs a 'nodes' list")
+        nodes = tuple(NodeSpec(**n) for n in data["nodes"])
+        links = tuple(LinkSpec(**l) for l in data.get("links", []))
+        return cls(nodes=nodes, links=links)
+
+    @classmethod
+    def from_json(cls, text: str) -> "GridSpec":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path: str) -> "GridSpec":
+        with open(path) as fh:
+            return cls.from_json(fh.read())
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def corridor_spec(
+    n_nodes: int,
+    link_length: float = 6.0,
+    speed_limit: float = 3.0,
+    policy: str = "crossroads",
+    policies: Optional[Sequence[str]] = None,
+    node_spacing: Optional[float] = None,
+    two_way: bool = True,
+) -> GridSpec:
+    """A west->east corridor of ``n_nodes`` intersections.
+
+    Node ``N0`` is westernmost; consecutive nodes are connected east-
+    bound (and, with ``two_way``, westbound too), so straight-through
+    traffic entering ``N0`` from the west traverses every node.
+    ``policies`` (one per node) overrides the uniform ``policy``.
+    """
+    if n_nodes < 1:
+        raise ValueError("n_nodes must be >= 1")
+    if policies is not None and len(policies) != n_nodes:
+        raise ValueError(f"policies must name {n_nodes} policies")
+    spacing = node_spacing if node_spacing is not None else link_length + 10.0
+    nodes: List[NodeSpec] = []
+    for i in range(n_nodes):
+        nodes.append(
+            NodeSpec(
+                name=f"N{i}",
+                policy=policies[i] if policies is not None else policy,
+                x=i * spacing,
+                y=0.0,
+            )
+        )
+    links: List[LinkSpec] = []
+    for i in range(n_nodes - 1):
+        links.append(
+            LinkSpec(src=f"N{i}", src_exit="E", dst=f"N{i + 1}",
+                     length=link_length, speed_limit=speed_limit)
+        )
+        if two_way:
+            links.append(
+                LinkSpec(src=f"N{i + 1}", src_exit="W", dst=f"N{i}",
+                         length=link_length, speed_limit=speed_limit)
+            )
+    return GridSpec(nodes=tuple(nodes), links=tuple(links))

@@ -1,0 +1,759 @@
+"""The corridor simulator: a routed graph of IMs on one DES + medium.
+
+:class:`GridWorld` lifts :class:`~repro.sim.world.World` from one
+intersection to a :class:`~repro.grid.spec.GridSpec` network:
+
+* **one** DES environment and **one** shared wireless
+  :class:`~repro.network.Channel` carry every node's traffic (the
+  per-IM share is read back from ``NetworkStats.by_endpoint``);
+* each node runs its own IM — any registered policy, mixed policies
+  allowed — at the address ``"{base}.{node}"`` (the bare base address
+  for a 1-node grid, so addressing matches the single world exactly);
+* each node gets its own ground-truth safety monitor (node-local
+  frame) and its own 1 Hz reservation watchdog;
+* a **hand-off** process follows every multi-hop vehicle: when its
+  hop-``k`` agent despawns past the box, the vehicle cruises the
+  connecting link at ``min(link.speed_limit, v_max)``, waits (if
+  needed) for car-following spacing on the destination lane, and is
+  re-spawned as a fresh agent at the next node — reusing the *same*
+  radio (stable address ``V<id>`` keeps the IM-side sequence guards
+  and receiver dedup windows continuous) and the *same* drifting
+  clock (offset/drift state carries across hops).
+
+Single-node bit-identity
+------------------------
+A 1-node ``GridWorld`` replays :class:`~repro.sim.world.World`'s exact
+construction order: master-RNG draws (channel seed, then per-spawn
+offset/drift/clock-rng/plant-rng), DES process creation order (IM
+machinery, spawner, safety monitor, watchdog) and lane bookkeeping.
+Single-hop routes start **no** hand-off watcher, so the event-id
+tie-break sequence is untouched.  The golden equivalence suite pins
+``grid.per_node["N0"].summary() == world.summary()`` across policies
+and seeds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.policy import make_im
+from repro.core.registry import resolve_policy
+from repro.des import Environment
+from repro.faults import FaultInjector
+from repro.geometry.collision import rects_overlap
+from repro.geometry.conflicts import ConflictTable
+from repro.geometry.layout import IntersectionGeometry
+from repro.grid.spec import GridSpec
+from repro.grid.traffic import GridArrival
+from repro.network.channel import Channel
+from repro.network.delay import testbed_delay_model
+from repro.obs.events import EventLog
+from repro.obs.spans import build_spans, span_stats
+from repro.perf import PerfCounters
+from repro.sensors.plant import PlantConfig
+from repro.sim.metrics import SimResult
+from repro.sim.world import WorldConfig
+from repro.timesync.clock import Clock
+from repro.vehicle.agent import BaseVehicle, make_vehicle
+from repro.vehicle.record import VehicleRecord
+from repro.vehicle.spec import VehicleInfo
+
+__all__ = ["CorridorRecord", "GridResult", "GridWorld"]
+
+
+# =========================================================================
+# Results
+# =========================================================================
+@dataclass
+class CorridorRecord:
+    """One vehicle's end-to-end trip across the network.
+
+    ``hops`` collects ``(node, per-hop VehicleRecord)`` pairs as the
+    trip progresses; the same records also appear in the owning node's
+    :class:`~repro.sim.metrics.SimResult`, so per-node and corridor
+    views stay consistent by construction.
+    """
+
+    vehicle_id: int
+    route_key: str
+    n_hops_planned: int
+    spawn_node: str
+    spawn_time: float
+    hops: List[Tuple[str, VehicleRecord]] = field(default_factory=list)
+    #: Simulated seconds this vehicle's hand-offs waited for spacing.
+    handoff_wait_s: float = 0.0
+
+    @property
+    def hops_completed(self) -> int:
+        """Hops whose box was fully cleared."""
+        return sum(1 for _, record in self.hops if record.finished)
+
+    @property
+    def finished(self) -> bool:
+        """True once every planned hop's box was cleared."""
+        return self.hops_completed == self.n_hops_planned
+
+    @property
+    def corridor_time(self) -> Optional[float]:
+        """First spawn to final box exit, seconds (None unfinished)."""
+        if not self.finished:
+            return None
+        return self.hops[-1][1].exit_time - self.spawn_time
+
+    @property
+    def total_delay(self) -> float:
+        """Summed per-hop excess wait over free flow, seconds."""
+        return float(
+            sum(
+                record.delay
+                for _, record in self.hops
+                if record.delay is not None
+            )
+        )
+
+    def node_delay(self, node: str) -> float:
+        """This vehicle's excess wait at ``node`` (0.0 if not visited)."""
+        return float(
+            sum(
+                record.delay
+                for name, record in self.hops
+                if name == node and record.delay is not None
+            )
+        )
+
+
+@dataclass
+class GridResult:
+    """Everything measured in one corridor run.
+
+    ``per_node`` holds one full :class:`~repro.sim.metrics.SimResult`
+    per intersection (records = the per-hop vehicle records served
+    there; message/byte/duplicate counts are that IM's
+    ``by_endpoint`` share of the shared medium; ``messages_by_type``
+    and ``losses_by_reason`` stay *global* — a shared medium cannot
+    attribute them per node).  ``corridor`` is the end-to-end view.
+    """
+
+    spec: GridSpec
+    per_node: Dict[str, SimResult]
+    corridor: List[CorridorRecord]
+    sim_duration: float
+    #: Completed link hand-offs (vehicle re-spawned at the next node).
+    handoffs: int = 0
+    #: Hand-offs that had to wait for car-following spacing on the
+    #: destination lane (the "headway violation avoided" counter).
+    handoffs_delayed: int = 0
+    #: Total simulated seconds spent in those waits.
+    handoff_wait_s: float = 0.0
+    #: Run-level wall timers + kernel counters (not in :meth:`summary`).
+    perf: Dict[str, float] = field(default_factory=dict)
+    #: Exchange-span stats when traced (not in :meth:`summary`).
+    obs: Dict[str, float] = field(default_factory=dict)
+
+    # -- aggregates --------------------------------------------------------
+    @property
+    def n_vehicles(self) -> int:
+        return len(self.corridor)
+
+    @property
+    def n_completed(self) -> int:
+        return sum(1 for record in self.corridor if record.finished)
+
+    @property
+    def corridor_times(self) -> np.ndarray:
+        return np.array(
+            [
+                record.corridor_time
+                for record in self.corridor
+                if record.corridor_time is not None
+            ],
+            dtype=float,
+        )
+
+    @property
+    def average_corridor_time(self) -> float:
+        times = self.corridor_times
+        return float(times.mean()) if len(times) else 0.0
+
+    @property
+    def average_delay(self) -> float:
+        """Mean summed per-hop delay of completed trips, seconds."""
+        delays = [r.total_delay for r in self.corridor if r.finished]
+        return float(np.mean(delays)) if delays else 0.0
+
+    @property
+    def collisions(self) -> int:
+        return sum(result.collisions for result in self.per_node.values())
+
+    @property
+    def messages_sent(self) -> int:
+        """Shared-medium total (per-IM shares live in ``per_node``)."""
+        results = list(self.per_node.values())
+        if len(results) == 1:
+            return results[0].messages_sent
+        # Every message involves exactly one IM endpoint, so the medium
+        # total is the sum of the per-IM shares.
+        return sum(result.messages_sent for result in results)
+
+    @property
+    def safe(self) -> bool:
+        return self.collisions == 0
+
+    def node_wait(self, node: str) -> float:
+        """Mean per-vehicle excess wait at ``node``, seconds."""
+        return self.per_node[node].average_delay
+
+    def summary(self) -> Dict[str, float]:
+        """Flat corridor-level headline numbers (deterministic per
+        seed: safe to compare across jobs=1 / jobs=N executions)."""
+        completed = [r for r in self.corridor if r.finished]
+        return {
+            "nodes": float(len(self.per_node)),
+            "vehicles": float(self.n_vehicles),
+            "completed": float(self.n_completed),
+            "avg_corridor_time_s": self.average_corridor_time,
+            "avg_delay_s": self.average_delay,
+            "avg_hops": (
+                float(np.mean([r.hops_completed for r in completed]))
+                if completed
+                else 0.0
+            ),
+            "handoffs": float(self.handoffs),
+            "handoffs_delayed": float(self.handoffs_delayed),
+            "handoff_wait_s": self.handoff_wait_s,
+            "collisions": float(self.collisions),
+            "messages": float(self.messages_sent),
+        }
+
+
+# =========================================================================
+# Per-node safety monitoring state
+# =========================================================================
+class _NodeSafety:
+    """Ground-truth collision bookkeeping for one node."""
+
+    def __init__(self):
+        self.collisions = 0
+        self.buffer_violations = 0
+        self.min_separation = math.inf
+        self.collided_pairs = set()
+
+
+# =========================================================================
+# The grid world
+# =========================================================================
+class GridWorld:
+    """One wired-up corridor run.
+
+    Parameters
+    ----------
+    spec:
+        The network description.
+    arrivals:
+        Routed boundary workload (time-sorted
+        :class:`~repro.grid.traffic.GridArrival` s).
+    geometry:
+        Per-node intersection layout, shared by every node (testbed
+        default when omitted; node placement is ``NodeSpec.x/y``).
+    config:
+        World knobs (``config.im.address`` is the base IM address;
+        per-node addresses append ``.{node}`` on multi-node grids).
+    seed:
+        Master seed (channel, clocks, plants — same stream discipline
+        as :class:`~repro.sim.world.World`).
+    obs:
+        Optional event log; hand-offs emit ``grid.handoff`` records
+        and per-node IM addresses give spans per-node attribution.
+    """
+
+    def __init__(
+        self,
+        spec: GridSpec,
+        arrivals: Sequence[GridArrival],
+        geometry: Optional[IntersectionGeometry] = None,
+        conflicts: Optional[ConflictTable] = None,
+        config: Optional[WorldConfig] = None,
+        seed: Optional[int] = None,
+        obs: Optional[EventLog] = None,
+    ):
+        self.spec = spec
+        self.arrivals = sorted(arrivals, key=lambda a: a.time)
+        self.config = config if config is not None else WorldConfig()
+        self.geometry = geometry if geometry is not None else IntersectionGeometry()
+        self.rng = np.random.default_rng(seed)
+        self.obs = obs
+        cfg = self.config
+
+        # A link must out-last the despawn outrun, or the hand-off
+        # would have to re-spawn the vehicle *behind* its own exit.
+        for link in spec.links:
+            if link.length <= cfg.agent.outrun:
+                raise ValueError(
+                    f"link {link.key}: length {link.length} must exceed the "
+                    f"agent outrun {cfg.agent.outrun}"
+                )
+
+        self._policies = {
+            node.name: resolve_policy(node.policy) for node in spec.nodes
+        }
+        single = len(spec) == 1
+        self._im_addr = {
+            node.name: (
+                cfg.im.address if single else f"{cfg.im.address}.{node.name}"
+            )
+            for node in spec.nodes
+        }
+
+        self.env = Environment()
+        if obs is not None:
+            self.env.obs = obs
+        delay = (
+            cfg.delay_model if cfg.delay_model is not None else testbed_delay_model()
+        )
+        # Same master-draw discipline as World: one channel-seed draw,
+        # fault stream forked from it (child key 1).
+        channel_seed = int(self.rng.integers(2 ** 63))
+        self.faults: Optional[FaultInjector] = None
+        if cfg.faults is not None:
+            self.faults = FaultInjector(
+                cfg.faults,
+                rng=np.random.default_rng([channel_seed, 1]),
+                im_address=cfg.im.address,
+            )
+        self.channel = Channel(
+            self.env,
+            delay_model=delay,
+            loss_probability=cfg.message_loss,
+            rng=np.random.default_rng(channel_seed),
+            faults=self.faults,
+            obs=obs,
+        )
+        if conflicts is None and any(
+            p.needs_conflicts for p in self._policies.values()
+        ):
+            conflicts = ConflictTable(self.geometry)
+        self.conflicts = conflicts
+
+        self.ims = {}
+        for node in spec.nodes:
+            im_cfg = (
+                cfg.im
+                if single
+                else replace(cfg.im, address=self._im_addr[node.name])
+            )
+            im = make_im(
+                self._policies[node.name],
+                self.env,
+                self.channel,
+                self.geometry,
+                conflicts=conflicts,
+                config=im_cfg,
+                aim_config=cfg.aim,
+            )
+            if obs is not None:
+                im.obs = obs
+                scheduler = getattr(im, "scheduler", None)
+                if scheduler is not None:
+                    scheduler.obs = obs
+                    scheduler.obs_now = lambda: self.env.now
+            self.ims[node.name] = im
+
+        #: Every agent ever spawned (one per vehicle *hop*).
+        self.vehicles: List[BaseVehicle] = []
+        self._node_vehicles: Dict[str, List[BaseVehicle]] = {
+            node.name: [] for node in spec.nodes
+        }
+        self._lanes: Dict[Tuple[str, str], List[BaseVehicle]] = {}
+        self._safety: Dict[str, _NodeSafety] = {
+            node.name: _NodeSafety() for node in spec.nodes
+        }
+        self.corridor: List[CorridorRecord] = []
+        self.handoffs = 0
+        self.handoffs_delayed = 0
+        self.handoff_wait_s = 0.0
+        self._spawned = 0
+        self._inflight = 0
+        self.perf = PerfCounters()
+
+        # Process creation order mirrors World (spawner, monitor,
+        # watchdog) — per-node fan-out collapses to World's exact
+        # order on a 1-node grid.
+        self.env.process(self._spawner())
+        for node in spec.nodes:
+            self.env.process(self._safety_monitor(node.name))
+        for node in spec.nodes:
+            self.env.process(self._im_watchdog(node.name))
+
+    # -- spawning -----------------------------------------------------------
+    def _spawner(self):
+        for index, garrival in enumerate(self.arrivals):
+            wait = garrival.time - self.env.now
+            if wait > 0:
+                yield self.env.timeout(wait)
+            self._spawn(index, garrival)
+
+    def _plant_config(self) -> PlantConfig:
+        cfg = self.config
+        plant_config = cfg.plant
+        if cfg.ideal_vehicles:
+            plant_config = PlantConfig(
+                a_max=plant_config.a_max,
+                d_max=plant_config.d_max,
+                v_max=plant_config.v_max,
+                tau=1e-3,
+                accel_noise_std=0.0,
+                encoder=plant_config.encoder,
+            )
+        return plant_config
+
+    def _make_agent(
+        self,
+        node: str,
+        info: VehicleInfo,
+        radio,
+        clock: Clock,
+        spawn_speed: float,
+    ) -> BaseVehicle:
+        """Build one per-hop agent registered into the node's lane."""
+        cfg = self.config
+        movement = info.movement
+        lane = self._lanes.setdefault((node, movement.entry.value), [])
+
+        def predecessor(lane=lane, me_index=len(lane)):
+            for earlier in reversed(lane[:me_index]):
+                if not earlier.done:
+                    return earlier
+            return None
+
+        vehicle = make_vehicle(
+            self._policies[node],
+            self.env,
+            info,
+            radio,
+            clock,
+            path_length=self.geometry.crossing_distance(movement),
+            approach_length=self.geometry.approach_length,
+            spawn_speed=min(spawn_speed, info.spec.v_max),
+            plant_config=self._plant_config(),
+            im_address=self._im_addr[node],
+            predecessor=predecessor,
+            config=cfg.agent,
+            rng=np.random.default_rng(self.rng.integers(2 ** 63)),
+            plant_headroom=1.0 if cfg.ideal_vehicles else cfg.plant_headroom,
+            obs=self.obs,
+        )
+        if cfg.ideal_vehicles:
+            vehicle.plant.ideal = True
+        lane.append(vehicle)
+        self.vehicles.append(vehicle)
+        self._node_vehicles[node].append(vehicle)
+        return vehicle
+
+    def _spawn(self, index: int, garrival: GridArrival) -> BaseVehicle:
+        cfg = self.config
+        route = garrival.route
+        hop = route.hops[0]
+        info = VehicleInfo(
+            vehicle_id=index,
+            spec=garrival.arrival.spec,
+            movement=hop.movement,
+            buffer=cfg.im.base_buffer,
+        )
+        radio = self.channel.attach(f"V{index}")
+        clock = Clock(
+            offset=float(
+                self.rng.uniform(-cfg.clock_offset_bound, cfg.clock_offset_bound)
+            ),
+            drift=float(
+                self.rng.uniform(-cfg.clock_drift_bound, cfg.clock_drift_bound)
+            ),
+            epoch=self.env.now,
+            rng=np.random.default_rng(self.rng.integers(2 ** 63)),
+        )
+        vehicle = self._make_agent(
+            hop.node, info, radio, clock, garrival.arrival.speed
+        )
+        record = CorridorRecord(
+            vehicle_id=index,
+            route_key=route.key,
+            n_hops_planned=route.n_hops,
+            spawn_node=hop.node,
+            spawn_time=self.env.now,
+        )
+        record.hops.append((hop.node, vehicle.record))
+        self.corridor.append(record)
+        self._spawned += 1
+        if route.n_hops > 1:
+            # Only multi-hop vehicles get a watcher, so 1-node grids
+            # schedule exactly the events a plain World does.
+            self._inflight += 1
+            self.env.process(self._handoff_runner(vehicle, record, route))
+        return vehicle
+
+    # -- hand-off -----------------------------------------------------------
+    def _handoff_runner(self, vehicle: BaseVehicle, record: CorridorRecord, route):
+        """Carry one vehicle across every link of its route."""
+        cfg = self.config
+        poll = cfg.agent.dt
+        try:
+            for hop_index in range(1, route.n_hops):
+                link = route.links[hop_index - 1]
+                hop = route.hops[hop_index]
+                # 1. Wait for the current hop's agent to clear its box
+                #    and outrun (despawn).
+                while not vehicle.done:
+                    yield self.env.timeout(poll)
+                spec = vehicle.info.spec
+                # 2. Cruise the link.  The agent already drove ``outrun``
+                #    metres of it before despawning.
+                cruise = min(link.speed_limit, spec.v_max)
+                remaining = link.length - cfg.agent.outrun
+                yield self.env.timeout(remaining / cruise)
+                # 3. Respect car-following spacing on the destination
+                #    lane: never materialise on top of a queued tail.
+                lane = self._lanes.setdefault(
+                    (hop.node, hop.movement.entry.value), []
+                )
+                waited = 0.0
+                while True:
+                    leader = next(
+                        (v for v in reversed(lane) if not v.done), None
+                    )
+                    if leader is None or leader.front >= (
+                        leader.info.spec.length + cfg.agent.gap_min
+                    ):
+                        break
+                    waited += poll
+                    yield self.env.timeout(poll)
+                # 4. Re-spawn at the next node: same radio (address,
+                #    sequence-guard and dedup continuity), same drifting
+                #    clock, fresh agent and per-hop record.
+                info = VehicleInfo(
+                    vehicle_id=record.vehicle_id,
+                    spec=spec,
+                    movement=hop.movement,
+                    buffer=cfg.im.base_buffer,
+                )
+                previous = vehicle
+                vehicle = self._make_agent(
+                    hop.node, info, previous.radio, previous.clock, cruise
+                )
+                record.hops.append((hop.node, vehicle.record))
+                record.handoff_wait_s += waited
+                self.handoffs += 1
+                if waited > 0.0:
+                    self.handoffs_delayed += 1
+                    self.handoff_wait_s += waited
+                if self.obs is not None and self.obs.enabled:
+                    self.obs.emit(
+                        "grid.handoff",
+                        self.env.now,
+                        previous.radio.address,
+                        vehicle_id=record.vehicle_id,
+                        src=link.src,
+                        dst=hop.node,
+                        link=link.key,
+                        hop=hop_index,
+                        wait=waited,
+                    )
+        finally:
+            self._inflight -= 1
+
+    # -- ground-truth safety -------------------------------------------------
+    def _pose_of(self, vehicle: BaseVehicle):
+        """Node-local footprint (same maths as ``World.pose_of``)."""
+        movement = vehicle.info.movement
+        spec = vehicle.info.spec
+        path = self.geometry.path(movement)
+        approach = self.geometry.approach_length
+        centre_s = vehicle.front - spec.length / 2.0
+        from repro.geometry.collision import OrientedRect
+
+        if centre_s < approach:
+            entry = self.geometry.entry_point(movement.entry)
+            fwd = np.array(movement.entry.inbound_unit)
+            point = entry - (approach - centre_s) * fwd
+            heading = movement.entry.heading
+        else:
+            s = centre_s - approach
+            if s <= path.length:
+                point = path.point_at(s)
+                heading = path.heading_at(s)
+            else:
+                end = path.point_at(path.length)
+                heading = path.heading_at(path.length)
+                point = end + (s - path.length) * np.array(
+                    [math.cos(heading), math.sin(heading)]
+                )
+        return OrientedRect(
+            cx=float(point[0]),
+            cy=float(point[1]),
+            heading=float(heading),
+            length=spec.length,
+            width=spec.width,
+        )
+
+    def _in_box(self, vehicle: BaseVehicle) -> bool:
+        approach = self.geometry.approach_length
+        path_len = vehicle.path_length
+        return (
+            vehicle.front + vehicle.info.buffer >= approach
+            and vehicle.rear - vehicle.info.buffer <= approach + path_len
+        )
+
+    def _safety_monitor(self, node: str):
+        import itertools as _it
+
+        state = self._safety[node]
+        vehicles = self._node_vehicles[node]
+        while True:
+            active = [v for v in vehicles if not v.done and self._in_box(v)]
+            for a, b in _it.combinations(active, 2):
+                rect_a, rect_b = self._pose_of(a), self._pose_of(b)
+                gap = math.hypot(rect_a.cx - rect_b.cx, rect_a.cy - rect_b.cy)
+                state.min_separation = min(state.min_separation, gap)
+                pair = (
+                    min(a.info.vehicle_id, b.info.vehicle_id),
+                    max(a.info.vehicle_id, b.info.vehicle_id),
+                )
+                if rects_overlap(rect_a, rect_b):
+                    if pair not in state.collided_pairs:
+                        state.collided_pairs.add(pair)
+                        state.collisions += 1
+                elif a.info.movement.entry != b.info.movement.entry and (
+                    rects_overlap(
+                        rect_a.inflated_longitudinal(a.info.buffer),
+                        rect_b.inflated_longitudinal(b.info.buffer),
+                    )
+                ):
+                    state.buffer_violations += 1
+            yield self.env.timeout(self.config.safety_dt)
+
+    def _im_watchdog(self, node: str):
+        im = self.ims[node]
+        while True:
+            yield self.env.timeout(1.0)
+            im.invalidate_quiet(self.env.now)
+
+    # -- execution ----------------------------------------------------------
+    @property
+    def all_done(self) -> bool:
+        return (
+            bool(self.vehicles)
+            and self._spawned == len(self.arrivals)
+            and self._inflight == 0
+            and all(v.done for v in self.vehicles)
+        )
+
+    def run(self) -> GridResult:
+        """Run to completion (every trip finished) and collect results."""
+        step = 1.0
+        with self.perf.timer("sim_run"):
+            while not self.all_done and self.env.now < self.config.max_sim_time:
+                self.env.run(until=self.env.now + step)
+        return self.result()
+
+    # -- metrics ------------------------------------------------------------
+    def _machine_counters(self, perf: PerfCounters, node: str) -> None:
+        """Per-node protocol-machine counters (same keys as World's)."""
+        vehicles = self._node_vehicles[node]
+        im = self.ims[node]
+        loops = [v.proto for v in vehicles]
+        perf.incr("machine.request_loop.exchanges", sum(l.exchanges for l in loops))
+        perf.incr("machine.request_loop.timeouts", sum(l.timeouts for l in loops))
+        perf.incr("machine.request_loop.discarded", sum(l.discarded for l in loops))
+        syncs = [v.sync for v in vehicles]
+        perf.incr("machine.timesync.sessions", sum(s.sessions for s in syncs))
+        perf.incr("machine.timesync.samples", sum(s.samples for s in syncs))
+        perf.incr("machine.timesync.resamples", sum(s.resamples for s in syncs))
+        monitors = [v.monitor for v in vehicles]
+        perf.incr("machine.degradation.timeouts",
+                  sum(m.timeouts_total for m in monitors))
+        perf.incr("machine.degradation.contacts",
+                  sum(m.contacts for m in monitors))
+        perf.incr("machine.degradation.entries",
+                  sum(m.degraded_entries for m in monitors))
+        perf.incr("machine.degradation.degraded_s",
+                  sum(m.degraded_time for m in monitors))
+        perf.incr("machine.sequence_guard.admitted", im.guard.admitted)
+        perf.incr("machine.sequence_guard.drops", im.guard.drops)
+        perf.incr("machine.sequence_guard.stale_cancels", im.guard.stale_cancels)
+        perf.incr("machine.timesync_responder.responses",
+                  im.sync_responder.responses)
+
+    def _node_perf(self, node: str) -> Dict[str, float]:
+        perf = PerfCounters()
+        perf.merge(self.ims[node].perf)
+        self._machine_counters(perf, node)
+        im = self.ims[node]
+        reservations = getattr(im, "reservations", None)
+        if reservations is not None:  # AIM node
+            grid = reservations.grid
+            perf.incr("tile_cells_tested", grid.cells_tested)
+            perf.incr("tile_cache_hits", grid.cache_hits)
+            perf.incr("tile_cache_misses", grid.cache_misses)
+            perf.incr("tile_cells_purged", reservations.purged_total)
+            perf.incr("tile_cells_simulated", im.cells_simulated)
+        snapshot = perf.snapshot()
+        if reservations is not None:
+            snapshot["tile_cache_hit_rate"] = perf.hit_rate(
+                "tile_cache_hits", "tile_cache_misses"
+            )
+        return snapshot
+
+    def node_result(self, node: str) -> SimResult:
+        """Full single-intersection result view of one node."""
+        im = self.ims[node]
+        stats = self.channel.stats
+        addr = self._im_addr[node]
+        safety = self._safety[node]
+        return SimResult(
+            policy=self._policies[node].name,
+            records=[v.record for v in self._node_vehicles[node]],
+            sim_duration=self.env.now,
+            compute_time=im.compute.total_time,
+            compute_requests=im.compute.requests,
+            messages_sent=int(stats.by_endpoint[addr]),
+            bytes_sent=int(stats.bytes_by_endpoint[addr]),
+            messages_by_type=dict(stats.by_type),
+            rejects=im.stats.rejects,
+            collisions=safety.collisions,
+            buffer_violations=safety.buffer_violations,
+            min_separation=safety.min_separation,
+            worst_service_time=im.stats.worst_service_time,
+            duplicates_dropped=int(stats.dupes_by_endpoint[addr]),
+            losses_by_reason={k: int(v) for k, v in sorted(stats.by_reason.items())},
+            fault_injections=self.faults.snapshot() if self.faults else {},
+            reservation_invalidations=im.stats.invalidations,
+            stale_requests_dropped=im.stats.stale_requests_dropped,
+            perf=self._node_perf(node),
+        )
+
+    def result(self) -> GridResult:
+        """Snapshot the metrics of the current state."""
+        perf = PerfCounters(times=self.perf.times)
+        perf.incr("des_events", self.env.events_processed)
+        perf.incr("grid.handoffs", self.handoffs)
+        perf.incr("grid.handoffs_delayed", self.handoffs_delayed)
+        return GridResult(
+            spec=self.spec,
+            per_node={
+                node.name: self.node_result(node.name)
+                for node in self.spec.nodes
+            },
+            corridor=list(self.corridor),
+            sim_duration=self.env.now,
+            handoffs=self.handoffs,
+            handoffs_delayed=self.handoffs_delayed,
+            handoff_wait_s=self.handoff_wait_s,
+            perf=perf.snapshot(),
+            obs=(
+                span_stats(build_spans(self.obs))
+                if self.obs is not None
+                else {}
+            ),
+        )

@@ -53,6 +53,17 @@ class NetworkStats:
     #: (Gilbert–Elliott), "blackout" (scripted window), "no_route"
     #: (detached/unknown receiver), "duplicate" (receiver-side dedup).
     by_reason: Counter = field(default_factory=Counter)
+    #: Per-endpoint attribution: sent messages / bytes / dedup drops
+    #: keyed by participating address.  Every message increments both
+    #: its sender's and its receiver's bucket, so on a *shared* medium
+    #: carrying several intersection managers (the corridor grid) the
+    #: traffic involving one IM is simply ``by_endpoint[im_address]``.
+    #: On a single-IM world every message involves the IM, making
+    #: ``by_endpoint[im] == sent`` — the grid/world equivalence test
+    #: relies on that identity.
+    by_endpoint: Counter = field(default_factory=Counter)
+    bytes_by_endpoint: Counter = field(default_factory=Counter)
+    dupes_by_endpoint: Counter = field(default_factory=Counter)
     #: Extra copies injected by the fault layer.
     duplicates_injected: int = 0
     #: Copies dropped by receiver-side dedup (not counted in ``lost``:
@@ -63,6 +74,9 @@ class NetworkStats:
         self.sent += 1
         self.bytes_sent += message.size
         self.by_type[type(message).__name__] += 1
+        for endpoint in (message.sender, message.receiver):
+            self.by_endpoint[endpoint] += 1
+            self.bytes_by_endpoint[endpoint] += message.size
 
     def record_delivery(self) -> None:
         self.delivered += 1
@@ -74,9 +88,12 @@ class NetworkStats:
     def record_duplicate_injected(self) -> None:
         self.duplicates_injected += 1
 
-    def record_duplicate_dropped(self) -> None:
+    def record_duplicate_dropped(self, message: Optional[Message] = None) -> None:
         self.duplicates_dropped += 1
         self.by_reason["duplicate"] += 1
+        if message is not None:
+            for endpoint in (message.sender, message.receiver):
+                self.dupes_by_endpoint[endpoint] += 1
 
 
 class Radio:
@@ -246,5 +263,5 @@ class Channel:
                     duplicate=duplicate,
                 )
         else:
-            self.stats.record_duplicate_dropped()
+            self.stats.record_duplicate_dropped(message)
             self._emit_drop(message, "duplicate")

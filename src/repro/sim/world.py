@@ -85,6 +85,22 @@ class WorldConfig:
     #: tracking loop can recover lag even on full-throttle launches.
     plant_headroom: float = 1.15
 
+    def __post_init__(self):
+        # Fail fast with a clear message: bad experiment knobs used to
+        # surface only as deep kinematics/DES errors mid-run.
+        if self.safety_dt <= 0:
+            raise ValueError("safety_dt must be positive")
+        if self.max_sim_time <= 0:
+            raise ValueError("max_sim_time must be positive")
+        if not 0.0 <= self.message_loss < 1.0:
+            raise ValueError("message_loss must be in [0, 1)")
+        if self.clock_offset_bound < 0:
+            raise ValueError("clock_offset_bound must be non-negative")
+        if self.clock_drift_bound < 0:
+            raise ValueError("clock_drift_bound must be non-negative")
+        if self.plant_headroom < 1.0:
+            raise ValueError("plant_headroom must be >= 1.0")
+
 
 class World:
     """One wired-up simulation run.

@@ -50,3 +50,12 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "approach" in out
         assert "speed profiles" in out
+
+    def test_corridor_demo(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["corridor_demo.py", "2", "8"])
+        load_example("corridor_demo").main()
+        out = capsys.readouterr().out
+        assert "uniform crossroads" in out
+        assert "mixed policies" in out
+        assert "safe True" in out
+        assert "8/8 trips complete" in out

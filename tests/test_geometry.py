@@ -19,6 +19,7 @@ from repro.geometry import (
     Turn,
     exit_approach,
     rects_overlap,
+    turn_for,
 )
 
 
@@ -39,6 +40,64 @@ class TestApproach:
         assert exit_approach(Approach.SOUTH, Turn.LEFT) is Approach.WEST
         assert exit_approach(Approach.WEST, Turn.RIGHT) is Approach.SOUTH
         assert exit_approach(Approach.WEST, Turn.LEFT) is Approach.NORTH
+
+
+class TestRoutingKernel:
+    """Exhaustive table tests for the hop-transition kernel
+    (``exit_approach`` / ``turn_for`` / ``Approach.opposite``) the
+    corridor router builds on."""
+
+    #: The full 4-approach x 3-turn exit-arm table, written out by hand
+    #: from the driving rules (right-hand traffic; a vehicle *from* X
+    #: drives away from X): straight exits the opposite arm, right is
+    #: 90 deg clockwise from the travel direction, left 90 deg CCW.
+    TABLE = {
+        (Approach.NORTH, Turn.STRAIGHT): Approach.SOUTH,
+        (Approach.NORTH, Turn.RIGHT): Approach.WEST,
+        (Approach.NORTH, Turn.LEFT): Approach.EAST,
+        (Approach.EAST, Turn.STRAIGHT): Approach.WEST,
+        (Approach.EAST, Turn.RIGHT): Approach.NORTH,
+        (Approach.EAST, Turn.LEFT): Approach.SOUTH,
+        (Approach.SOUTH, Turn.STRAIGHT): Approach.NORTH,
+        (Approach.SOUTH, Turn.RIGHT): Approach.EAST,
+        (Approach.SOUTH, Turn.LEFT): Approach.WEST,
+        (Approach.WEST, Turn.STRAIGHT): Approach.EAST,
+        (Approach.WEST, Turn.RIGHT): Approach.SOUTH,
+        (Approach.WEST, Turn.LEFT): Approach.NORTH,
+    }
+
+    def test_exit_approach_full_table(self):
+        for (entry, turn), expected in self.TABLE.items():
+            assert exit_approach(entry, turn) is expected, (entry, turn)
+
+    def test_turn_for_inverts_exit_approach(self):
+        for entry in Approach:
+            for turn in Turn:
+                arm = exit_approach(entry, turn)
+                assert turn_for(entry, arm) is turn, (entry, turn)
+
+    def test_turn_for_uturn_is_none(self):
+        for entry in Approach:
+            assert turn_for(entry, entry) is None
+
+    def test_three_turns_cover_three_arms(self):
+        for entry in Approach:
+            arms = {exit_approach(entry, turn) for turn in Turn}
+            assert len(arms) == 3
+            assert entry not in arms  # no movement re-exits the entry arm
+
+    def test_opposite_is_involution(self):
+        for approach in Approach:
+            assert approach.opposite is not approach
+            assert approach.opposite.opposite is approach
+
+    def test_opposite_pairs(self):
+        assert Approach.NORTH.opposite is Approach.SOUTH
+        assert Approach.EAST.opposite is Approach.WEST
+
+    def test_straight_exits_opposite_arm(self):
+        for entry in Approach:
+            assert exit_approach(entry, Turn.STRAIGHT) is entry.opposite
 
 
 class TestPath:

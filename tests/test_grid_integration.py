@@ -1,0 +1,238 @@
+"""Grid-layer integration tests: equivalence, corridors, multi-IM safety.
+
+The load-bearing guarantees of :mod:`repro.grid`:
+
+* a **1-node grid is the single-intersection world** — identical
+  summary metrics for every policy (the golden equivalence that lets
+  corridor results extend, never fork, the paper reproduction);
+* **corridors complete safely** under every policy and under mixed
+  per-node policies, with deterministic replay (same seed -> same
+  numbers; ``jobs=1`` == ``jobs=2``; traced == untraced);
+* **hand-offs preserve identity** — one radio address, one drifting
+  clock, one record lineage per vehicle across all hops;
+* **per-node machinery is isolated** — watchdogs tick per IM on the
+  shared environment and AIM tile ledgers never alias between nodes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import TileGrid, TileReservations
+from repro.grid import (
+    GridPoissonTraffic,
+    GridWorld,
+    corridor_spec,
+    run_grid,
+    sweep_grid,
+)
+from repro.obs import EventLog
+from repro.sim import World, WorldConfig
+from repro.traffic import PoissonTraffic
+
+POLICIES = ("crossroads", "vt-im", "aim")
+
+
+def corridor_result(n_nodes, n_cars=8, *, policies=None, seed=7, flow=0.2,
+                    obs=None):
+    spec = corridor_spec(n_nodes, policies=policies)
+    arrivals = GridPoissonTraffic(spec, flow_rate=flow, seed=seed).generate(
+        n_cars)
+    return GridWorld(spec, arrivals, seed=seed, obs=obs).run()
+
+
+class TestSingleNodeEquivalence:
+    """A 1-node grid reproduces ``World`` bit-identically."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("seed", (1, 42))
+    def test_summary_identical_to_world(self, policy, seed):
+        n_cars, flow = 8, 0.2
+        arrivals = PoissonTraffic(flow, seed=seed).generate(n_cars)
+        base = World(policy, arrivals, seed=seed).run().summary()
+
+        spec = corridor_spec(1, policies=[policy])
+        garrivals = GridPoissonTraffic(spec, flow_rate=flow,
+                                       seed=seed).generate(n_cars)
+        grid = GridWorld(spec, garrivals, seed=seed).run()
+        assert grid.per_node["N0"].summary() == base
+
+    def test_single_node_arrivals_match_poisson(self):
+        spec = corridor_spec(1)
+        garrivals = GridPoissonTraffic(spec, flow_rate=0.3,
+                                       seed=5).generate(12)
+        plain = PoissonTraffic(0.3, seed=5).generate(12)
+        assert len(garrivals) == len(plain)
+        for g, p in zip(garrivals, plain):
+            assert g.arrival == p
+            assert g.route.n_hops == 1
+
+
+class TestCorridorRuns:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_three_node_corridor_completes_safely(self, policy):
+        result = corridor_result(3, policies=[policy] * 3)
+        assert result.n_completed == result.n_vehicles
+        assert result.collisions == 0
+        assert result.safe
+        assert result.handoffs > 0
+        # Multi-hop trips take at least the single-node service time.
+        assert result.average_corridor_time > 0.0
+
+    def test_mixed_policies_complete_safely(self):
+        result = corridor_result(3, policies=list(POLICIES))
+        assert result.n_completed == result.n_vehicles
+        assert result.safe
+        by_policy = {n.policy for n in result.spec.nodes}
+        assert by_policy == set(POLICIES)
+
+    def test_interior_nodes_serve_through_traffic(self):
+        result = corridor_result(3, n_cars=10)
+        served = {name: node.n_finished
+                  for name, node in result.per_node.items()}
+        # Through traffic is served again downstream, so the per-node
+        # totals exceed the number of distinct trips.
+        assert served["N1"] > 0
+        assert sum(served.values()) == result.n_vehicles + result.handoffs
+
+    def test_summary_keys(self):
+        summary = corridor_result(2, n_cars=4).summary()
+        for key in ("nodes", "vehicles", "completed", "avg_corridor_time_s",
+                    "avg_delay_s", "avg_hops", "handoffs", "collisions",
+                    "messages"):
+            assert key in summary
+
+
+class TestDeterminism:
+    def test_same_seed_same_numbers(self):
+        a = corridor_result(3, seed=13).summary()
+        b = corridor_result(3, seed=13).summary()
+        assert a == b
+
+    def test_sweep_jobs_equivalence(self):
+        spec = corridor_spec(3)
+        serial = sweep_grid(spec, n_cars=6, seeds=(1, 2, 3), jobs=1)
+        sharded = sweep_grid(spec, n_cars=6, seeds=(1, 2, 3), jobs=2)
+        assert serial == sharded
+
+    def test_traced_equals_untraced(self):
+        untraced = corridor_result(3, n_cars=6).summary()
+        traced = corridor_result(3, n_cars=6, obs=EventLog()).summary()
+        assert traced == untraced
+
+
+class TestHandoffIdentity:
+    def test_radio_clock_and_record_continuity(self):
+        spec = corridor_spec(3)
+        arrivals = GridPoissonTraffic(spec, flow_rate=0.2,
+                                      seed=9).generate(6)
+        world = GridWorld(spec, arrivals, seed=9)
+        world.run()
+
+        multi = [r for r in world.corridor if r.n_hops_planned > 1]
+        assert multi, "expected at least one multi-hop trip"
+        by_addr = {}
+        for vehicle in world.vehicles:
+            by_addr.setdefault(vehicle.radio.address, []).append(vehicle)
+        for record in multi:
+            agents = by_addr[f"V{record.vehicle_id}"]
+            assert len(agents) == record.hops_completed
+            # One radio and one clock object across every hop.
+            assert len({id(a.radio) for a in agents}) == 1
+            assert len({id(a.clock) for a in agents}) == 1
+            # Hop lineage recorded in order of traversal: it starts at
+            # the spawn node and walks adjacent corridor nodes.
+            nodes = [node for node, _ in record.hops]
+            assert nodes[0] == record.spawn_node
+            indices = [int(node[1:]) for node in nodes]
+            steps = {b - a for a, b in zip(indices, indices[1:])}
+            assert steps <= {1} or steps <= {-1}
+            assert record.finished
+
+    def test_handoff_events_emitted(self):
+        log = EventLog()
+        result = corridor_result(3, n_cars=6, obs=log)
+        events = [e for e in log.events if e.kind == "grid.handoff"]
+        assert len(events) == result.handoffs
+        for event in events:
+            assert event.data["src"] != event.data["dst"]
+            assert event.data["link"]
+            assert event.actor.startswith("V")
+
+    def test_handoff_wait_accounting(self):
+        result = corridor_result(3, n_cars=10, flow=0.5)
+        assert result.handoff_wait_s >= 0.0
+        if result.handoffs_delayed:
+            assert result.handoff_wait_s > 0.0
+
+
+class TestMultiIMIsolation:
+    def test_watchdogs_tick_independently_per_node(self):
+        spec = corridor_spec(2)
+        world = GridWorld(spec, arrivals=[])
+        calls = {name: [] for name in world.ims}
+        for name, im in world.ims.items():
+            original = im.invalidate_quiet
+
+            def wrapped(now, *, _orig=original, _log=calls[name]):
+                _log.append(now)
+                return _orig(now)
+
+            im.invalidate_quiet = wrapped
+        world.env.run(until=3.5)
+        for name, times in calls.items():
+            assert times == [1.0, 2.0, 3.0], name
+
+    def test_aim_reservation_ledgers_never_alias(self):
+        spec = corridor_spec(2, policies=["aim", "aim"])
+        arrivals = GridPoissonTraffic(spec, flow_rate=0.2,
+                                      seed=3).generate(4)
+        world = GridWorld(spec, arrivals, seed=3)
+        r0 = world.ims["N0"].reservations
+        r1 = world.ims["N1"].reservations
+        assert r0 is not r1
+        result = world.run()
+        assert result.safe
+        assert result.n_completed == result.n_vehicles
+
+    def test_release_stale_scoped_to_one_ledger(self):
+        grid = TileGrid(box=6.0, n=8)
+        a = TileReservations(grid, slot=0.05)
+        b = TileReservations(grid, slot=0.05)
+        past = [((1, 1), 0), ((1, 1), 1)]
+        future = [((2, 2), 100), ((2, 2), 101)]
+        a.commit(past, 1)
+        b.commit(future, 2)
+        a.release_stale(50)
+        assert a.claim_count == 0
+        assert b.claim_count == len(future)
+        assert b.conflicts(future, 3)
+
+    def test_per_node_message_shares_sum_to_total(self):
+        spec = corridor_spec(3)
+        arrivals = GridPoissonTraffic(spec, flow_rate=0.2,
+                                      seed=4).generate(8)
+        world = GridWorld(spec, arrivals, seed=4)
+        result = world.run()
+        per_node = sum(r.messages_sent for r in result.per_node.values())
+        assert per_node == world.channel.stats.sent
+        assert result.messages_sent == per_node
+
+
+class TestRunGridHelper:
+    def test_run_grid_matches_explicit_construction(self):
+        spec = corridor_spec(2)
+        helper = run_grid(spec, n_cars=5, flow_rate=0.2, seed=21).summary()
+        arrivals = GridPoissonTraffic(spec, flow_rate=0.2,
+                                      seed=21).generate(5)
+        explicit = GridWorld(spec, arrivals, seed=21).run().summary()
+        assert helper == explicit
+
+    def test_run_grid_honours_world_config(self):
+        spec = corridor_spec(2)
+        cfg = WorldConfig(max_sim_time=200.0)
+        result = run_grid(spec, n_cars=4, flow_rate=0.2, seed=2, config=cfg)
+        assert result.n_completed == result.n_vehicles
+
+    def test_sweep_requires_seeds(self):
+        with pytest.raises(ValueError):
+            sweep_grid(corridor_spec(2), n_cars=3, seeds=())

@@ -27,6 +27,13 @@ def test_no_layer_violations():
     assert "protocol" in graph.get("vehicle", set())
     assert "protocol" in graph.get("core", set())
     assert "core" in graph.get("sim", set())
+    assert "sim" in graph.get("grid", set())
+    # The CLI resolves commands lazily, so the grid edge shows on the
+    # facade (module-level) rather than on cli.
+    assert "grid" in graph.get("<top>", set())
+    # Siblings at level 7 stay independent.
+    assert "analysis" not in graph.get("grid", set())
+    assert "grid" not in graph.get("analysis", set())
 
 
 def test_every_package_has_a_level():

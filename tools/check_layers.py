@@ -55,7 +55,10 @@ LAYERS: Dict[str, int] = {
     "core": 5,
     # Level 6 — the simulation world and experiment engines.
     "sim": 6,
-    # Level 7 — analysis/reporting over simulation results.
+    # Level 7 — layers over complete simulations: corridor networks of
+    # intersections (grid) and analysis/reporting over results.  The
+    # two are siblings; neither imports the other.
+    "grid": 7,
     "analysis": 7,
     # Level 8 — the CLI facade.
     "cli": 8,
