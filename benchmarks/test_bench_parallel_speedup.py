@@ -1,15 +1,20 @@
 """Parallel experiment-engine speedup study (opt-in: ``-m perf``).
 
-Runs a reduced Fig 7.2 grid twice — serially and on a 2+-worker
-process pool — asserts the scientific results are **bit-identical**,
-and records the wall-clock speedup plus the hot-path ``repro.perf``
-counters (tile cells tested, footprint-cache hit rate, DES events) in
-``BENCH_parallel.json``.
+Runs a reduced Fig 7.2 grid serially and twice on a 2+-worker process
+pool — once *cold* (the first ``map()`` pays the worker spawn) and once
+*warm* (the persistent pool is already up, the steady-state cost every
+subsequent sweep in a session pays) — asserts the scientific results
+are **bit-identical**, and records wall clocks plus the hot-path
+``repro.perf`` counters (tile cells tested, footprint-cache hit rate,
+DES events) in ``BENCH_parallel.json``.
 
-Speedup is *recorded, not asserted as a hard threshold*: CI boxes may
-be single-core or oversubscribed, and the acceptance property is
-determinism + measured improvement on real hardware.  Set
-``REPRO_BENCH_DIR`` to redirect the JSON artefact (default: CWD).
+The footprint-cache hit rate is deterministic (counter-based) and is
+asserted everywhere.  Wall-clock speedup depends on hardware: the
+recorded number is the *warm* speedup, and the >= 1.5x gate only
+applies under ``REPRO_BENCH_STRICT=1`` (set by the CI ``perf-smoke``
+job, which runs on multi-core runners — a 1-CPU box physically cannot
+speed up).  Set ``REPRO_BENCH_DIR`` to redirect the JSON artefact
+(default: CWD).
 """
 
 import json
@@ -19,8 +24,9 @@ import time
 import pytest
 
 from conftest import banner
+import repro.sim.parallel as parallel_mod
 from repro.sim.flowsweep import run_flow_sweep
-from repro.sim.parallel import resolve_jobs
+from repro.sim.parallel import resolve_jobs, shutdown_pool
 
 pytestmark = pytest.mark.perf
 
@@ -28,6 +34,8 @@ POLICIES = ("aim", "vt-im", "crossroads")
 FLOWS = (0.1, 0.3, 0.6)
 N_CARS = 12
 SEED = 7
+
+STRICT = os.environ.get("REPRO_BENCH_STRICT", "") not in ("", "0")
 
 
 def _summaries(sweep):
@@ -57,17 +65,28 @@ def test_parallel_speedup(benchmark):
     serial = run_flow_sweep(jobs=1, **kwargs)
     serial_wall = time.perf_counter() - start
 
+    # Cold: the first parallel map of the process spawns the pool.
+    shutdown_pool()
+    spawns_before = parallel_mod.POOL_SPAWNS
+    start = time.perf_counter()
+    cold = run_flow_sweep(jobs=jobs, **kwargs)
+    cold_wall = time.perf_counter() - start
+
+    # Warm: the persistent pool is reused — this is the steady state.
     def parallel_run():
         return run_flow_sweep(jobs=jobs, **kwargs)
 
     start = time.perf_counter()
-    parallel = benchmark.pedantic(parallel_run, rounds=1, iterations=1)
-    parallel_wall = time.perf_counter() - start
+    warm = benchmark.pedantic(parallel_run, rounds=1, iterations=1)
+    warm_wall = time.perf_counter() - start
+    pool_spawns = parallel_mod.POOL_SPAWNS - spawns_before
 
     # The acceptance property: parallel == serial, bit for bit.
-    assert _summaries(serial) == _summaries(parallel)
+    assert _summaries(serial) == _summaries(cold)
+    assert _summaries(serial) == _summaries(warm)
 
-    speedup = serial_wall / parallel_wall if parallel_wall > 0 else 0.0
+    speedup = serial_wall / warm_wall if warm_wall > 0 else 0.0
+    cold_speedup = serial_wall / cold_wall if cold_wall > 0 else 0.0
     perf = _perf_totals(serial)
     sim_wall = perf.get("time.sim_run_s", 0.0)
     cells = perf.get("count.tile_cells_tested", 0.0)
@@ -79,9 +98,13 @@ def test_parallel_speedup(benchmark):
         "grid": {"policies": POLICIES, "flow_rates": FLOWS, "n_cars": N_CARS,
                  "seed": SEED},
         "workers": jobs,
+        "cpus": os.cpu_count() or 1,
         "serial_wall_s": round(serial_wall, 4),
-        "parallel_wall_s": round(parallel_wall, 4),
+        "parallel_cold_wall_s": round(cold_wall, 4),
+        "parallel_wall_s": round(warm_wall, 4),
+        "speedup_cold": round(cold_speedup, 3),
         "speedup": round(speedup, 3),
+        "pool_spawns": pool_spawns,
         "bit_identical": True,
         "perf": {
             "des_events": perf.get("count.des_events", 0.0),
@@ -99,15 +122,24 @@ def test_parallel_speedup(benchmark):
 
     print(banner("Parallel experiment engine - speedup"))
     print(f"grid {len(POLICIES)} policies x {len(FLOWS)} flows x "
-          f"{N_CARS} cars | workers {jobs}")
-    print(f"serial {serial_wall:.2f} s | parallel {parallel_wall:.2f} s | "
-          f"speedup {speedup:.2f}X (bit-identical: yes)")
+          f"{N_CARS} cars | workers {jobs} on {payload['cpus']} cpus")
+    print(f"serial {serial_wall:.2f} s | cold {cold_wall:.2f} s "
+          f"({cold_speedup:.2f}X) | warm {warm_wall:.2f} s "
+          f"({speedup:.2f}X, bit-identical: yes)")
     print(f"tile cells tested {cells:.0f} | footprint-cache hit rate "
           f"{hit_rate:.1%} | DES events {payload['perf']['des_events']:.0f}")
     print(f"wrote {out_path}")
 
-    # Sanity, not a hardware bet: the pool must not be pathologically
-    # slower than serial, and the hot-path counters must be live.
-    assert speedup > 0.5
+    # Deterministic acceptance: the quantised-pose sweep keeps the
+    # footprint cache hot regardless of hardware.
     assert cells > 0
-    assert hit_rate > 0.0
+    assert hit_rate >= 0.85
+    # The cold map must spawn exactly one pool; the warm map none.
+    assert pool_spawns == 1
+    if STRICT:
+        # CI perf-smoke gate (multi-core runners only).
+        assert speedup >= 1.5, f"warm 2-worker speedup {speedup:.2f}X < 1.5X"
+    else:
+        # Sanity, not a hardware bet: the warm pool must not be
+        # pathologically slower than serial even on one core.
+        assert speedup > 0.5

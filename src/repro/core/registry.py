@@ -37,6 +37,7 @@ __all__ = [
     "policy",
     "portable_name",
     "register_policy",
+    "registry_generation",
     "resolve_policy",
     "unregister_policy",
 ]
@@ -102,6 +103,16 @@ class PolicySpec:
 _REGISTRY: Dict[str, PolicySpec] = {}
 #: Alias (including the canonical name itself) -> canonical name.
 _ALIASES: Dict[str, str] = {}
+#: Bumped on every successful register/unregister.  Consumers that
+#: snapshot the registry across a process boundary (the persistent
+#: worker pool forks it at spawn) compare generations to know when
+#: their snapshot went stale.
+_GENERATION = 0
+
+
+def registry_generation() -> int:
+    """Monotonic counter of registry mutations (see ``_GENERATION``)."""
+    return _GENERATION
 
 
 def _canonical_key(name: str) -> str:
@@ -151,6 +162,8 @@ def register_policy(
     for alias in (key,) + spec.aliases:
         _ALIASES[alias] = key
     _REGISTRY[key] = spec
+    global _GENERATION
+    _GENERATION += 1
     return spec
 
 
@@ -179,6 +192,8 @@ def unregister_policy(name: str) -> None:
     for alias in (key,) + spec.aliases:
         if _ALIASES.get(alias) == key:
             del _ALIASES[alias]
+    global _GENERATION
+    _GENERATION += 1
 
 
 def _known_names() -> Tuple[str, ...]:

@@ -26,16 +26,23 @@ from repro.geometry.layout import (
     exit_approach,
     turn_for,
 )
-from repro.geometry.tiles import TileGrid, TileReservations
+from repro.geometry.tiles import (
+    DictTileReservations,
+    TileFootprint,
+    TileGrid,
+    TileReservations,
+)
 
 __all__ = [
     "Approach",
     "ConflictInterval",
     "ConflictTable",
+    "DictTileReservations",
     "IntersectionGeometry",
     "Movement",
     "OrientedRect",
     "Path",
+    "TileFootprint",
     "TileGrid",
     "TileReservations",
     "Turn",

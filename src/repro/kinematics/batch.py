@@ -1,0 +1,215 @@
+"""Batched (numpy cohort) versions of the Ch 6 arrival kinematics.
+
+The analytic engine (:mod:`repro.sim.analytic`) plans *populations* of
+vehicles: every arrival needs its free-flow transit bound, and cohorts
+of queued vehicles need cruise velocities solved per reassignment.
+Calling the scalar solvers of :mod:`repro.kinematics.arrival` one
+vehicle at a time makes the planner the hot loop; these cohort versions
+answer a whole arrival array per call.
+
+Every function is elementwise **bit-identical** to its scalar
+counterpart (``tests/test_kinematics_batch.py`` pins this):
+
+* identical IEEE-754 float64 expressions in identical order (both
+  branches of each scalar ``if`` are evaluated and selected with
+  :func:`numpy.where`, which is exact — selection never re-rounds);
+* ``None`` / infeasible results become ``NaN`` (and ``math.inf`` stays
+  ``inf``);
+* :func:`solve_cruise_velocity_batch` reproduces the scalar bisection
+  *including* its early-exit tolerance break, by freezing converged
+  lanes with an active mask instead of breaking out of the loop.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = [
+    "earliest_arrival_time_batch",
+    "latest_arrival_time_batch",
+    "solve_cruise_velocity_batch",
+    "two_phase_time_batch",
+]
+
+_EPS = 1e-9
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def _as_arrays(*values: ArrayLike) -> tuple:
+    return tuple(np.asarray(v, dtype=float) for v in values)
+
+
+def _check_inputs_batch(
+    distance: np.ndarray,
+    v_init: np.ndarray,
+    v_max: np.ndarray,
+    a_max: np.ndarray,
+) -> None:
+    if np.any(distance < 0):
+        raise ValueError("distance must be non-negative")
+    if np.any(v_init < 0):
+        raise ValueError("v_init must be non-negative")
+    if np.any(v_max <= 0):
+        raise ValueError("v_max must be positive")
+    if np.any(a_max <= 0):
+        raise ValueError("a_max must be positive")
+    if np.any(v_init > v_max + 1e-6):
+        raise ValueError("v_init exceeds v_max")
+
+
+def earliest_arrival_time_batch(
+    distance: ArrayLike,
+    v_init: ArrayLike,
+    v_max: ArrayLike,
+    a_max: ArrayLike,
+) -> np.ndarray:
+    """Vectorised :func:`repro.kinematics.arrival.earliest_arrival_time`."""
+    distance, v_init, v_max, a_max = _as_arrays(distance, v_init, v_max, a_max)
+    _check_inputs_batch(distance, v_init, v_max, a_max)
+    t_acc = (v_max - np.minimum(v_init, v_max)) / a_max
+    dx = 0.5 * a_max * t_acc ** 2 + v_init * t_acc
+    disc = v_init ** 2 + 2.0 * a_max * distance
+    with np.errstate(divide="ignore", invalid="ignore"):
+        accel_only = (-v_init + np.sqrt(disc)) / a_max
+        cruise = t_acc + (distance - dx) / v_max
+        out = np.where(dx >= distance, accel_only, cruise)
+    return np.where(distance < _EPS, 0.0, out)
+
+
+def latest_arrival_time_batch(
+    distance: ArrayLike,
+    v_init: ArrayLike,
+    v_crawl: ArrayLike,
+    d_max: ArrayLike,
+) -> np.ndarray:
+    """Vectorised :func:`repro.kinematics.arrival.latest_arrival_time`.
+
+    Parked-forever cases (``v_crawl == 0``) are ``inf``, as in the
+    scalar version.
+    """
+    distance, v_init, v_crawl, d_max = _as_arrays(distance, v_init, v_crawl, d_max)
+    if np.any(v_crawl < 0):
+        raise ValueError("v_crawl must be non-negative")
+    if np.any(d_max <= 0):
+        raise ValueError("d_max must be positive")
+    if np.any(distance < 0):
+        raise ValueError("distance must be non-negative")
+    v0 = np.maximum(v_init, v_crawl)
+    t_dec = (v0 - v_crawl) / d_max
+    dx = v0 * t_dec - 0.5 * d_max * t_dec ** 2
+    disc = np.maximum(v0 ** 2 - 2.0 * d_max * distance, 0.0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        brake_only = (v0 - np.sqrt(disc)) / d_max
+        crawl = t_dec + (distance - dx) / v_crawl
+        out = np.where(dx >= distance, brake_only, crawl)
+    return np.where(v_crawl < _EPS, np.inf, out)
+
+
+def two_phase_time_batch(
+    v: ArrayLike,
+    distance: ArrayLike,
+    v_init: ArrayLike,
+    a_max: ArrayLike,
+    d_max: ArrayLike,
+) -> np.ndarray:
+    """Vectorised :func:`repro.kinematics.arrival._two_phase_time`.
+
+    Infeasible lanes (scalar ``None``) are ``NaN``.
+    """
+    v, distance, v_init, a_max, d_max = _as_arrays(v, distance, v_init, a_max, d_max)
+    rate = np.where(v >= v_init, a_max, d_max)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t_chg = np.abs(v - v_init) / rate
+        dx = 0.5 * (v + v_init) * t_chg
+        out = t_chg + (distance - dx) / v
+    bad = (v < _EPS) | (dx > distance + 1e-7)
+    return np.where(bad, np.nan, out)
+
+
+def solve_cruise_velocity_batch(
+    distance: ArrayLike,
+    v_init: ArrayLike,
+    t_total: ArrayLike,
+    a_max: ArrayLike,
+    d_max: ArrayLike,
+    v_max: ArrayLike,
+    v_min: float = 0.05,
+    tol: float = 1e-7,
+) -> np.ndarray:
+    """Vectorised :func:`repro.kinematics.arrival.solve_cruise_velocity`.
+
+    Runs the scalar algorithm's two bisections across all lanes at
+    once.  The feasibility bisection (finding the slowest cruise whose
+    braking leg still fits before the line) is a fixed 200 iterations
+    in the scalar code, so it vectorises directly; the main bisection's
+    ``hi - lo < tol`` early break is emulated by an *active mask* —
+    converged lanes stop updating, exactly as if they had broken out —
+    so results match the scalar solver bit for bit.  Infeasible lanes
+    (scalar ``None``) are ``NaN``.
+    """
+    distance, v_init, t_total, a_max, d_max, v_max = _as_arrays(
+        distance, v_init, t_total, a_max, d_max, v_max
+    )
+    _check_inputs_batch(distance, v_init, v_max, a_max)
+    if np.any(d_max <= 0):
+        raise ValueError("d_max must be positive")
+    if not 0 < v_min <= np.min(v_max):
+        raise ValueError("need 0 < v_min <= v_max")
+    shape = np.broadcast_shapes(
+        distance.shape, v_init.shape, t_total.shape,
+        a_max.shape, d_max.shape, v_max.shape,
+    )
+    distance, v_init, t_total, a_max, d_max, v_max = (
+        np.broadcast_to(x, shape).astype(float)
+        for x in (distance, v_init, t_total, a_max, d_max, v_max)
+    )
+
+    def T(v: np.ndarray) -> np.ndarray:
+        return two_phase_time_batch(v, distance, v_init, a_max, d_max)
+
+    invalid = t_total <= 0
+    v_reach = np.sqrt(v_init ** 2 + 2.0 * a_max * distance)
+    v_hi = np.minimum(v_max, v_reach)
+    t_fast = T(v_hi)
+    invalid |= np.isnan(t_fast) | (t_total < t_fast - 1e-9)
+    t_slow = T(np.full(shape, v_min))
+    need_floor = np.isnan(t_slow)
+    invalid |= ~need_floor & (t_total > t_slow + 1e-9)
+
+    # Feasibility bisection for lanes whose v_min braking leg
+    # overshoots the line (fixed 200 iterations, no break — runs for
+    # every lane, results used only where needed).
+    lo_v = np.full(shape, v_min)
+    hi_v = v_hi.copy()
+    for _ in range(200):
+        mid = 0.5 * (lo_v + hi_v)
+        mid_bad = np.isnan(T(mid))
+        lo_v = np.where(mid_bad, mid, lo_v)
+        hi_v = np.where(mid_bad, hi_v, mid)
+    v_floor = hi_v
+    t_floor = T(v_floor)
+    invalid |= need_floor & (np.isnan(t_floor) | (t_total > t_floor + 1e-9))
+
+    lo = np.where(need_floor, v_floor, np.full(shape, v_min))
+    hi = v_hi.copy()
+
+    # Main bisection: T(lo) >= t_total >= T(hi); lanes freeze once
+    # hi - lo < tol (the scalar loop's break), or on invalid inputs.
+    active = ~invalid
+    for _ in range(200):
+        if not active.any():
+            break
+        mid = 0.5 * (lo + hi)
+        t_mid = T(mid)
+        none_mid = np.isnan(t_mid)
+        go_up = none_mid | (t_mid > t_total)
+        lo = np.where(active & go_up, mid, lo)
+        hi = np.where(active & ~go_up, mid, hi)
+        # The scalar loop `continue`s past the break check when the
+        # probe was infeasible, so converged-but-None lanes stay live.
+        active &= none_mid | ~(hi - lo < tol)
+    out = 0.5 * (lo + hi)
+    return np.where(invalid, np.nan, out)

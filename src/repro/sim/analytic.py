@@ -34,6 +34,7 @@ from repro.kinematics.arrival import (
     solve_vt_for_toa,
     vt_plan,
 )
+from repro.kinematics.batch import earliest_arrival_time_batch
 from repro.sim.metrics import SimResult
 from repro.traffic.generator import Arrival
 from repro.vehicle.record import VehicleRecord
@@ -138,7 +139,8 @@ def run_analytic(
     states: Dict[int, _VehicleState] = {}
     records: Dict[int, VehicleRecord] = {}
     pending: List = []
-    for index, arrival in enumerate(sorted(arrivals, key=lambda a: a.time)):
+    ordered = sorted(arrivals, key=lambda a: a.time)
+    for index, arrival in enumerate(ordered):
         states[index] = _VehicleState(
             arrival=arrival,
             index=index,
@@ -146,19 +148,26 @@ def run_analytic(
             velocity=min(arrival.speed, arrival.spec.v_max),
             time=arrival.time,
         )
-        spec = arrival.spec
         record = VehicleRecord(
             vehicle_id=index,
             movement_key=arrival.movement.key,
             spawn_time=arrival.time,
             spawn_speed=min(arrival.speed, arrival.spec.v_max),
         )
-        total = approach + geometry.crossing_distance(arrival.movement) + spec.length
-        record.ideal_transit = earliest_arrival_time(
-            total, record.spawn_speed, spec.v_max, spec.a_max
-        )
         records[index] = record
         pending.append((arrival.time, index, 0))
+    if ordered:
+        # The whole arrival list's free-flow transit bounds in one
+        # cohort call (bit-identical to per-vehicle scalar calls).
+        ideal = earliest_arrival_time_batch(
+            [approach + geometry.crossing_distance(a.movement) + a.spec.length
+             for a in ordered],
+            [records[i].spawn_speed for i in range(len(ordered))],
+            [a.spec.v_max for a in ordered],
+            [a.spec.a_max for a in ordered],
+        )
+        for index in records:
+            records[index].ideal_transit = float(ideal[index])
 
     import heapq
 

@@ -1,0 +1,136 @@
+"""Scalar-vs-batch equivalence for the cohort kinematics.
+
+Every function in :mod:`repro.kinematics.batch` must agree with its
+scalar :mod:`repro.kinematics.arrival` counterpart elementwise — not
+merely within tolerance but *bit for bit* (the batch code performs the
+identical IEEE-754 operations), with ``NaN`` standing in for ``None``.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.kinematics.arrival import (
+    _two_phase_time,
+    earliest_arrival_time,
+    latest_arrival_time,
+    solve_cruise_velocity,
+)
+from repro.kinematics.batch import (
+    earliest_arrival_time_batch,
+    latest_arrival_time_batch,
+    solve_cruise_velocity_batch,
+    two_phase_time_batch,
+)
+
+
+def random_cohort(seed, count=300):
+    rng = np.random.default_rng(seed)
+    distance = rng.uniform(0.0, 12.0, count)
+    # Sprinkle exact zeros and tiny distances (the < _EPS branch).
+    distance[:: 17] = 0.0
+    distance[1 :: 17] = 5e-10
+    v_max = rng.uniform(0.3, 2.5, count)
+    v_init = rng.uniform(0.0, 1.0, count) * v_max
+    a_max = rng.uniform(0.1, 3.0, count)
+    d_max = rng.uniform(0.1, 3.0, count)
+    return distance, v_init, v_max, a_max, d_max
+
+
+class TestEarliestArrival:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_bit_identical_to_scalar(self, seed):
+        distance, v_init, v_max, a_max, _ = random_cohort(seed)
+        batch = earliest_arrival_time_batch(distance, v_init, v_max, a_max)
+        for k in range(len(distance)):
+            scalar = earliest_arrival_time(
+                distance[k], v_init[k], v_max[k], a_max[k]
+            )
+            assert batch[k] == scalar, k
+
+    def test_scalar_broadcast(self):
+        batch = earliest_arrival_time_batch([1.0, 2.0, 4.0], 0.2, 1.5, 0.8)
+        for k, d in enumerate([1.0, 2.0, 4.0]):
+            assert batch[k] == earliest_arrival_time(d, 0.2, 1.5, 0.8)
+
+    def test_validation_raised(self):
+        with pytest.raises(ValueError):
+            earliest_arrival_time_batch([1.0, -0.1], 0.2, 1.5, 0.8)
+        with pytest.raises(ValueError):
+            earliest_arrival_time_batch(1.0, 0.2, [1.5, -1.0], 0.8)
+
+
+class TestLatestArrival:
+    @pytest.mark.parametrize("seed", [4, 5])
+    def test_bit_identical_to_scalar(self, seed):
+        distance, v_init, _, _, d_max = random_cohort(seed)
+        rng = np.random.default_rng(seed + 100)
+        v_crawl = rng.uniform(0.0, 0.5, len(distance))
+        v_crawl[::11] = 0.0  # the parked-forever (inf) branch
+        batch = latest_arrival_time_batch(distance, v_init, v_crawl, d_max)
+        for k in range(len(distance)):
+            scalar = latest_arrival_time(
+                distance[k], v_init[k], v_crawl[k], d_max[k]
+            )
+            assert batch[k] == scalar or (
+                math.isinf(batch[k]) and math.isinf(scalar)
+            ), k
+
+
+class TestTwoPhaseTime:
+    @pytest.mark.parametrize("seed", [6, 7])
+    def test_bit_identical_to_scalar(self, seed):
+        distance, v_init, v_max, a_max, d_max = random_cohort(seed)
+        rng = np.random.default_rng(seed + 200)
+        v = rng.uniform(0.0, 1.2, len(distance)) * np.maximum(v_max, 0.1)
+        v[::13] = 0.0  # the v < eps (None) branch
+        batch = two_phase_time_batch(v, distance, v_init, a_max, d_max)
+        for k in range(len(distance)):
+            scalar = _two_phase_time(
+                v[k], distance[k], v_init[k], a_max[k], d_max[k]
+            )
+            if scalar is None:
+                assert math.isnan(batch[k]), k
+            else:
+                assert batch[k] == scalar, k
+
+
+class TestSolveCruiseVelocity:
+    @pytest.mark.parametrize("seed", [8, 9, 10])
+    def test_bit_identical_to_scalar(self, seed):
+        distance, v_init, v_max, a_max, d_max = random_cohort(seed, count=150)
+        # Strictly positive distances (the scalar solver's domain here).
+        distance = np.maximum(distance, 0.05)
+        rng = np.random.default_rng(seed + 300)
+        # Mix of infeasible (too early / too late) and feasible targets.
+        t_total = rng.uniform(-0.5, 30.0, len(distance))
+        batch = solve_cruise_velocity_batch(
+            distance, v_init, t_total, a_max, d_max, v_max
+        )
+        feasible = 0
+        for k in range(len(distance)):
+            scalar = solve_cruise_velocity(
+                distance[k], v_init[k], t_total[k], a_max[k], d_max[k], v_max[k]
+            )
+            if scalar is None:
+                assert math.isnan(batch[k]), k
+            else:
+                feasible += 1
+                assert batch[k] == scalar, k
+        assert feasible > 10  # the cohort actually exercises the solver
+
+    def test_solution_achieves_requested_time(self):
+        """Solved velocities reproduce the requested arrival times."""
+        v = solve_cruise_velocity_batch(
+            [3.0, 5.0], [0.4, 0.8], [6.0, 9.0], 0.75, 1.5, 1.5
+        )
+        for k, (d, v0, t) in enumerate([(3.0, 0.4, 6.0), (5.0, 0.8, 9.0)]):
+            t_check = _two_phase_time(float(v[k]), d, v0, 0.75, 1.5)
+            assert t_check == pytest.approx(t, abs=1e-5)
+
+    def test_validation_raised(self):
+        with pytest.raises(ValueError):
+            solve_cruise_velocity_batch(1.0, 0.2, 5.0, 0.75, -1.0, 1.5)
+        with pytest.raises(ValueError):
+            solve_cruise_velocity_batch(1.0, 0.2, 5.0, 0.75, 1.5, 1.5, v_min=0.0)

@@ -12,12 +12,14 @@ import pytest
 
 from repro.geometry import Approach, Movement, Turn
 from repro.sim.flowsweep import run_flow_sweep
+import repro.sim.parallel as parallel_mod
 from repro.sim.parallel import (
     JOBS_ENV_VAR,
     ParallelRunner,
     RunTask,
     resolve_jobs,
     run_tasks,
+    shutdown_pool,
 )
 from repro.sim.replication import replicate, run_replicated
 from repro.traffic import Arrival
@@ -123,6 +125,118 @@ def _raise_zero_div():
 
 def _add(a, b=0):
     return a + b
+
+
+class TestPersistentPool:
+    """The pool must be created once and reused across map() calls."""
+
+    def tasks(self, values):
+        return [RunTask(square, (v,)) for v in values]
+
+    def test_pool_reused_across_maps(self):
+        shutdown_pool()
+        runner = ParallelRunner(jobs=2)
+        runner.map(self.tasks(range(4)))
+        if not runner.used_parallel:
+            pytest.skip(f"no pool available: {runner.fallback_reason}")
+        spawns = parallel_mod.POOL_SPAWNS
+        for _ in range(3):
+            runner.map(self.tasks(range(4)))
+        assert parallel_mod.POOL_SPAWNS == spawns
+
+    def test_pool_shared_between_runners(self):
+        shutdown_pool()
+        a = ParallelRunner(jobs=2)
+        a.map(self.tasks(range(4)))
+        if not a.used_parallel:
+            pytest.skip(f"no pool available: {a.fallback_reason}")
+        spawns = parallel_mod.POOL_SPAWNS
+        b = ParallelRunner(jobs=2)
+        b.map(self.tasks(range(4)))
+        assert parallel_mod.POOL_SPAWNS == spawns
+
+    def test_worker_count_change_recreates_pool(self):
+        shutdown_pool()
+        runner = ParallelRunner(jobs=2)
+        runner.map(self.tasks(range(4)))
+        if not runner.used_parallel:
+            pytest.skip(f"no pool available: {runner.fallback_reason}")
+        spawns = parallel_mod.POOL_SPAWNS
+        other = ParallelRunner(jobs=3)
+        other.map(self.tasks(range(6)))
+        if other.used_parallel:
+            assert parallel_mod.POOL_SPAWNS == spawns + 1
+
+    def test_registry_mutation_recreates_pool(self):
+        """Workers fork a snapshot of the policy registry; registering
+        a plugin after the pool spawned must force a fresh pool so the
+        plugin resolves inside workers (regression: plugin sweeps
+        crashed once the pool became persistent)."""
+        from repro.core.registry import register_policy, unregister_policy
+
+        shutdown_pool()
+        runner = ParallelRunner(jobs=2)
+        runner.map(self.tasks(range(4)))
+        if not runner.used_parallel:
+            pytest.skip(f"no pool available: {runner.fallback_reason}")
+        spawns = parallel_mod.POOL_SPAWNS
+        register_policy(
+            "pool-gen-probe", lambda *a, **k: None, object,
+            extension=True, provider=__name__,
+        )
+        try:
+            assert runner.map(self.tasks(range(4))) == [0, 1, 4, 9]
+            if runner.used_parallel:
+                assert parallel_mod.POOL_SPAWNS == spawns + 1
+        finally:
+            unregister_policy("pool-gen-probe")
+
+    def test_shutdown_then_map_restarts(self):
+        runner = ParallelRunner(jobs=2)
+        runner.map(self.tasks(range(4)))
+        shutdown_pool()
+        assert runner.map(self.tasks(range(4))) == [0, 1, 4, 9]
+
+    def test_unpicklable_leaves_pool_usable(self):
+        """A pickling failure must not poison the shared pool."""
+        runner = ParallelRunner(jobs=2)
+        bad = [RunTask(lambda v=v: v) for v in range(3)]
+        assert runner.map(bad) == [0, 1, 2]
+        assert "unpicklable" in runner.fallback_reason
+        good = runner.map(self.tasks(range(4)))
+        assert good == [0, 1, 4, 9]
+
+
+class TestChunking:
+    def tasks(self, values):
+        return [RunTask(square, (v,)) for v in values]
+
+    def test_explicit_chunk_size_preserves_order(self):
+        runner = ParallelRunner(jobs=2, chunk_size=3)
+        assert runner.map(self.tasks(range(10))) == [v * v for v in range(10)]
+
+    def test_chunk_size_larger_than_tasks(self):
+        runner = ParallelRunner(jobs=2, chunk_size=100)
+        assert runner.map(self.tasks(range(5))) == [v * v for v in range(5)]
+
+    def test_auto_chunking_covers_all_tasks(self):
+        runner = ParallelRunner(jobs=2)
+        for count in (2, 3, 7, 16, 33):
+            assert runner.map(self.tasks(range(count))) == [
+                v * v for v in range(count)
+            ]
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(jobs=2, chunk_size=0)
+
+    def test_exception_in_chunk_propagates(self):
+        runner = ParallelRunner(jobs=2, chunk_size=2)
+        with pytest.raises(ZeroDivisionError):
+            runner.map(
+                [RunTask(square, (1,)), RunTask(_raise_zero_div, ()),
+                 RunTask(square, (2,)), RunTask(square, (3,))]
+            )
 
 
 def summaries(sweep):
