@@ -33,6 +33,17 @@ from repro.grid import (
     sweep_grid,
 )
 from repro.perf import PerfCounters
+from repro.scenarios import (
+    BehaviourSpec,
+    SafetyOracle,
+    ScenarioResult,
+    ScenarioSpec,
+    SpawnSpec,
+    TrafficSpec,
+    Violation,
+    run_spec,
+    scale_model_specs,
+)
 from repro.sensors import SafetyBufferCalculator
 from repro.sim import (
     ParallelRunner,
@@ -57,6 +68,7 @@ __all__ = [
     "AimIM",
     "Approach",
     "Arrival",
+    "BehaviourSpec",
     "CrossroadsIM",
     "GridPoissonTraffic",
     "GridResult",
@@ -69,12 +81,18 @@ __all__ = [
     "PoissonTraffic",
     "RunTask",
     "SafetyBufferCalculator",
+    "SafetyOracle",
     "Scenario",
+    "ScenarioResult",
+    "ScenarioSpec",
     "SimResult",
+    "SpawnSpec",
     "TraceRecorder",
+    "TrafficSpec",
     "Turn",
     "VehicleInfo",
     "VehicleSpec",
+    "Violation",
     "VtimIM",
     "World",
     "WorldConfig",
@@ -87,7 +105,9 @@ __all__ = [
     "run_grid",
     "run_replicated",
     "run_scenario",
+    "run_spec",
     "scale_model_scenarios",
+    "scale_model_specs",
     "sweep_grid",
     "__version__",
 ]

@@ -104,6 +104,34 @@ def build_parser() -> argparse.ArgumentParser:
                       help="also write the resolved GridSpec as JSON")
     _add_plugin_argument(grid)
 
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="scenario fuzzer: sample the scenario DSL, shrink failures, "
+             "persist minimal reproducers",
+    )
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="sampler seed; the whole session is replayable "
+                           "from it (default: 0)")
+    fuzz.add_argument("--examples", type=int, default=25,
+                      help="maximum scenarios to draw (default: 25)")
+    fuzz.add_argument("--budget", type=float, default=None, metavar="SECONDS",
+                      help="wall-clock budget; stop drawing once it elapses")
+    fuzz.add_argument("--policies", nargs="+",
+                      default=["crossroads", "vt-im", "aim"])
+    fuzz.add_argument("--max-cars", type=int, default=8,
+                      help="traffic volume ceiling per draw (default: 8)")
+    fuzz.add_argument("--benign", action="store_true",
+                      help="draw only benign scenarios (clean-run property: "
+                           "any violation is a failure)")
+    fuzz.add_argument("--out", metavar="DIR", default=None,
+                      help="shrink interesting cases and persist minimal "
+                           "JSON reproducers into DIR (e.g. scenarios/found)")
+    fuzz.add_argument("--replay", metavar="DIR", default=None,
+                      help="instead of fuzzing, replay every spec under DIR "
+                           "and check its 'expect' contract")
+    fuzz.add_argument("-v", "--verbose", action="store_true",
+                      help="print every draw's outcome")
+
     scen = sub.add_parser("scenarios", help="Fig 7.1: the 10 scale-model cases")
     scen.add_argument("--repeats", type=int, default=3)
     scen.add_argument("--policies", nargs="+", default=["vt-im", "crossroads"])
@@ -465,6 +493,44 @@ def _cmd_grid(args) -> int:
     return 0 if result.safe else 1
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.scenarios import fuzz, load_library, property_failures, run_spec
+
+    if args.replay is not None:
+        specs = load_library(args.replay)
+        if not specs:
+            print(f"no scenario specs under {args.replay}", file=sys.stderr)
+            return 2
+        bad = 0
+        for spec in specs:
+            outcome = run_spec(spec)
+            status = "ok" if outcome.matches_expectation else "MISMATCH"
+            if not outcome.matches_expectation or property_failures(outcome):
+                bad += 1
+            print(f"  {status:8s} {spec.name}: {outcome}")
+        print(f"\nreplayed {len(specs)} scenario(s), {bad} failure(s)")
+        return 0 if bad == 0 else 1
+
+    report = fuzz(
+        seed=args.seed,
+        max_examples=args.examples,
+        budget_s=args.budget,
+        policies=args.policies,
+        max_cars=args.max_cars,
+        adversarial=not args.benign,
+        out_dir=args.out,
+        verbose=args.verbose,
+    )
+    print(f"draws: {report.draws} | interesting: {len(report.interesting)} | "
+          f"property failures: {len(report.failures)}")
+    for outcome in report.failures:
+        print(f"  FAIL {outcome.spec.name}: {outcome} "
+              f"(kinds: {', '.join(sorted(property_failures(outcome)))})")
+    for path in report.saved:
+        print(f"  saved {path}")
+    return 0 if report.ok else 1
+
+
 def _cmd_scenarios(args) -> int:
     from repro.analysis import render_table
     from repro.sim import run_scenario
@@ -551,6 +617,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "sweep": _cmd_sweep,
     "grid": _cmd_grid,
+    "fuzz": _cmd_fuzz,
     "scenarios": _cmd_scenarios,
     "buffer": _cmd_buffer,
     "info": _cmd_info,

@@ -178,6 +178,19 @@ class ConflictScheduler:
         """Currently retained reservations (oldest first)."""
         return list(self._book)
 
+    def holds(self, vehicle_id: int) -> bool:
+        """True while ``vehicle_id`` has a committed reservation.
+
+        The safety oracle uses this as the IM-side ground truth when a
+        vehicle's body crosses the stop line: an entry without a live
+        reservation is a protocol violation (or a scripted rogue).
+        """
+        return vehicle_id in self._by_vehicle
+
+    def reservation_for(self, vehicle_id: int) -> Optional[ScheduledCrossing]:
+        """The vehicle's committed reservation, or None."""
+        return self._by_vehicle.get(vehicle_id)
+
     def release(self, vehicle_id: int) -> bool:
         """Drop a vehicle's reservation (on exit notification)."""
         entry = self._by_vehicle.pop(vehicle_id, None)

@@ -723,6 +723,14 @@ class TileReservations:
         return out
 
     # -- public API --------------------------------------------------------
+    def holds(self, vehicle_id: int) -> bool:
+        """True while ``vehicle_id`` has live (tile, slot) claims.
+
+        IM-side ground truth for the safety oracle: an AIM vehicle
+        entering the box without claims is an ungranted entry.
+        """
+        return bool(self._blocks.get(vehicle_id))
+
     def conflicts(self, cells, vehicle_id: int) -> bool:
         """True if any cell is already claimed by a *different* vehicle.
 
@@ -902,6 +910,10 @@ class DictTileReservations:
     def claim_count(self) -> int:
         """Number of live (tile, slot) claims."""
         return len(self._claims)
+
+    def holds(self, vehicle_id: int) -> bool:
+        """True while ``vehicle_id`` has live (tile, slot) claims."""
+        return bool(self._by_vehicle.get(vehicle_id))
 
     def conflicts(
         self, cells: Iterable[Tuple[TileIndex, int]], vehicle_id: int

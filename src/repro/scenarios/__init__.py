@@ -1,0 +1,74 @@
+"""Declarative scenarios, adversarial behaviours and the safety fuzzer.
+
+The layer every workload should eventually spawn from: a
+:class:`ScenarioSpec` describes spawn distributions, scripted
+per-vehicle misbehaviour, fault regimes and oracle expectations as
+pure data (JSON round-trip, no parser); :func:`run_spec` compiles and
+runs it with the :class:`SafetyOracle` attached; :func:`fuzz` samples
+the DSL, shrinks failures and persists minimal reproducers into the
+checked-in ``scenarios/`` library.
+
+A null scenario is bit-identical to the equivalent direct
+``run_scenario`` call — the DSL adds vocabulary, never noise.
+"""
+
+from repro.scenarios.behaviours import BEHAVIOURS, install
+from repro.scenarios.fuzz import (
+    FuzzReport,
+    fuzz,
+    is_benign,
+    property_failures,
+    random_spec,
+    shrink,
+)
+from repro.scenarios.library import (
+    load_library,
+    random_fault_spec,
+    red_light_runner_spec,
+    scale_model_specs,
+)
+from repro.scenarios.oracle import VIOLATION_KINDS, SafetyOracle, Violation
+from repro.scenarios.runner import (
+    ScenarioResult,
+    build_world,
+    run_spec,
+    run_spec_replicated,
+)
+from repro.scenarios.spec import (
+    BEHAVIOUR_KINDS,
+    BehaviourSpec,
+    ScenarioSpec,
+    SpawnSpec,
+    TrafficSpec,
+    fault_config_from_dict,
+    fault_config_to_dict,
+)
+
+__all__ = [
+    "BEHAVIOURS",
+    "BEHAVIOUR_KINDS",
+    "BehaviourSpec",
+    "FuzzReport",
+    "SafetyOracle",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "SpawnSpec",
+    "TrafficSpec",
+    "VIOLATION_KINDS",
+    "Violation",
+    "build_world",
+    "fault_config_from_dict",
+    "fault_config_to_dict",
+    "fuzz",
+    "install",
+    "is_benign",
+    "load_library",
+    "property_failures",
+    "random_fault_spec",
+    "random_spec",
+    "red_light_runner_spec",
+    "run_spec",
+    "run_spec_replicated",
+    "scale_model_specs",
+    "shrink",
+]

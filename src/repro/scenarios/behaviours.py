@@ -1,0 +1,140 @@
+"""The adversarial behaviour-hook library.
+
+Each behaviour is a DES process attached to one spawned vehicle via the
+world's ``on_spawn`` hook.  Behaviours script *misbehaviour* — they
+bypass the protocol stack on purpose, so the safety oracle (and the
+fuzzer built on it) has real violations to detect.  None of them draws
+from a random stream: a scenario with behaviours differs from its
+benign twin only through the scripted actions themselves.
+
+Knob semantics per kind (``BehaviourSpec.start/duration/value``):
+
+``run_red_light``
+    At sim-time ``start`` the vehicle cancels any reservation and
+    self-commits a cruise plan at ``value`` m/s (0 -> its approach
+    speed) with **no IM grant** — the classic TE-window violator.  The
+    plan is then frozen so a late grant cannot legitimise the entry.
+``stall_in_box``
+    Once the front bumper is ``value`` metres past the stop line, the
+    vehicle commands zero velocity for ``duration`` seconds (dead
+    engine in the box), then resumes tracking its (now stale) plan.
+``emergency_preempt``
+    Like ``run_red_light`` at ``value`` m/s (0 -> v_max), but flagged
+    as an emergency: the oracle exempts it from the TE-window
+    invariant while still collision-checking it.
+``sensor_dropout``
+    From ``start`` the odometry freezes for ``duration`` seconds: the
+    plant keeps moving but ``measured_position()`` reports the value
+    at dropout onset, so plan tracking and the safe-stop clause act on
+    stale state mid-approach.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.network.messages import CancelReservation
+from repro.scenarios.spec import BehaviourSpec
+
+__all__ = ["BEHAVIOURS", "install"]
+
+
+def _cancel_reservation(vehicle) -> None:
+    vehicle.radio.send(
+        CancelReservation(
+            sender=vehicle.radio.address, receiver=vehicle.im_address
+        )
+    )
+
+
+def _hijack_plan(vehicle, speed: float) -> None:
+    """Self-commit a cruise plan and freeze it against later grants."""
+    spec = vehicle.info.spec
+    v = min(speed if speed > 0 else max(vehicle.approach_speed, 1.0),
+            spec.v_max)
+    vehicle._commit_cruise_plan(v)
+    # Shadow _set_plan on the instance: an in-flight IM reply landing
+    # after the hijack must not replace the rogue plan (the point of
+    # the behaviour is an entry the IM never sanctioned).
+    vehicle._set_plan = lambda plan: None
+
+
+def _run_red_light(world, vehicle, spec: BehaviourSpec):
+    delay = spec.start - world.env.now
+    if delay > 0:
+        yield world.env.timeout(delay)
+    if vehicle.done:
+        return
+    vehicle._scenario_rogue = True
+    _cancel_reservation(vehicle)
+    _hijack_plan(vehicle, spec.value)
+
+
+def _emergency_preempt(world, vehicle, spec: BehaviourSpec):
+    delay = spec.start - world.env.now
+    if delay > 0:
+        yield world.env.timeout(delay)
+    if vehicle.done:
+        return
+    vehicle._scenario_emergency = True
+    _cancel_reservation(vehicle)
+    _hijack_plan(vehicle, spec.value if spec.value > 0
+                 else vehicle.info.spec.v_max)
+
+
+def _stall_in_box(world, vehicle, spec: BehaviourSpec):
+    dt = vehicle.config.dt
+    target = vehicle.approach_length + max(spec.value, 0.0)
+    while not vehicle.done and vehicle.front < target:
+        yield world.env.timeout(dt)
+    if vehicle.done:
+        return
+    vehicle._scenario_stalled = True
+    vehicle._commanded_velocity = lambda: 0.0
+    yield world.env.timeout(spec.duration)
+    # Restore the class method; the tracking loop then recovers the
+    # accumulated plan lag (clipped at the plant's velocity limit).
+    vehicle.__dict__.pop("_commanded_velocity", None)
+
+
+def _sensor_dropout(world, vehicle, spec: BehaviourSpec):
+    delay = spec.start - world.env.now
+    if delay > 0:
+        yield world.env.timeout(delay)
+    if vehicle.done:
+        return
+    vehicle._scenario_dropout = True
+    frozen = vehicle.plant.measured_position()
+    vehicle.plant.measured_position = lambda: frozen
+    yield world.env.timeout(spec.duration)
+    vehicle.plant.__dict__.pop("measured_position", None)
+
+
+#: kind -> generator(world, vehicle, spec) (a DES process body).
+BEHAVIOURS = {
+    "run_red_light": _run_red_light,
+    "stall_in_box": _stall_in_box,
+    "emergency_preempt": _emergency_preempt,
+    "sensor_dropout": _sensor_dropout,
+}
+
+
+def install(world, behaviours: Sequence[BehaviourSpec]) -> None:
+    """Wire behaviour processes into a (not yet run) world.
+
+    Sets ``world.on_spawn`` so each targeted vehicle gets its scripted
+    processes the moment it spawns.  With an empty behaviour list this
+    is a no-op — the hook stays ``None`` and the run is bit-identical
+    to an uninstrumented one.
+    """
+    by_vid: Dict[int, List[BehaviourSpec]] = {}
+    for b in behaviours:
+        by_vid.setdefault(b.vehicle_id, []).append(b)
+    if not by_vid:
+        return
+
+    def hook(vehicle):
+        for b in by_vid.get(vehicle.info.vehicle_id, ()):
+            world.env.process(BEHAVIOURS[b.kind](world, vehicle, b))
+
+    world.on_spawn = hook

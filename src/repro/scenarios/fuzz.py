@@ -1,0 +1,254 @@
+"""Scenario fuzzing: seed-keyed sampling, shrinking, persistence.
+
+The sampler draws :class:`~repro.scenarios.ScenarioSpec` s from the
+whole DSL — traffic distributions, adversarial behaviours, fault
+regimes — deterministically per seed.  The test suite drives it with
+hypothesis (``-m fuzz``); the ``repro fuzz`` CLI drives it with a plain
+seeded loop so fuzzing works without the optional test dependencies.
+
+Two verdicts are kept apart:
+
+* a **property failure** is a bug in the protocols: a
+  ``reservation_overlap`` anywhere, or *any* violation on a benign
+  (no-behaviour, no-fault) scenario.  These fail the fuzz run.
+* an **interesting** outcome is any scenario whose oracle fired — most
+  are scripted rogues doing exactly what they were told.  Interesting
+  cases are shrunk to minimal reproducers and persisted as JSON (with
+  ``expect`` recording the violation kinds) into the checked-in
+  scenario library, where the replay suite pins them forever.
+
+Shrinking is greedy and re-verifies the target violation kinds after
+every candidate edit: drop behaviours one by one, drop the fault
+config, clear overrides, then halve the traffic volume — each step
+keeps the candidate only if the shrunk scenario still reproduces every
+target kind.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.faults.schedule import random_fault_config
+from repro.scenarios.runner import ScenarioResult, run_spec
+from repro.scenarios.spec import BEHAVIOUR_KINDS, BehaviourSpec, ScenarioSpec, TrafficSpec
+
+__all__ = [
+    "FuzzReport",
+    "fuzz",
+    "is_benign",
+    "property_failures",
+    "random_spec",
+    "shrink",
+]
+
+DEFAULT_POLICIES = ("crossroads", "vt-im", "aim")
+
+
+def random_spec(
+    rng: np.random.Generator,
+    index: int = 0,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    max_cars: int = 8,
+    adversarial: bool = True,
+) -> ScenarioSpec:
+    """Draw one scenario from the DSL (deterministic per RNG state).
+
+    With ``adversarial=False`` only benign Poisson scenarios are drawn
+    (the clean-run property); otherwise roughly half the draws carry
+    scripted behaviours and/or a random fault regime.
+    """
+    policy = policies[int(rng.integers(len(policies)))]
+    cars = int(rng.integers(3, max_cars + 1))
+    traffic = TrafficSpec(
+        flow=float(rng.uniform(0.1, 0.8)),
+        cars=cars,
+        seed=int(rng.integers(2 ** 31)),
+    )
+    behaviours: List[BehaviourSpec] = []
+    faults = None
+    if adversarial:
+        n_behaviours = int(rng.integers(0, 3))
+        for _ in range(n_behaviours):
+            kind = BEHAVIOUR_KINDS[int(rng.integers(len(BEHAVIOUR_KINDS)))]
+            behaviours.append(
+                BehaviourSpec(
+                    kind=kind,
+                    vehicle_id=int(rng.integers(cars)),
+                    start=float(rng.uniform(0.0, 6.0)),
+                    duration=float(rng.uniform(1.0, 4.0)),
+                    value=float(rng.uniform(0.0, 3.0)),
+                )
+            )
+        if rng.random() < 0.4:
+            faults = random_fault_config(rng, horizon=20.0)
+    return ScenarioSpec(
+        name=f"fuzz-{index}",
+        traffic=traffic,
+        policy=policy,
+        seed=int(rng.integers(2 ** 31)),
+        behaviours=tuple(behaviours),
+        faults=faults,
+        # Bounded horizon for scripted runs; benign draws keep the
+        # null-compile path (no override at all).
+        max_sim_time=120.0 if (behaviours or faults is not None) else None,
+    )
+
+
+def is_benign(spec: ScenarioSpec) -> bool:
+    """No scripted misbehaviour and no fault regime."""
+    return not spec.behaviours and spec.faults is None
+
+
+def property_failures(outcome: ScenarioResult) -> Set[str]:
+    """Violation kinds that indicate a *protocol* bug (not a scripted
+    rogue doing its job)."""
+    kinds = outcome.kinds
+    bad = {"reservation_overlap"} & kinds
+    if is_benign(outcome.spec):
+        bad |= kinds
+    return bad
+
+
+# -- shrinking ----------------------------------------------------------------
+
+def _candidates(spec: ScenarioSpec) -> List[ScenarioSpec]:
+    """Single-edit shrink candidates, most aggressive first.
+
+    ``replace()`` revalidates the spec; an edit that produces an
+    invalid scenario (e.g. shrinking the traffic below a behaviour's
+    ``vehicle_id``) is silently skipped.
+    """
+    out: List[ScenarioSpec] = []
+
+    def add(**changes) -> None:
+        try:
+            out.append(replace(spec, **changes))
+        except ValueError:
+            pass
+
+    for i in range(len(spec.behaviours)):
+        add(behaviours=spec.behaviours[:i] + spec.behaviours[i + 1:])
+    if spec.faults is not None:
+        add(faults=None)
+    if spec.clock_offset_bound is not None or spec.clock_drift_bound is not None:
+        add(clock_offset_bound=None, clock_drift_bound=None)
+    traffic = spec.traffic
+    if traffic.kind == "poisson" and traffic.cars > 1:
+        for cars in sorted({traffic.cars // 2, traffic.cars - 1}):
+            if cars >= 1:
+                add(traffic=replace(traffic, cars=cars))
+    return out
+
+
+def shrink(
+    spec: ScenarioSpec,
+    target_kinds: Set[str],
+    max_runs: int = 48,
+) -> Tuple[ScenarioSpec, int]:
+    """Greedily minimise ``spec`` while every target kind reproduces.
+
+    Returns ``(minimal_spec, runs_used)``.  Every accepted edit was
+    re-verified by a full run, so the returned spec deterministically
+    reproduces ``target_kinds`` from its recorded seeds.
+    """
+    if not target_kinds:
+        raise ValueError("need at least one target violation kind")
+    runs = 0
+    improved = True
+    while improved and runs < max_runs:
+        improved = False
+        for candidate in _candidates(spec):
+            if runs >= max_runs:
+                break
+            runs += 1
+            if target_kinds <= run_spec(candidate).kinds:
+                spec = candidate
+                improved = True
+                break
+    return spec, runs
+
+
+# -- the fuzz loop ------------------------------------------------------------
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz session."""
+
+    draws: int = 0
+    #: Scenarios whose oracle fired (scripted rogues included).
+    interesting: List[ScenarioResult] = field(default_factory=list)
+    #: Subset indicating real protocol bugs (see module docstring).
+    failures: List[ScenarioResult] = field(default_factory=list)
+    #: Paths of newly persisted minimal reproducers.
+    saved: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _persist(spec: ScenarioSpec, kinds: Set[str], out_dir: str, draw: int) -> Optional[str]:
+    """Write a minimal reproducer (skip if the name already exists)."""
+    tag = "-".join(sorted(kinds))
+    name = f"found-{tag}-{spec.policy}-s{spec.seed}"
+    path = os.path.join(out_dir, f"{name}.json")
+    if os.path.exists(path):
+        return None
+    os.makedirs(out_dir, exist_ok=True)
+    final = replace(spec, name=name, expect=tuple(sorted(kinds)))
+    final.to_json(path)
+    return path
+
+
+def fuzz(
+    seed: int = 0,
+    max_examples: int = 25,
+    budget_s: Optional[float] = None,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    max_cars: int = 8,
+    adversarial: bool = True,
+    out_dir: Optional[str] = None,
+    shrink_runs: int = 32,
+    verbose: bool = False,
+) -> FuzzReport:
+    """Sample-run-shrink loop (the engine behind ``repro fuzz``).
+
+    Stops after ``max_examples`` draws or once ``budget_s`` wall
+    seconds elapse, whichever comes first.  With ``out_dir`` set, every
+    interesting case is shrunk and persisted as a JSON reproducer.
+    """
+    import time
+
+    rng = np.random.default_rng(seed)
+    report = FuzzReport()
+    deadline = (time.monotonic() + budget_s) if budget_s is not None else None
+    for index in range(max_examples):
+        if deadline is not None and time.monotonic() >= deadline:
+            break
+        spec = random_spec(
+            rng, index=index, policies=policies, max_cars=max_cars,
+            adversarial=adversarial,
+        )
+        outcome = run_spec(spec)
+        report.draws += 1
+        if verbose:
+            print(f"  draw {index}: {outcome}")
+        if property_failures(outcome):
+            report.failures.append(outcome)
+        if not outcome.kinds:
+            continue
+        report.interesting.append(outcome)
+        if out_dir is not None:
+            minimal, _ = shrink(spec, outcome.kinds, max_runs=shrink_runs)
+            # Record what the *minimal* spec actually produces (a
+            # shrink can add kinds beyond the target set); the replay
+            # suite then pins exact reproduction, not a subset.
+            final_kinds = run_spec(minimal).kinds
+            path = _persist(minimal, final_kinds, out_dir, index)
+            if path is not None:
+                report.saved.append(path)
+    return report

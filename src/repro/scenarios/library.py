@@ -1,0 +1,122 @@
+"""Builders and loaders for the checked-in scenario library.
+
+The repository ships a ``scenarios/`` directory of JSON
+:class:`~repro.scenarios.ScenarioSpec` files: the ten scale-model
+cases of Fig 7.1 as declarative specs, the canonical adversarial
+cases, and minimal reproducers persisted by the fuzzer.  The replay
+suite (``tests/test_scenario_fuzz.py``) runs every entry and checks
+its ``expect`` contract: benign entries replay clean, adversarial
+entries reproduce exactly their recorded violation kinds.
+
+This module also hosts the *promoted* ad-hoc setups that used to live
+as bespoke test code: the fault-matrix workload of
+``tests/test_fault_properties.py`` (:func:`random_fault_spec`) and the
+red-light-runner construction (:func:`red_light_runner_spec`).
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.faults.schedule import random_fault_config
+from repro.scenarios.spec import BehaviourSpec, ScenarioSpec, SpawnSpec, TrafficSpec
+
+__all__ = [
+    "load_library",
+    "random_fault_spec",
+    "red_light_runner_spec",
+    "scale_model_specs",
+]
+
+
+def scale_model_specs(
+    n_vehicles: int = 5,
+    seed: int = 2017,
+    policy: str = "crossroads",
+) -> List[ScenarioSpec]:
+    """The ten Fig 7.1 scenarios as declarative specs (S1..S10).
+
+    The spawn tables are frozen from
+    :func:`~repro.traffic.scale_model_scenarios`, so the DSL form and
+    the imperative form drive identical workloads.
+    """
+    from repro.traffic.scenarios import scale_model_scenarios
+
+    return [
+        ScenarioSpec(
+            name=scenario.name,
+            traffic=TrafficSpec.explicit(scenario.arrivals),
+            policy=policy,
+            seed=seed,
+        )
+        for scenario in scale_model_scenarios(n_vehicles, seed=seed)
+    ]
+
+
+def random_fault_spec(
+    policy: str,
+    seed: int,
+    n: int = 8,
+    flow: float = 0.4,
+) -> ScenarioSpec:
+    """The fault-matrix cell as a spec (promoted from the fault tests).
+
+    Compiles to exactly ``PoissonTraffic(flow, seed=seed).generate(n)``
+    under ``random_fault_config(default_rng(seed), horizon=20)`` with
+    world seed ``seed`` — the replayable ``(policy, seed)`` draw the
+    fault-property suite has always pinned.
+    """
+    return ScenarioSpec(
+        name=f"fault-matrix-{policy}-{seed}",
+        traffic=TrafficSpec(flow=flow, cars=n, seed=seed),
+        policy=policy,
+        seed=seed,
+        faults=random_fault_config(np.random.default_rng(seed), horizon=20.0),
+    )
+
+
+def red_light_runner_spec(
+    policy: str = "crossroads",
+    seed: int = 2017,
+    start: float = 0.3,
+    expect: Sequence[str] = (),
+) -> ScenarioSpec:
+    """Two crossing vehicles; vehicle 0 barrels through ungranted.
+
+    The canonical TE-window violator: a north-approach vehicle
+    self-commits a full-speed cruise at ``start`` (before its grant
+    lands), cancelling any reservation — the oracle must flag its box
+    entry, and depending on timing the east-approach vehicle's granted
+    crossing turns into a body collision.
+    """
+    return ScenarioSpec(
+        name=f"red-light-runner-{policy}",
+        traffic=TrafficSpec(
+            kind="explicit",
+            spawns=(
+                SpawnSpec(time=0.0, entry="N", turn="straight", speed=3.0),
+                SpawnSpec(time=0.2, entry="E", turn="straight", speed=3.0),
+            ),
+        ),
+        policy=policy,
+        seed=seed,
+        behaviours=(
+            BehaviourSpec(kind="run_red_light", vehicle_id=0, start=start,
+                          value=3.0),
+        ),
+        max_sim_time=60.0,
+        expect=tuple(expect),
+    )
+
+
+def load_library(directory: str) -> List[ScenarioSpec]:
+    """Load every ``*.json`` spec under ``directory`` (recursively),
+    sorted by path for a stable replay order."""
+    paths = sorted(
+        glob.glob(os.path.join(directory, "**", "*.json"), recursive=True)
+    )
+    return [ScenarioSpec.from_file(path) for path in paths]

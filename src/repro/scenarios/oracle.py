@@ -1,0 +1,195 @@
+"""Runtime safety-property checker layered on the world's monitor.
+
+The :class:`SafetyOracle` registers a per-tick callback on
+``World.safety_checks`` (run by the existing ground-truth safety
+monitor every ``safety_dt``) and checks the invariants the collision
+counter alone cannot see:
+
+``collision``
+    A new body-overlap episode opened (mirrors the world's episode
+    counter — the oracle asserts the two always agree).
+``reservation_overlap``
+    Two committed reservations in the VT/Crossroads scheduler book
+    occupy a shared conflict interval at overlapping times.  (AIM's
+    tile book enforces this structurally: ``commit`` raises on a
+    double-claim, so for AIM the invariant cannot be silently broken.)
+``ungranted_entry``
+    A vehicle's body crossed the stop line while the IM holds no live
+    reservation for it — a revoked or never-granted TE window.
+    Scripted emergency vehicles are exempt (they pre-empt by design);
+    scripted rogues are *not* (detecting them is the point).
+``starvation``
+    A spawned vehicle has waited longer than the scenario's
+    ``starvation_bound`` without entering the box.
+
+Checks only *observe*: no RNG draws, no DES events, no mutation of
+simulation state — attaching an oracle never changes a run's
+``summary()`` (the same contract the obs layer keeps).  Violations are
+recorded as :class:`Violation` records and, when the world is traced,
+emitted as structured ``safety.violation`` events on the obs bus.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+__all__ = ["SafetyOracle", "Violation", "VIOLATION_KINDS"]
+
+#: Every kind a :class:`Violation` record can carry.
+VIOLATION_KINDS = (
+    "collision",
+    "reservation_overlap",
+    "ungranted_entry",
+    "starvation",
+)
+
+#: Slack on occupancy-interval comparisons (mirrors the scheduler's
+#: commit-time verification tolerance).
+_EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected safety-invariant breach."""
+
+    kind: str
+    t: float
+    vehicle_id: int
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return f"[{self.t:8.3f}s] {self.kind} V{self.vehicle_id}: {self.detail}"
+
+
+class SafetyOracle:
+    """Attach invariant checks to a (not yet run) :class:`World`.
+
+    Parameters
+    ----------
+    world:
+        The world to monitor; the oracle appends itself to
+        ``world.safety_checks`` immediately.
+    starvation_bound:
+        Spawn-to-box-entry wait, seconds, beyond which a vehicle counts
+        as starved.
+    """
+
+    def __init__(self, world, starvation_bound: float = 120.0):
+        if starvation_bound <= 0:
+            raise ValueError("starvation_bound must be positive")
+        self.world = world
+        self.starvation_bound = starvation_bound
+        self.violations: List[Violation] = []
+        self._seen_episodes = 0
+        self._entered: Set[int] = set()
+        self._starved: Set[int] = set()
+        self._overlap_pairs: Set[Tuple[int, int]] = set()
+        world.safety_checks.append(self._tick)
+
+    # -- results -----------------------------------------------------------
+    @property
+    def kinds(self) -> Set[str]:
+        """Distinct violation kinds observed so far."""
+        return {v.kind for v in self.violations}
+
+    def by_kind(self, kind: str) -> List[Violation]:
+        return [v for v in self.violations if v.kind == kind]
+
+    # -- recording ---------------------------------------------------------
+    def _record(self, kind: str, t: float, vehicle_id: int, detail: str) -> None:
+        self.violations.append(
+            Violation(kind=kind, t=t, vehicle_id=vehicle_id, detail=detail)
+        )
+        obs = self.world.obs
+        if obs is not None and obs.enabled:
+            obs.emit(
+                "safety.violation", t, "oracle",
+                violation=kind, vehicle_id=vehicle_id, detail=detail,
+            )
+
+    # -- the per-tick check -------------------------------------------------
+    def _tick(self, now: float) -> None:
+        self._check_collisions(now)
+        self._check_reservation_overlap(now)
+        self._check_entries(now)
+        self._check_starvation(now)
+
+    def _check_collisions(self, now: float) -> None:
+        episodes = self.world.collision_episodes
+        # The fuzzer's episode-accounting assertion (satellite fix):
+        # the scalar counter and the episode list must never drift.
+        assert self.world.collisions == len(episodes), (
+            "collision counter drifted from episode list"
+        )
+        for t, (a, b) in episodes[self._seen_episodes:]:
+            self._record("collision", t, a, f"body overlap with V{b}")
+        self._seen_episodes = len(episodes)
+
+    def _check_reservation_overlap(self, now: float) -> None:
+        scheduler = getattr(self.world.im, "scheduler", None)
+        conflicts = self.world.conflicts
+        if scheduler is None or conflicts is None:
+            return
+        book = scheduler.book
+        for a, b in itertools.combinations(book, 2):
+            pair = (min(a.vehicle_id, b.vehicle_id),
+                    max(a.vehicle_id, b.vehicle_id))
+            if pair in self._overlap_pairs:
+                continue
+            for iv in conflicts.intervals(a.movement, b.movement):
+                a_in, a_out = a.interval_occupancy(iv.a_in, iv.a_out)
+                b_in, b_out = b.interval_occupancy(iv.b_in, iv.b_out)
+                if not (a_out <= b_in + _EPS or b_out <= a_in + _EPS):
+                    self._overlap_pairs.add(pair)
+                    self._record(
+                        "reservation_overlap", now, pair[0],
+                        f"booked occupancy of V{a.vehicle_id} "
+                        f"[{a_in:.3f}, {a_out:.3f}] overlaps "
+                        f"V{b.vehicle_id} [{b_in:.3f}, {b_out:.3f}] on "
+                        f"{a.movement.key}x{b.movement.key}",
+                    )
+                    break
+
+    def _grant_source(self):
+        """The IM's grant-truth book, or None when the policy exposes
+        neither a scheduler nor a tile-reservation table."""
+        scheduler = getattr(self.world.im, "scheduler", None)
+        if scheduler is not None:
+            return scheduler
+        return getattr(self.world.im, "reservations", None)
+
+    def _check_entries(self, now: float) -> None:
+        source = self._grant_source()
+        for vehicle in self.world.vehicles:
+            vid = vehicle.info.vehicle_id
+            if vid in self._entered or vehicle.record.enter_time is None:
+                continue
+            self._entered.add(vid)
+            if source is None:
+                continue
+            if getattr(vehicle, "_scenario_emergency", False):
+                continue  # pre-emption is sanctioned by the scenario
+            if not source.holds(vid):
+                self._record(
+                    "ungranted_entry", now, vid,
+                    "entered the box with no live reservation "
+                    f"(crossed at t={vehicle.record.enter_time:.3f})",
+                )
+
+    def _check_starvation(self, now: float) -> None:
+        for vehicle in self.world.vehicles:
+            vid = vehicle.info.vehicle_id
+            if vid in self._starved or vehicle.done:
+                continue
+            if vehicle.record.enter_time is not None:
+                continue
+            wait = now - vehicle.record.spawn_time
+            if wait > self.starvation_bound:
+                self._starved.add(vid)
+                self._record(
+                    "starvation", now, vid,
+                    f"no box entry {wait:.1f}s after spawn "
+                    f"(bound {self.starvation_bound:.1f}s)",
+                )

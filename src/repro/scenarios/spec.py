@@ -1,0 +1,394 @@
+"""The declarative scenario DSL: dataclasses + JSON round-trip.
+
+A :class:`ScenarioSpec` is *pure data* describing one adversarial (or
+benign) experiment: the traffic distribution (Poisson parameters or an
+explicit spawn table), per-vehicle misbehaviour hooks, an optional
+fault regime and clock/plant overrides, plus the oracle's expectations.
+No parser — specs are built in Python or loaded from JSON, and every
+spec round-trips ``from_json(to_json(spec)) == spec`` exactly.
+
+Compilation is deliberately thin: :meth:`ScenarioSpec.arrivals` builds
+the workload and :meth:`ScenarioSpec.world_config` the
+:class:`~repro.sim.world.WorldConfig`.  A **null** scenario (Poisson
+traffic, no behaviours, no faults, no overrides) compiles to the exact
+``PoissonTraffic(flow, seed=seed).generate(cars)`` call and a ``None``
+config, so running it through :func:`repro.scenarios.run_spec` is
+bit-identical to today's ``run_scenario`` path — the regression tests
+pin this under jobs=1 and jobs=2.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults.schedule import FaultConfig, FaultSchedule, FaultWindow
+from repro.geometry.layout import Approach, Movement, Turn
+from repro.traffic.generator import Arrival, PoissonTraffic, TurnMix
+
+__all__ = [
+    "BEHAVIOUR_KINDS",
+    "BehaviourSpec",
+    "ScenarioSpec",
+    "SpawnSpec",
+    "TrafficSpec",
+    "fault_config_from_dict",
+    "fault_config_to_dict",
+]
+
+#: Adversarial per-vehicle hooks the behaviour library implements (see
+#: :mod:`repro.scenarios.behaviours` for the exact semantics of the
+#: ``start`` / ``duration`` / ``value`` fields per kind).
+BEHAVIOUR_KINDS = (
+    "run_red_light",
+    "stall_in_box",
+    "emergency_preempt",
+    "sensor_dropout",
+)
+
+
+# -- fault-config serialisation ------------------------------------------------
+
+def fault_config_to_dict(config: FaultConfig) -> Dict:
+    """Flatten a :class:`FaultConfig` (scalars + window list) to JSON."""
+    data = {
+        f.name: getattr(config, f.name)
+        for f in fields(FaultConfig)
+        if f.name != "schedule"
+    }
+    data["windows"] = [
+        {"start": w.start, "end": w.end, "kind": w.kind,
+         "direction": w.direction}
+        for w in config.schedule.windows
+    ]
+    return data
+
+
+def fault_config_from_dict(data: Dict) -> FaultConfig:
+    """Inverse of :func:`fault_config_to_dict`."""
+    scalars = dict(data)
+    windows = scalars.pop("windows", [])
+    return FaultConfig(
+        schedule=FaultSchedule(tuple(FaultWindow(**w) for w in windows)),
+        **scalars,
+    )
+
+
+# -- spawn / traffic -----------------------------------------------------------
+
+@dataclass(frozen=True)
+class SpawnSpec:
+    """One explicit vehicle appearance at the transmission line."""
+
+    time: float
+    entry: str = "N"
+    turn: str = "straight"
+    speed: float = 3.0
+
+    def __post_init__(self):
+        Approach(self.entry)  # raises on unknown arm
+        Turn(self.turn)
+        if self.time < 0:
+            raise ValueError("time must be non-negative")
+        if self.speed <= 0:
+            raise ValueError("speed must be positive")
+
+    def to_arrival(self) -> Arrival:
+        return Arrival(
+            time=self.time,
+            movement=Movement(Approach(self.entry), Turn(self.turn)),
+            speed=self.speed,
+        )
+
+    @classmethod
+    def from_arrival(cls, arrival: Arrival) -> "SpawnSpec":
+        return cls(
+            time=arrival.time,
+            entry=arrival.movement.entry.value,
+            turn=arrival.movement.turn.value,
+            speed=arrival.speed,
+        )
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Distribution (or explicit table) over spawn times/lanes/routes.
+
+    ``kind="poisson"`` mirrors :class:`~repro.traffic.PoissonTraffic`
+    parameter-for-parameter (the defaults below *are* its defaults, so
+    a default-constructed spec consumes the generator's RNG stream
+    identically); ``kind="explicit"`` carries a fixed spawn table.
+    """
+
+    kind: str = "poisson"
+    flow: float = 0.4
+    cars: int = 8
+    #: Workload seed; ``None`` inherits the scenario seed.
+    seed: Optional[int] = None
+    turn_left: float = 0.25
+    turn_straight: float = 0.50
+    turn_right: float = 0.25
+    speed_min: float = 2.0
+    speed_max: float = 3.0
+    min_headway: float = 0.5
+    spawns: Tuple[SpawnSpec, ...] = ()
+
+    def __post_init__(self):
+        if self.kind not in ("poisson", "explicit"):
+            raise ValueError("kind must be 'poisson' or 'explicit'")
+        object.__setattr__(self, "spawns", tuple(self.spawns))
+        if self.kind == "explicit" and not self.spawns:
+            raise ValueError("explicit traffic needs at least one spawn")
+        if self.kind == "poisson" and self.cars < 1:
+            raise ValueError("cars must be >= 1")
+
+    @property
+    def n_vehicles(self) -> int:
+        return len(self.spawns) if self.kind == "explicit" else self.cars
+
+    def arrivals(self, default_seed: Optional[int] = None) -> List[Arrival]:
+        """Sample (or unpack) the workload, deterministically per seed."""
+        if self.kind == "explicit":
+            return sorted(
+                (s.to_arrival() for s in self.spawns), key=lambda a: a.time
+            )
+        seed = self.seed if self.seed is not None else default_seed
+        traffic = PoissonTraffic(
+            self.flow,
+            turn_mix=TurnMix(self.turn_left, self.turn_straight,
+                             self.turn_right),
+            speed_range=(self.speed_min, self.speed_max),
+            min_headway=self.min_headway,
+            seed=seed,
+        )
+        return traffic.generate(self.cars)
+
+    @classmethod
+    def explicit(cls, arrivals) -> "TrafficSpec":
+        """Freeze an arrival list into an explicit spawn table."""
+        return cls(
+            kind="explicit",
+            spawns=tuple(SpawnSpec.from_arrival(a) for a in arrivals),
+        )
+
+
+# -- behaviours ---------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BehaviourSpec:
+    """One scripted misbehaviour bound to one vehicle.
+
+    The three numeric knobs are interpreted per ``kind`` (documented in
+    :mod:`repro.scenarios.behaviours`): ``start`` is a sim-time trigger
+    (or, for ``stall_in_box``, ignored), ``duration`` a hold length and
+    ``value`` a speed or a depth into the box.
+    """
+
+    kind: str
+    vehicle_id: int
+    start: float = 0.0
+    duration: float = 1.0
+    value: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in BEHAVIOUR_KINDS:
+            raise ValueError(
+                f"kind must be one of {BEHAVIOUR_KINDS} (got {self.kind!r})"
+            )
+        if self.vehicle_id < 0:
+            raise ValueError("vehicle_id must be non-negative")
+        if self.start < 0:
+            raise ValueError("start must be non-negative")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+
+
+# -- the scenario -------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One complete declarative scenario (see module docstring)."""
+
+    name: str
+    traffic: TrafficSpec = field(default_factory=TrafficSpec)
+    policy: str = "crossroads"
+    #: Master world seed (clocks, plants, channel).
+    seed: int = 2017
+    behaviours: Tuple[BehaviourSpec, ...] = ()
+    faults: Optional[FaultConfig] = None
+    #: Clock-regime overrides (None keeps the WorldConfig default).
+    clock_offset_bound: Optional[float] = None
+    clock_drift_bound: Optional[float] = None
+    max_sim_time: Optional[float] = None
+    ideal_vehicles: bool = False
+    #: Oracle knob: spawn-to-box-entry waits beyond this are starvation.
+    starvation_bound: float = 120.0
+    #: Violation kinds a library replay must reproduce *exactly* (empty
+    #: for benign entries, which must replay clean).
+    expect: Tuple[str, ...] = ()
+    #: Optional corridor compile hook: when set, :meth:`grid_spec`
+    #: yields an n-node :class:`~repro.grid.GridSpec` for this policy.
+    grid_nodes: Optional[int] = None
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("name must be non-empty")
+        object.__setattr__(self, "behaviours", tuple(self.behaviours))
+        object.__setattr__(self, "expect", tuple(self.expect))
+        n = self.traffic.n_vehicles
+        for b in self.behaviours:
+            if b.vehicle_id >= n:
+                raise ValueError(
+                    f"behaviour targets vehicle {b.vehicle_id} but the "
+                    f"traffic spec spawns only {n}"
+                )
+        if self.starvation_bound <= 0:
+            raise ValueError("starvation_bound must be positive")
+
+    # -- compilation -------------------------------------------------------
+    def is_null(self) -> bool:
+        """True when compiling adds *nothing* over a plain
+        ``run_scenario(policy, PoissonTraffic(...), seed=seed)`` call —
+        the bit-identity contract of the DSL."""
+        return (
+            not self.behaviours
+            and self.faults is None
+            and self.clock_offset_bound is None
+            and self.clock_drift_bound is None
+            and self.max_sim_time is None
+            and not self.ideal_vehicles
+        )
+
+    def arrivals(self) -> List[Arrival]:
+        """The workload (seed-keyed deterministic)."""
+        return self.traffic.arrivals(self.seed)
+
+    def world_config(self):
+        """The compiled :class:`~repro.sim.world.WorldConfig`, or
+        ``None`` when every knob is at its default (the null path)."""
+        from repro.sim.world import WorldConfig
+
+        if self.is_null():
+            return None
+        kwargs = {}
+        if self.faults is not None:
+            kwargs["faults"] = self.faults
+        if self.clock_offset_bound is not None:
+            kwargs["clock_offset_bound"] = self.clock_offset_bound
+        if self.clock_drift_bound is not None:
+            kwargs["clock_drift_bound"] = self.clock_drift_bound
+        if self.max_sim_time is not None:
+            kwargs["max_sim_time"] = self.max_sim_time
+        if self.ideal_vehicles:
+            kwargs["ideal_vehicles"] = True
+        return WorldConfig(**kwargs)
+
+    def grid_spec(self):
+        """Corridor :class:`~repro.grid.GridSpec` when ``grid_nodes``
+        is set, else ``None`` (lazy import: grid is a sibling layer)."""
+        if self.grid_nodes is None:
+            return None
+        from repro.grid import corridor_spec
+
+        return corridor_spec(self.grid_nodes, policy=self.policy)
+
+    # -- JSON round-trip ----------------------------------------------------
+    def to_dict(self) -> Dict:
+        data: Dict = {
+            "name": self.name,
+            "policy": self.policy,
+            "seed": self.seed,
+            "traffic": self._traffic_dict(),
+        }
+        if self.behaviours:
+            data["behaviours"] = [
+                {"kind": b.kind, "vehicle_id": b.vehicle_id,
+                 "start": b.start, "duration": b.duration, "value": b.value}
+                for b in self.behaviours
+            ]
+        if self.faults is not None:
+            data["faults"] = fault_config_to_dict(self.faults)
+        for key in ("clock_offset_bound", "clock_drift_bound",
+                    "max_sim_time", "grid_nodes"):
+            value = getattr(self, key)
+            if value is not None:
+                data[key] = value
+        if self.ideal_vehicles:
+            data["ideal_vehicles"] = True
+        if self.starvation_bound != 120.0:
+            data["starvation_bound"] = self.starvation_bound
+        if self.expect:
+            data["expect"] = list(self.expect)
+        return data
+
+    def _traffic_dict(self) -> Dict:
+        t = self.traffic
+        if t.kind == "explicit":
+            return {
+                "kind": "explicit",
+                "spawns": [
+                    {"time": s.time, "entry": s.entry, "turn": s.turn,
+                     "speed": s.speed}
+                    for s in t.spawns
+                ],
+            }
+        data = {"kind": "poisson", "flow": t.flow, "cars": t.cars}
+        if t.seed is not None:
+            data["seed"] = t.seed
+        defaults = TrafficSpec()
+        for key in ("turn_left", "turn_straight", "turn_right",
+                    "speed_min", "speed_max", "min_headway"):
+            if getattr(t, key) != getattr(defaults, key):
+                data[key] = getattr(t, key)
+        return data
+
+    def to_json(self, path: Optional[str] = None) -> str:
+        """JSON form; also written to ``path`` when given."""
+        text = json.dumps(self.to_dict(), indent=2)
+        if path is not None:
+            with open(path, "w") as fh:
+                fh.write(text + "\n")
+        return text
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ScenarioSpec":
+        if "name" not in data:
+            raise ValueError("scenario spec needs a 'name'")
+        traffic_data = dict(data.get("traffic", {}))
+        spawns = traffic_data.pop("spawns", None)
+        if spawns is not None:
+            traffic_data["spawns"] = tuple(SpawnSpec(**s) for s in spawns)
+        traffic = TrafficSpec(**traffic_data)
+        behaviours = tuple(
+            BehaviourSpec(**b) for b in data.get("behaviours", [])
+        )
+        faults = (
+            fault_config_from_dict(data["faults"])
+            if "faults" in data
+            else None
+        )
+        return cls(
+            name=data["name"],
+            traffic=traffic,
+            policy=data.get("policy", "crossroads"),
+            seed=data.get("seed", 2017),
+            behaviours=behaviours,
+            faults=faults,
+            clock_offset_bound=data.get("clock_offset_bound"),
+            clock_drift_bound=data.get("clock_drift_bound"),
+            max_sim_time=data.get("max_sim_time"),
+            ideal_vehicles=data.get("ideal_vehicles", False),
+            starvation_bound=data.get("starvation_bound", 120.0),
+            expect=tuple(data.get("expect", [])),
+            grid_nodes=data.get("grid_nodes"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path) -> "ScenarioSpec":
+        with open(path) as fh:
+            return cls.from_json(fh.read())

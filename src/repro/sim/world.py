@@ -25,7 +25,7 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -201,7 +201,23 @@ class World:
         self.collisions = 0
         self.buffer_violations = 0
         self.min_separation = math.inf
-        self._collided_pairs = set()
+        #: Pairs currently in body overlap.  A pair that separates is
+        #: cleared, so a later re-collision opens a *new* episode —
+        #: ``collisions`` counts distinct contact events, not pairs.
+        self._touching_pairs = set()
+        #: ``(onset_time, (id_a, id_b))`` per collision episode; always
+        #: satisfies ``len(collision_episodes) == collisions``.
+        self.collision_episodes: List[Tuple[float, Tuple[int, int]]] = []
+        #: Optional hook called with each vehicle right after it spawns
+        #: (the scenario layer attaches behaviour processes here).  Must
+        #: never draw from an RNG shared with the world: a ``None`` hook
+        #: and a no-op hook are bit-identical.
+        self.on_spawn: Optional[Callable[[BaseVehicle], None]] = None
+        #: Extra per-tick safety checks, called as ``check(now)`` from
+        #: the safety monitor after the pairwise sweep.  Checks only
+        #: *observe* (no RNG, no DES events), so attaching one never
+        #: changes a run's summary.
+        self.safety_checks: List[Callable[[float], None]] = []
         #: Wall-clock timers for this run (counters are harvested from
         #: the kernel / IM at :meth:`result` time).
         self.perf = PerfCounters()
@@ -272,6 +288,8 @@ class World:
             vehicle.plant.ideal = True
         lane.append(vehicle)
         self.vehicles.append(vehicle)
+        if self.on_spawn is not None:
+            self.on_spawn(vehicle)
         return vehicle
 
     # -- ground-truth poses -----------------------------------------------------
@@ -326,9 +344,21 @@ class World:
                 pair = (min(a.info.vehicle_id, b.info.vehicle_id),
                         max(a.info.vehicle_id, b.info.vehicle_id))
                 if rects_overlap(rect_a, rect_b):
-                    if pair not in self._collided_pairs:
-                        self._collided_pairs.add(pair)
+                    # Episode semantics: a sustained overlap counts
+                    # once at onset; once the bodies separate the pair
+                    # is cleared, so a distinct later contact counts
+                    # as a new episode.
+                    if pair not in self._touching_pairs:
+                        self._touching_pairs.add(pair)
                         self.collisions += 1
+                        self.collision_episodes.append((self.env.now, pair))
+                        if self.obs is not None and self.obs.enabled:
+                            self.obs.emit(
+                                "safety.collision", self.env.now, "world",
+                                vehicle_a=pair[0], vehicle_b=pair[1],
+                            )
+                elif pair in self._touching_pairs:
+                    self._touching_pairs.discard(pair)
                 elif a.info.movement.entry != b.info.movement.entry and rects_overlap(
                     rect_a.inflated_longitudinal(a.info.buffer),
                     rect_b.inflated_longitudinal(b.info.buffer),
@@ -338,6 +368,8 @@ class World:
                     # Same-lane pairs queueing at the line are expected
                     # to sit closer than two buffers and are excluded.
                     self.buffer_violations += 1
+            for check in self.safety_checks:
+                check(self.env.now)
             yield self.env.timeout(self.config.safety_dt)
 
     def _im_watchdog(self):

@@ -9,23 +9,36 @@ acceptance evidence but takes ~a minute of wall clock, so — like the
 The fast ``faults`` matrix (3 seeds x 3 policies) is *not* gated: it
 runs in tier-1 and is also selectable alone with ``-m faults`` (the CI
 fault-matrix job does exactly that).
+
+The ``fuzz`` mark gates the hypothesis-driven scenario fuzzing in
+tests/test_scenario_fuzz.py the same way (``-m fuzz`` or
+``REPRO_FUZZ=1``): a fuzz session draws and shrinks dozens of full
+simulations, which belongs in its own CI job, not tier-1.  The
+scenario *library replay* suite in the same file is unmarked and runs
+in tier-1 — the checked-in reproducers are cheap and deterministic.
 """
 
 import os
 
 import pytest
 
+#: mark -> environment override that forces it on.
+_OPT_IN_MARKS = {
+    "faults_heavy": "REPRO_FAULTS_HEAVY",
+    "fuzz": "REPRO_FUZZ",
+}
+
 
 def pytest_collection_modifyitems(config, items):
-    """Keep ``faults_heavy``-marked tests opt-in (see module docstring)."""
+    """Keep opt-in marks opt-in (see module docstring)."""
     if config.getoption("-m"):
         return  # the user picked marks explicitly; respect them
-    if os.environ.get("REPRO_FAULTS_HEAVY", "") not in ("", "0"):
-        return
-    skip_heavy = pytest.mark.skip(
-        reason="heavy fault demo is opt-in: run with -m faults_heavy "
-        "or REPRO_FAULTS_HEAVY=1"
-    )
-    for item in items:
-        if "faults_heavy" in item.keywords:
-            item.add_marker(skip_heavy)
+    for mark, env in _OPT_IN_MARKS.items():
+        if os.environ.get(env, "") not in ("", "0"):
+            continue
+        skip = pytest.mark.skip(
+            reason=f"{mark} tests are opt-in: run with -m {mark} or {env}=1"
+        )
+        for item in items:
+            if mark in item.keywords:
+                item.add_marker(skip)

@@ -22,6 +22,15 @@ Every assertion message carries the ``(policy, seed)`` pair so a
 failing draw can be replayed exactly::
 
     python -c "from tests.test_fault_properties import replay; replay('aim', 123)"
+
+The replay path is the scenario DSL: a matrix cell *is*
+``repro.scenarios.random_fault_spec(policy, seed)`` run through
+``run_spec`` with the safety oracle attached
+(``TestDslPromotion`` pins this form bit-identical to the historical
+imperative construction, so promoting the workload changed nothing).
+A failing cell can therefore also be serialised —
+``random_fault_spec(policy, seed).to_json(path)`` — and handed to
+``repro fuzz --replay``.
 """
 
 import numpy as np
@@ -30,6 +39,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.faults import FaultConfig, random_fault_config
+from repro.scenarios import random_fault_spec, run_spec
 from repro.sim import run_scenario
 from repro.sim.replication import run_replicated
 from repro.sim.world import World, WorldConfig
@@ -61,15 +71,47 @@ def _check_invariants(result, policy, seed, n):
 
 
 def replay(policy, seed, n=8, flow=0.4):
-    """Re-run one (policy, seed) draw exactly; returns the SimResult."""
-    result = run_scenario(
-        policy,
-        _workload(seed, n=n, flow=flow),
-        config=WorldConfig(faults=_fault_config(seed)),
-        seed=seed,
+    """Re-run one (policy, seed) matrix cell exactly via the scenario
+    DSL; returns the SimResult."""
+    outcome = run_spec(random_fault_spec(policy, seed, n=n, flow=flow))
+    _check_invariants(outcome.result, policy, seed, n)
+    # The oracle sees what the metrics cannot: the scheduler's book.
+    # Double-booked reservations are a protocol bug under *any* regime.
+    assert "reservation_overlap" not in outcome.kinds, (
+        f"double-booked reservations: policy={policy} seed={seed}: "
+        + "; ".join(str(v) for v in outcome.violations)
     )
-    _check_invariants(result, policy, seed, n)
-    return result
+    return outcome.result
+
+
+class TestDslPromotion:
+    """Satellite: the fault-matrix workload was promoted into the
+    scenario DSL — this pins the promoted form bit-identical to the
+    historical imperative construction, per policy."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_spec_form_matches_imperative_form(self, policy):
+        seed = 101
+        via_dsl = run_spec(random_fault_spec(policy, seed))
+        legacy = run_scenario(
+            policy,
+            _workload(seed),
+            config=WorldConfig(faults=_fault_config(seed)),
+            seed=seed,
+        )
+        assert via_dsl.result.summary() == legacy.summary()
+        assert via_dsl.result.fault_injections == legacy.fault_injections
+
+    def test_matrix_cells_replay_clean_under_the_oracle(self):
+        """The pinned CI cells carry no oracle violations at all (the
+        wider hypothesis sweep asserts only the hard invariants)."""
+        for policy in POLICIES:
+            for seed in MATRIX_SEEDS:
+                outcome = run_spec(random_fault_spec(policy, seed))
+                assert outcome.kinds == set(), (
+                    f"policy={policy} seed={seed}: "
+                    + "; ".join(str(v) for v in outcome.violations)
+                )
 
 
 @pytest.mark.faults

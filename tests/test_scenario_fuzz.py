@@ -1,0 +1,179 @@
+"""The scenario library replay suite and the safety fuzzer.
+
+Two tiers live in this file:
+
+* **Library replay** (unmarked, tier-1): every JSON spec checked into
+  ``scenarios/`` is replayed and must reproduce *exactly* its recorded
+  ``expect`` violation kinds — benign entries (the S1..S10 scale-model
+  cases) replay clean, adversarial entries (the red-light runner, the
+  fuzzer-found minimal reproducers) reproduce their violations
+  deterministically.  This is the regression net the fuzzer feeds.
+* **Fuzzing** (``-m fuzz`` / ``REPRO_FUZZ=1``): hypothesis drives the
+  seed-keyed sampler through fresh fuzz sessions — any
+  ``reservation_overlap``, or any violation on a benign draw, is a
+  protocol bug and fails the run.  New interesting cases are shrunk
+  and persisted by the CI job as artifacts, not auto-committed.
+"""
+
+import os
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios import (
+    ScenarioResult,
+    Violation,
+    fuzz,
+    is_benign,
+    load_library,
+    property_failures,
+    random_spec,
+    red_light_runner_spec,
+    run_spec,
+    shrink,
+)
+
+LIBRARY = os.path.join(os.path.dirname(__file__), os.pardir, "scenarios")
+LIBRARY_SPECS = load_library(LIBRARY)
+
+
+class TestLibraryReplay:
+    """Every checked-in scenario honours its ``expect`` contract."""
+
+    def test_library_is_populated(self):
+        names = [spec.name for spec in LIBRARY_SPECS]
+        assert len(names) == len(set(names)), "duplicate scenario names"
+        # the three tiers the library must carry
+        assert sum(1 for s in LIBRARY_SPECS if not s.expect) >= 10
+        assert any("red-light-runner" in n for n in names)
+        assert sum(1 for n in names if n.startswith("found-")) >= 3
+
+    @pytest.mark.parametrize(
+        "spec", LIBRARY_SPECS, ids=lambda s: s.name)
+    def test_replays_expected_kinds_exactly(self, spec):
+        outcome = run_spec(spec)
+        assert outcome.matches_expectation, (
+            f"{spec.name}: expected {sorted(spec.expect)}, "
+            f"observed {sorted(outcome.kinds)}"
+        )
+        # expectation-sanctioned violations are never protocol bugs
+        if spec.expect:
+            assert "reservation_overlap" not in outcome.kinds
+
+    def test_replay_is_deterministic(self):
+        adversarial = next(s for s in LIBRARY_SPECS if s.expect)
+        first, second = run_spec(adversarial), run_spec(adversarial)
+        assert first.violations == second.violations
+        assert first.result.summary() == second.result.summary()
+
+
+class TestVerdicts:
+    """`property_failures` separates protocol bugs from scripted rogues."""
+
+    def _outcome(self, spec, kinds):
+        violations = tuple(
+            Violation(kind=kind, t=1.0, vehicle_id=0) for kind in kinds
+        )
+        return ScenarioResult(spec=spec, result=None, violations=violations)
+
+    def test_reservation_overlap_always_fails(self):
+        spec = red_light_runner_spec()  # adversarial: has a behaviour
+        assert not is_benign(spec)
+        outcome = self._outcome(spec, ("reservation_overlap", "collision"))
+        assert property_failures(outcome) == {"reservation_overlap"}
+
+    def test_scripted_violations_are_not_failures(self):
+        outcome = self._outcome(red_light_runner_spec(),
+                                ("ungranted_entry", "collision"))
+        assert property_failures(outcome) == set()
+
+    def test_any_violation_on_benign_spec_fails(self):
+        spec = random_spec(np.random.default_rng(0), adversarial=False)
+        assert is_benign(spec)
+        outcome = self._outcome(spec, ("collision",))
+        assert property_failures(outcome) == {"collision"}
+
+
+class TestSampler:
+    def test_respects_policy_and_volume_bounds(self):
+        rng = np.random.default_rng(11)
+        for i in range(50):
+            spec = random_spec(rng, index=i, policies=("aim",), max_cars=4)
+            assert spec.policy == "aim"
+            assert 3 <= spec.traffic.cars <= 4
+            for b in spec.behaviours:
+                assert b.vehicle_id < spec.traffic.cars
+
+    def test_benign_mode_draws_no_adversity(self):
+        rng = np.random.default_rng(11)
+        assert all(
+            is_benign(random_spec(rng, index=i, adversarial=False))
+            for i in range(20)
+        )
+
+
+class TestShrinker:
+    def test_strips_irrelevant_behaviours(self):
+        """A red-light runner padded with an unrelated dropout shrinks
+        back to the single behaviour that causes the violation."""
+        padded = replace(
+            red_light_runner_spec(),
+            behaviours=red_light_runner_spec().behaviours + (
+                # vehicle 1 glitches long after both cars are through
+                replace(red_light_runner_spec().behaviours[0],
+                        kind="sensor_dropout", vehicle_id=1, start=30.0),
+            ),
+        )
+        assert run_spec(padded).kinds == {"ungranted_entry"}
+        minimal, runs = shrink(padded, {"ungranted_entry"})
+        assert runs >= 1
+        assert len(minimal.behaviours) == 1
+        assert minimal.behaviours[0].kind == "run_red_light"
+        assert run_spec(minimal).kinds == {"ungranted_entry"}
+
+    def test_rejects_empty_target(self):
+        with pytest.raises(ValueError):
+            shrink(red_light_runner_spec(), set())
+
+
+@pytest.mark.fuzz
+class TestFuzzSessions:
+    """Hypothesis-driven fresh fuzzing (opt-in; the CI fuzz job runs
+    this under a wall-clock budget with a cached example database)."""
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_no_protocol_failures(self, seed):
+        """No sampled scenario — rogues, faults and all — ever books
+        overlapping reservations, and benign draws run clean."""
+        report = fuzz(seed=seed, max_examples=4)
+        assert report.draws == 4
+        assert report.ok, "\n".join(
+            f"{o} -> {sorted(property_failures(o))}" for o in report.failures
+        )
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_benign_draws_run_clean(self, seed):
+        """The clean-run property, sampled directly on the benign
+        sub-DSL (stronger than `fuzz`'s incidental benign draws)."""
+        spec = random_spec(np.random.default_rng(seed),
+                           adversarial=False)
+        outcome = run_spec(spec)
+        assert outcome.kinds == set(), str(outcome)
+
+    def test_session_is_replayable(self):
+        """Same fuzz seed => identical draws and verdicts."""
+        a = fuzz(seed=42, max_examples=5)
+        b = fuzz(seed=42, max_examples=5)
+        assert [o.spec for o in a.interesting] == [
+            o.spec for o in b.interesting
+        ]
+        assert [o.spec.name for o in a.failures] == [
+            o.spec.name for o in b.failures
+        ]

@@ -1,0 +1,235 @@
+"""Safety-oracle invariants on hand-built violating traces (satellite d).
+
+Each invariant is exercised against a *fake world* whose state is
+constructed to violate exactly one property — so a failure here
+pinpoints the oracle, not the simulator.  The fakes carry only the
+attributes the oracle reads (``collisions``/``collision_episodes``,
+``im.scheduler``/``im.reservations``, ``conflicts``, ``vehicles``,
+``obs``, ``safety_checks``), which doubles as documentation of the
+oracle's full coupling surface.
+
+An end-to-end check on a real world (a fuzzer-found stall collision
+from the checked-in library) closes the loop: the world's episode
+counter, the oracle's collision records and ``SimResult.collisions``
+all agree.
+"""
+
+import os
+from types import SimpleNamespace
+
+import pytest
+
+from repro.geometry import IntersectionGeometry, Movement, Turn
+from repro.geometry.conflicts import ConflictTable
+from repro.geometry.layout import Approach
+from repro.obs import EventLog
+from repro.scenarios import SafetyOracle, ScenarioSpec, build_world
+
+LIBRARY = os.path.join(os.path.dirname(__file__), os.pardir, "scenarios")
+
+
+def _vehicle(vid, enter_time=None, spawn_time=0.0, done=False,
+             emergency=False):
+    v = SimpleNamespace(
+        info=SimpleNamespace(vehicle_id=vid),
+        record=SimpleNamespace(enter_time=enter_time, spawn_time=spawn_time),
+        done=done,
+    )
+    if emergency:
+        v._scenario_emergency = True
+    return v
+
+
+def _world(**overrides):
+    world = SimpleNamespace(
+        collisions=0,
+        collision_episodes=[],
+        vehicles=[],
+        im=SimpleNamespace(),  # neither scheduler nor reservations
+        conflicts=None,
+        obs=None,
+        safety_checks=[],
+    )
+    for key, value in overrides.items():
+        setattr(world, key, value)
+    return world
+
+
+class _Book:
+    """A grant book answering ``holds`` from a fixed id set."""
+
+    def __init__(self, holding):
+        self._holding = set(holding)
+
+    def holds(self, vehicle_id):
+        return vehicle_id in self._holding
+
+
+class _Crossing:
+    """Stand-in for a ScheduledCrossing with scripted occupancy."""
+
+    def __init__(self, vehicle_id, movement, occupancy):
+        self.vehicle_id = vehicle_id
+        self.movement = movement
+        self._occupancy = occupancy
+
+    def interval_occupancy(self, s_in, s_out):
+        return self._occupancy
+
+
+class TestCollisionEpisodes:
+    def test_each_episode_is_one_violation(self):
+        """Two episodes for the same pair (collide, separate,
+        re-collide) are two distinct violations — the satellite (a)
+        per-pair-episode semantics."""
+        world = _world(
+            collisions=2,
+            collision_episodes=[(1.0, (0, 1)), (2.5, (0, 1))],
+        )
+        oracle = SafetyOracle(world)
+        oracle._tick(3.0)
+        hits = oracle.by_kind("collision")
+        assert [v.t for v in hits] == [1.0, 2.5]
+        assert oracle.kinds == {"collision"}
+        oracle._tick(3.1)  # already-seen episodes are not re-reported
+        assert len(oracle.violations) == 2
+
+    def test_counter_drift_is_caught(self):
+        """The scalar counter and the episode list must agree — a
+        regression to pre-episode counting trips the oracle itself."""
+        world = _world(collisions=3, collision_episodes=[(1.0, (0, 1))])
+        oracle = SafetyOracle(world)
+        with pytest.raises(AssertionError, match="drifted"):
+            oracle._tick(2.0)
+
+
+class TestReservationOverlap:
+    def _conflicting_movements(self):
+        north = Movement(Approach.NORTH, Turn.STRAIGHT)
+        east = Movement(Approach.EAST, Turn.STRAIGHT)
+        return north, east
+
+    def _world_with_book(self, occ_a, occ_b):
+        north, east = self._conflicting_movements()
+        book = (
+            _Crossing(0, north, occ_a),
+            _Crossing(1, east, occ_b),
+        )
+        return _world(
+            im=SimpleNamespace(scheduler=SimpleNamespace(book=book)),
+            conflicts=ConflictTable(IntersectionGeometry()),
+        )
+
+    def test_overlapping_occupancies_flagged_once(self):
+        world = self._world_with_book((2.0, 6.0), (4.0, 8.0))
+        oracle = SafetyOracle(world)
+        oracle._tick(1.0)
+        hits = oracle.by_kind("reservation_overlap")
+        assert len(hits) == 1
+        assert "V0" in hits[0].detail and "V1" in hits[0].detail
+        oracle._tick(1.1)  # the pair is deduplicated across ticks
+        assert len(oracle.by_kind("reservation_overlap")) == 1
+
+    def test_disjoint_occupancies_pass(self):
+        world = self._world_with_book((2.0, 4.0), (4.0, 8.0))
+        oracle = SafetyOracle(world)
+        oracle._tick(1.0)
+        assert oracle.violations == []
+
+
+class TestUngrantedEntry:
+    def test_entry_without_grant_flagged(self):
+        world = _world(
+            im=SimpleNamespace(reservations=_Book(holding=())),
+            vehicles=[_vehicle(0, enter_time=4.0)],
+        )
+        oracle = SafetyOracle(world)
+        oracle._tick(4.1)
+        hits = oracle.by_kind("ungranted_entry")
+        assert len(hits) == 1 and hits[0].vehicle_id == 0
+        oracle._tick(4.2)  # an entry is judged exactly once
+        assert len(oracle.violations) == 1
+
+    def test_granted_entry_passes(self):
+        world = _world(
+            im=SimpleNamespace(reservations=_Book(holding={0})),
+            vehicles=[_vehicle(0, enter_time=4.0)],
+        )
+        oracle = SafetyOracle(world)
+        oracle._tick(4.1)
+        assert oracle.violations == []
+
+    def test_emergency_vehicles_are_exempt(self):
+        world = _world(
+            im=SimpleNamespace(reservations=_Book(holding=())),
+            vehicles=[_vehicle(0, enter_time=4.0, emergency=True)],
+        )
+        oracle = SafetyOracle(world)
+        oracle._tick(4.1)
+        assert oracle.violations == []
+
+    def test_scheduler_outranks_tile_book(self):
+        """When the IM exposes both, the scheduler is grant truth."""
+        world = _world(im=SimpleNamespace(scheduler=_Book(holding={0}),
+                                          reservations=_Book(holding=())),
+                       vehicles=[_vehicle(0, enter_time=4.0)])
+        oracle = SafetyOracle(world)
+        oracle._tick(4.1)
+        assert oracle.violations == []
+
+
+class TestStarvation:
+    def test_waiting_past_the_bound_flagged_once(self):
+        world = _world(vehicles=[_vehicle(0, spawn_time=0.0)])
+        oracle = SafetyOracle(world, starvation_bound=10.0)
+        oracle._tick(9.0)
+        assert oracle.violations == []
+        oracle._tick(10.5)
+        hits = oracle.by_kind("starvation")
+        assert len(hits) == 1 and "10.5s after spawn" in hits[0].detail
+        oracle._tick(20.0)  # flagged once, not every tick
+        assert len(oracle.violations) == 1
+
+    def test_entered_and_done_vehicles_never_starve(self):
+        world = _world(vehicles=[
+            _vehicle(0, enter_time=3.0),
+            _vehicle(1, done=True),
+        ])
+        oracle = SafetyOracle(world, starvation_bound=10.0)
+        oracle._tick(500.0)
+        assert oracle.violations == []
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(ValueError):
+            SafetyOracle(_world(), starvation_bound=0.0)
+
+
+class TestObsEmission:
+    def test_violations_land_on_the_event_bus(self):
+        log = EventLog()
+        world = _world(
+            collisions=1,
+            collision_episodes=[(1.0, (0, 1))],
+            obs=log,
+        )
+        SafetyOracle(world)._tick(2.0)
+        events = [e for e in log.events if e.kind == "safety.violation"]
+        assert len(events) == 1
+        assert events[0].actor == "oracle"
+        assert events[0].data["violation"] == "collision"
+        assert events[0].data["vehicle_id"] == 0
+
+
+class TestEndToEnd:
+    def test_real_collision_keeps_all_counters_aligned(self):
+        """A fuzzer-found stall collision from the checked-in library:
+        world episodes, oracle records and SimResult.collisions agree."""
+        spec = ScenarioSpec.from_file(os.path.join(
+            LIBRARY, "found", "found-collision-vt-im-s768789384.json"))
+        world, oracle = build_world(spec)
+        result = world.run()
+        assert result.collisions >= 1
+        assert result.collisions == len(world.collision_episodes)
+        assert len(oracle.by_kind("collision")) == len(
+            world.collision_episodes)
+        assert oracle.kinds == set(spec.expect)

@@ -56,10 +56,13 @@ LAYERS: Dict[str, int] = {
     # Level 6 — the simulation world and experiment engines.
     "sim": 6,
     # Level 7 — layers over complete simulations: corridor networks of
-    # intersections (grid) and analysis/reporting over results.  The
-    # two are siblings; neither imports the other.
+    # intersections (grid), analysis/reporting over results, and the
+    # declarative scenario DSL + safety oracle + fuzzer (scenarios).
+    # All three are siblings; none module-level imports another
+    # (scenarios reaches grid only through a lazy compile hook).
     "grid": 7,
     "analysis": 7,
+    "scenarios": 7,
     # Level 8 — the CLI facade.
     "cli": 8,
     # The repro/__init__.py + __main__.py facade re-exports everything.
