@@ -91,6 +91,7 @@ class LongitudinalPlant:
         self.rng = rng if rng is not None else np.random.default_rng()
         self.ideal = ideal
         self._measured_position = self.position
+        self._odometry_error_bound = 0.0
         self.time = 0.0
 
     def step(self, v_cmd: float, dt: float) -> None:
@@ -117,6 +118,15 @@ class LongitudinalPlant:
         self.time += dt
         # Odometry integrates the *measured* velocity.
         self._measured_position += self.measured_velocity() * dt
+        if not self.ideal and new_v > 0.0:
+            # Each moving sample can carry up to half an encoder count
+            # of quantisation bias (a speed sitting on a count boundary
+            # rounds the same way every window), so the odometry error
+            # grows linearly with time spent in motion.  A stationary
+            # wheel reads exactly zero, accruing nothing.
+            self._odometry_error_bound += (
+                0.5 * self.config.encoder.velocity_resolution * dt
+            )
 
     def measured_velocity(self) -> float:
         """Encoder's view of the current velocity."""
@@ -128,6 +138,16 @@ class LongitudinalPlant:
         """Odometry position (integrated measured velocity)."""
         return self._measured_position
 
+    @property
+    def odometry_error_bound(self) -> float:
+        """Worst-case |true - measured| position drift, metres.
+
+        Quantisation-bias bound accrued over time in motion; safety
+        clauses comparing odometry against a fixed line must brake this
+        much earlier to guarantee the true bumper stays short of it.
+        """
+        return self._odometry_error_bound
+
     def reset(self, position: float = 0.0, velocity: float = 0.0) -> None:
         """Reset the true and measured state."""
         if velocity < 0:
@@ -135,4 +155,5 @@ class LongitudinalPlant:
         self.position = float(position)
         self.velocity = float(velocity)
         self._measured_position = float(position)
+        self._odometry_error_bound = 0.0
         self.time = 0.0

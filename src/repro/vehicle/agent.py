@@ -246,8 +246,18 @@ class BaseVehicle:
         else:
             v_cmd = self.approach_speed
             # Safe-stop clause: no committed plan and the line is near.
+            # The comparison pits odometry against the true line, so the
+            # latch fires early by the accrued worst-case odometry drift
+            # — at crawl speeds the brake distance is millimetres and a
+            # half-count encoder bias integrated over a long approach
+            # otherwise walks the true bumper over the line while the
+            # measured distance still reads positive.
             dist = self.measured_distance_to_line()
-            stop_dist = brake_distance(self.speed, spec.d_max) + cfg.stop_margin
+            stop_dist = (
+                brake_distance(self.speed, spec.d_max)
+                + cfg.stop_margin
+                + min(self.plant.odometry_error_bound, cfg.odometry_margin_cap)
+            )
             if dist <= stop_dist:
                 self._hold = True
                 v_cmd = 0.0

@@ -28,6 +28,13 @@ class AgentConfig:
     gap_min: float = 0.30
     #: Extra margin added to the safe-stop distance, metres.
     stop_margin: float = 0.05
+    #: Cap on the odometry-drift allowance folded into the safe-stop
+    #: distance, metres.  The latch widens by the plant's accrued
+    #: worst-case odometry error (so a slow, long approach cannot creep
+    #: its true bumper over the line while the measured distance still
+    #: reads positive), but is capped so a long-queued vehicle still
+    #: parks inside the 0.5 m standoff the launch proposal needs.
+    odometry_margin_cap: float = 0.25
     #: Distance driven past the box before despawning, metres.
     outrun: float = 1.0
     #: Proportional gain of the plan-position tracking loop, 1/s.

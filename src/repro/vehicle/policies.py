@@ -242,6 +242,23 @@ class AimVehicle(BaseVehicle):
                 # ``toa`` is the launch time: wait it out, then floor it.
                 if delay_to_toa > 0:
                     yield self.env.timeout(delay_to_toa)
+                # Execution-time revalidation: the wait ran on the
+                # drifting local clock, so check the granted window is
+                # still live at the moment the launch actually starts.
+                # A wake-up more than one WC-RTD past ToA means the
+                # window the IM simulated has lapsed — and its watchdog
+                # may already have invalidated the reservation — so
+                # entering the box on it would be an ungranted entry.
+                # Give the slot back and renegotiate instead.
+                if not self.validator.admit_deadline(
+                    response.toa + cfg.max_rtd - self.local_time()
+                ):
+                    self.radio.send(
+                        CancelReservation(
+                            sender=self.radio.address, receiver=self.im_address
+                        )
+                    )
+                    continue
                 builder = ProfileBuilder(self.env.now, self.plant.position, self.speed)
                 self._set_plan(self._extend_through_box(builder, spec.v_max))
             else:

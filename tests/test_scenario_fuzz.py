@@ -63,6 +63,21 @@ class TestLibraryReplay:
         if spec.expect:
             assert "reservation_overlap" not in outcome.kinds
 
+    def test_creep_reproducer_flipped_benign(self):
+        """found-fault-ungranted_entry-aim-s80399 regression: five
+        rejects stepped the approach down to a 0.15 m/s crawl, and six
+        seconds of half-count encoder bias walked odometry far enough
+        behind truth that the safe-stop latch fired with the true
+        bumper already over the line.  With the drift-widened latch the
+        reproducer replays clean and its ``expect`` is pinned benign."""
+        spec = next(
+            s for s in LIBRARY_SPECS
+            if s.name == "found-fault-ungranted_entry-aim-s80399"
+        )
+        assert spec.expect == ()
+        outcome = run_spec(spec)
+        assert outcome.kinds == set(), str(outcome)
+
     def test_replay_is_deterministic(self):
         adversarial = next(s for s in LIBRARY_SPECS if s.expect)
         first, second = run_spec(adversarial), run_spec(adversarial)

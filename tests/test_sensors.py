@@ -90,6 +90,52 @@ class TestPlant:
             plant.step(0.0, 0.02)
         assert plant.position - parked < 0.01
 
+    def test_odometry_error_bound_accrues_while_moving(self):
+        """Half an encoder count per moving sample, nothing at rest."""
+        cfg = PlantConfig(accel_noise_std=0.0)
+        plant = LongitudinalPlant(cfg, velocity=1.0, rng=np.random.default_rng(0))
+        assert plant.odometry_error_bound == 0.0
+        for _ in range(100):
+            plant.step(1.0, 0.02)
+        expected = 0.5 * cfg.encoder.velocity_resolution * 2.0
+        assert plant.odometry_error_bound == pytest.approx(expected)
+
+    def test_odometry_error_bound_frozen_at_rest(self):
+        plant = LongitudinalPlant(
+            PlantConfig(), velocity=1.0, rng=np.random.default_rng(3)
+        )
+        for _ in range(200):  # brake to a dead stop
+            plant.step(0.0, 0.02)
+        assert plant.velocity == 0.0
+        frozen = plant.odometry_error_bound
+        for _ in range(500):
+            plant.step(0.0, 0.02)
+        assert plant.odometry_error_bound == frozen
+
+    def test_odometry_error_bound_ideal_and_reset(self):
+        ideal = LongitudinalPlant(PlantConfig(), velocity=1.0, ideal=True)
+        for _ in range(100):
+            ideal.step(1.0, 0.02)
+        assert ideal.odometry_error_bound == 0.0
+        noisy = LongitudinalPlant(
+            PlantConfig(), velocity=1.0, rng=np.random.default_rng(5)
+        )
+        noisy.step(1.0, 0.02)
+        assert noisy.odometry_error_bound > 0.0
+        noisy.reset()
+        assert noisy.odometry_error_bound == 0.0
+
+    def test_odometry_bound_covers_actual_drift(self):
+        """The bound dominates the true |measured - actual| drift on a
+        worst-case crawl (speed parked on a count boundary)."""
+        cfg = PlantConfig(accel_noise_std=0.0)
+        # 0.15 m/s sits exactly between the 0.14/0.16 count levels.
+        plant = LongitudinalPlant(cfg, velocity=0.15, rng=np.random.default_rng(9))
+        for _ in range(500):  # 10 s of creep
+            plant.step(0.15, 0.02)
+        drift = abs(plant.measured_position() - plant.position)
+        assert drift <= plant.odometry_error_bound + 1e-9
+
     def test_ideal_mode_is_exact(self):
         plant = LongitudinalPlant(PlantConfig(), velocity=1.0, ideal=True)
         for _ in range(100):

@@ -112,6 +112,22 @@ class TestSafeStopClause:
         env.run(until=20.0)
         assert vehicle.record.requests_sent > sent_early
 
+    @pytest.mark.parametrize("seed", [0, 1, 7, 80399])
+    def test_crawl_approach_parks_true_bumper_short_of_line(self, seed):
+        """Regression for found-fault-ungranted_entry-aim-s80399: a long
+        crawl integrates enough encoder bias that the latch, fired on
+        odometry alone, can stop the *measured* bumper at the line with
+        the true bumper already past it.  The drift-widened latch must
+        park the true bumper strictly short for any noise realisation."""
+        env, channel, im, vehicle = build_world(
+            "aim", with_im=False, spawn_speed=0.15, seed=seed
+        )
+        env.run(until=40.0)
+        assert vehicle._hold
+        assert vehicle.speed < 0.05
+        assert vehicle.front < vehicle.approach_length - 0.01
+        assert vehicle.record.enter_time is None
+
 
 class TestBackoff:
     def test_backoff_grows_and_caps(self):
@@ -166,6 +182,37 @@ class TestAimSemantics:
         env.run(until=15.0)
         assert vehicle.done
         assert vehicle.record.rejects_received == 0
+
+    def test_lapsed_window_rejected_at_launch(self):
+        """A launch grant whose window has lapsed by the time the wait
+        ends (clock drift ran the local clock past ToA + WC-RTD) must
+        not be executed: the vehicle returns the slot and renegotiates
+        instead of entering the box on an invalidated reservation."""
+        config = AgentConfig(aim_propose_min_speed=5.0, max_rtd=0.002)
+        env = Environment()
+        channel = Channel(env, delay_model=ConstantDelay(0.003),
+                          rng=np.random.default_rng(0))
+        im = make_im("aim", env, channel, GEOMETRY, conflicts=CONFLICTS)
+        movement = Movement(Approach.SOUTH, Turn.STRAIGHT)
+        info = VehicleInfo(vehicle_id=0, spec=VehicleSpec(), movement=movement)
+        # 5% fast clock: a 0.2 s launch wait overshoots ToA by ~10 ms,
+        # past the 2 ms WC-RTD execution tolerance.
+        vehicle = make_vehicle(
+            "aim", env, info, channel.attach("V0"),
+            Clock(offset=0.1, drift=0.05, rng=np.random.default_rng(0)),
+            path_length=GEOMETRY.crossing_distance(movement),
+            spawn_speed=3.0,
+            plant_config=PlantConfig(accel_noise_std=0.02),
+            config=config,
+            rng=np.random.default_rng(0),
+            plant_headroom=1.15,
+        )
+        env.run(until=20.0)
+        assert vehicle.record.stale_rejected >= 1
+        # Every grant went stale at wake-up, so the vehicle never
+        # committed a plan and never crossed the line ungranted.
+        assert vehicle.record.enter_time is None
+        assert vehicle.front <= vehicle.approach_length + 1e-6
 
     def test_propose_floor_forces_stop_then_launch(self):
         """Below the propose floor the vehicle never sends a cruise
