@@ -73,6 +73,9 @@ def build_parser() -> argparse.ArgumentParser:
     topo.add_argument("--grid", metavar="FILE", default=None,
                       help="load a GridSpec from a JSON file "
                            "(see repro.grid.GridSpec.to_json)")
+    topo.add_argument("--spec", metavar="FILE", default=None,
+                      help="synonym for --grid: load a saved GridSpec "
+                           "JSON (round-trips with --save-spec)")
     topo.add_argument("--nodes", type=int, default=3, metavar="N",
                       help="build a two-way west-east corridor of N "
                            "intersections (default: 3)")
@@ -416,10 +419,11 @@ def _cmd_grid(args) -> int:
     status = _load_plugins(args.plugin)
     if status:
         return status
+    spec_file = args.grid if args.grid is not None else args.spec
     try:
-        if args.grid is not None:
-            spec = GridSpec.from_file(args.grid)
-            label = f"spec {args.grid}"
+        if spec_file is not None:
+            spec = GridSpec.from_file(spec_file)
+            label = f"spec {spec_file}"
         else:
             spec = corridor_spec(
                 args.nodes,

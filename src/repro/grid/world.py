@@ -1,16 +1,19 @@
-"""The corridor simulator: a routed graph of IMs on one DES + medium.
+"""The corridor simulator: a routed graph of node runtimes on one DES.
 
 :class:`GridWorld` lifts :class:`~repro.sim.world.World` from one
 intersection to a :class:`~repro.grid.spec.GridSpec` network:
 
-* **one** DES environment and **one** shared wireless
-  :class:`~repro.network.Channel` carry every node's traffic (the
-  per-IM share is read back from ``NetworkStats.by_endpoint``);
-* each node runs its own IM — any registered policy, mixed policies
-  allowed — at the address ``"{base}.{node}"`` (the bare base address
-  for a 1-node grid, so addressing matches the single world exactly);
-* each node gets its own ground-truth safety monitor (node-local
-  frame) and its own 1 Hz reservation watchdog;
+* **one** DES environment and **one** shared wireless medium (behind
+  the :class:`~repro.network.transport.Transport` seam) carry every
+  node's traffic — the per-IM share is read back from
+  ``NetworkStats.by_endpoint``;
+* each node is a full :class:`~repro.sim.engine.NodeRuntime` — its own
+  IM (any registered policy, mixed policies allowed) at the address
+  ``"{base}.{node}"`` (the bare base address for a 1-node grid, so
+  addressing matches the single world exactly), its own ground-truth
+  safety monitor (node-local frame, episode semantics identical to
+  ``World``'s) and its own 1 Hz reservation watchdog — with the
+  ``on_spawn``/``safety_checks`` scenario seams available per node;
 * a **hand-off** process follows every multi-hop vehicle: when its
   hop-``k`` agent despawns past the box, the vehicle cruises the
   connecting link at ``min(link.speed_limit, v_max)``, waits (if
@@ -25,42 +28,38 @@ Single-node bit-identity
 A 1-node ``GridWorld`` replays :class:`~repro.sim.world.World`'s exact
 construction order: master-RNG draws (channel seed, then per-spawn
 offset/drift/clock-rng/plant-rng), DES process creation order (IM
-machinery, spawner, safety monitor, watchdog) and lane bookkeeping.
-Single-hop routes start **no** hand-off watcher, so the event-id
-tie-break sequence is untouched.  The golden equivalence suite pins
+machinery, spawner, safety monitor, watchdog) and lane bookkeeping —
+all of it now literally the same engine code.  Single-hop routes start
+**no** hand-off watcher, so the event-id tie-break sequence is
+untouched.  The golden equivalence suite pins
 ``grid.per_node["N0"].summary() == world.summary()`` across policies
 and seeds.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.policy import make_im
-from repro.core.registry import resolve_policy
 from repro.des import Environment
+from repro.core.registry import resolve_policy
 from repro.faults import FaultInjector
-from repro.geometry.collision import rects_overlap
 from repro.geometry.conflicts import ConflictTable
 from repro.geometry.layout import IntersectionGeometry
 from repro.grid.spec import GridSpec
 from repro.grid.traffic import GridArrival
-from repro.network.channel import Channel
 from repro.network.delay import testbed_delay_model
+from repro.network.transport import default_transport
 from repro.obs.events import EventLog
 from repro.obs.spans import build_spans, span_stats
 from repro.perf import PerfCounters
-from repro.sensors.plant import PlantConfig
+from repro.sim.engine import NodeRuntime
 from repro.sim.metrics import SimResult
 from repro.sim.world import WorldConfig
-from repro.timesync.clock import Clock
-from repro.vehicle.agent import BaseVehicle, make_vehicle
+from repro.vehicle.agent import BaseVehicle
 from repro.vehicle.record import VehicleRecord
-from repro.vehicle.spec import VehicleInfo
 
 __all__ = ["CorridorRecord", "GridResult", "GridWorld"]
 
@@ -153,6 +152,10 @@ class GridResult:
     perf: Dict[str, float] = field(default_factory=dict)
     #: Exchange-span stats when traced (not in :meth:`summary`).
     obs: Dict[str, float] = field(default_factory=dict)
+    #: Per-node safety-oracle violations (only nodes with an attached
+    #: :class:`~repro.scenarios.SafetyOracle`; empty tuples for clean
+    #: nodes stay in, so attribution is explicit per monitored node).
+    violations: Dict[str, tuple] = field(default_factory=dict)
 
     # -- aggregates --------------------------------------------------------
     @property
@@ -231,19 +234,6 @@ class GridResult:
 
 
 # =========================================================================
-# Per-node safety monitoring state
-# =========================================================================
-class _NodeSafety:
-    """Ground-truth collision bookkeeping for one node."""
-
-    def __init__(self):
-        self.collisions = 0
-        self.buffer_violations = 0
-        self.min_separation = math.inf
-        self.collided_pairs = set()
-
-
-# =========================================================================
 # The grid world
 # =========================================================================
 class GridWorld:
@@ -297,16 +287,10 @@ class GridWorld:
                     f"agent outrun {cfg.agent.outrun}"
                 )
 
-        self._policies = {
+        policies = {
             node.name: resolve_policy(node.policy) for node in spec.nodes
         }
         single = len(spec) == 1
-        self._im_addr = {
-            node.name: (
-                cfg.im.address if single else f"{cfg.im.address}.{node.name}"
-            )
-            for node in spec.nodes
-        }
 
         self.env = Environment()
         if obs is not None:
@@ -324,7 +308,7 @@ class GridWorld:
                 rng=np.random.default_rng([channel_seed, 1]),
                 im_address=cfg.im.address,
             )
-        self.channel = Channel(
+        self.channel = default_transport(
             self.env,
             delay_model=delay,
             loss_probability=cfg.message_loss,
@@ -333,44 +317,38 @@ class GridWorld:
             obs=obs,
         )
         if conflicts is None and any(
-            p.needs_conflicts for p in self._policies.values()
+            p.needs_conflicts for p in policies.values()
         ):
             conflicts = ConflictTable(self.geometry)
         self.conflicts = conflicts
 
-        self.ims = {}
+        #: One :class:`~repro.sim.engine.NodeRuntime` per intersection,
+        #: in ``spec.nodes`` order (IM construction order matters for
+        #: bit-identity).  The scenario layer reaches per-node seams —
+        #: ``safety_checks``, ``oracle`` — through this mapping.
+        self.nodes: Dict[str, NodeRuntime] = {}
         for node in spec.nodes:
-            im_cfg = (
-                cfg.im
-                if single
-                else replace(cfg.im, address=self._im_addr[node.name])
-            )
-            im = make_im(
-                self._policies[node.name],
+            self.nodes[node.name] = NodeRuntime(
                 self.env,
+                policies[node.name],
                 self.channel,
                 self.geometry,
-                conflicts=conflicts,
-                config=im_cfg,
-                aim_config=cfg.aim,
+                conflicts,
+                cfg,
+                im_address=(
+                    cfg.im.address if single else f"{cfg.im.address}.{node.name}"
+                ),
+                name=node.name,
+                obs=obs,
             )
-            if obs is not None:
-                im.obs = obs
-                scheduler = getattr(im, "scheduler", None)
-                if scheduler is not None:
-                    scheduler.obs = obs
-                    scheduler.obs_now = lambda: self.env.now
-            self.ims[node.name] = im
+        #: Per-node IMs (kept as a flat view; tests and analysis poke
+        #: reservation state through it).
+        self.ims = {name: runtime.im for name, runtime in self.nodes.items()}
 
-        #: Every agent ever spawned (one per vehicle *hop*).
+        #: Every agent ever spawned (one per vehicle *hop*); per-node
+        #: lists live on each runtime.
         self.vehicles: List[BaseVehicle] = []
-        self._node_vehicles: Dict[str, List[BaseVehicle]] = {
-            node.name: [] for node in spec.nodes
-        }
-        self._lanes: Dict[Tuple[str, str], List[BaseVehicle]] = {}
-        self._safety: Dict[str, _NodeSafety] = {
-            node.name: _NodeSafety() for node in spec.nodes
-        }
+        self._on_spawn: Optional[Callable[[BaseVehicle], None]] = None
         self.corridor: List[CorridorRecord] = []
         self.handoffs = 0
         self.handoffs_delayed = 0
@@ -384,9 +362,25 @@ class GridWorld:
         # order on a 1-node grid.
         self.env.process(self._spawner())
         for node in spec.nodes:
-            self.env.process(self._safety_monitor(node.name))
+            self.env.process(self.nodes[node.name].safety_monitor())
         for node in spec.nodes:
-            self.env.process(self._im_watchdog(node.name))
+            self.env.process(self.nodes[node.name].im_watchdog())
+
+    # -- scenario seam -------------------------------------------------------
+    @property
+    def on_spawn(self) -> Optional[Callable[[BaseVehicle], None]]:
+        """Hook fired with each agent right after it spawns, network
+        wide (every node runtime shares it; hand-off re-spawns fire it
+        again, so a scripted behaviour follows its vehicle across
+        hops).  ``repro.scenarios.install`` works on grids unchanged.
+        """
+        return self._on_spawn
+
+    @on_spawn.setter
+    def on_spawn(self, hook: Optional[Callable[[BaseVehicle], None]]) -> None:
+        self._on_spawn = hook
+        for runtime in self.nodes.values():
+            runtime.on_spawn = hook
 
     # -- spawning -----------------------------------------------------------
     def _spawner(self):
@@ -396,84 +390,30 @@ class GridWorld:
                 yield self.env.timeout(wait)
             self._spawn(index, garrival)
 
-    def _plant_config(self) -> PlantConfig:
-        cfg = self.config
-        plant_config = cfg.plant
-        if cfg.ideal_vehicles:
-            plant_config = PlantConfig(
-                a_max=plant_config.a_max,
-                d_max=plant_config.d_max,
-                v_max=plant_config.v_max,
-                tau=1e-3,
-                accel_noise_std=0.0,
-                encoder=plant_config.encoder,
-            )
-        return plant_config
-
     def _make_agent(
         self,
         node: str,
-        info: VehicleInfo,
+        info,
         radio,
-        clock: Clock,
+        clock,
         spawn_speed: float,
     ) -> BaseVehicle:
-        """Build one per-hop agent registered into the node's lane."""
-        cfg = self.config
-        movement = info.movement
-        lane = self._lanes.setdefault((node, movement.entry.value), [])
-
-        def predecessor(lane=lane, me_index=len(lane)):
-            for earlier in reversed(lane[:me_index]):
-                if not earlier.done:
-                    return earlier
-            return None
-
-        vehicle = make_vehicle(
-            self._policies[node],
-            self.env,
-            info,
-            radio,
-            clock,
-            path_length=self.geometry.crossing_distance(movement),
-            approach_length=self.geometry.approach_length,
-            spawn_speed=min(spawn_speed, info.spec.v_max),
-            plant_config=self._plant_config(),
-            im_address=self._im_addr[node],
-            predecessor=predecessor,
-            config=cfg.agent,
-            rng=np.random.default_rng(self.rng.integers(2 ** 63)),
-            plant_headroom=1.0 if cfg.ideal_vehicles else cfg.plant_headroom,
-            obs=self.obs,
+        """Build one per-hop agent at ``node`` (engine spawn wiring)."""
+        vehicle = self.nodes[node].add_vehicle(
+            info, radio, clock, spawn_speed, self.rng
         )
-        if cfg.ideal_vehicles:
-            vehicle.plant.ideal = True
-        lane.append(vehicle)
         self.vehicles.append(vehicle)
-        self._node_vehicles[node].append(vehicle)
         return vehicle
 
     def _spawn(self, index: int, garrival: GridArrival) -> BaseVehicle:
-        cfg = self.config
         route = garrival.route
         hop = route.hops[0]
-        info = VehicleInfo(
-            vehicle_id=index,
-            spec=garrival.arrival.spec,
-            movement=hop.movement,
-            buffer=cfg.im.base_buffer,
+        runtime = self.nodes[hop.node]
+        info = runtime.vehicle_info(
+            index, garrival.arrival.spec, hop.movement
         )
         radio = self.channel.attach(f"V{index}")
-        clock = Clock(
-            offset=float(
-                self.rng.uniform(-cfg.clock_offset_bound, cfg.clock_offset_bound)
-            ),
-            drift=float(
-                self.rng.uniform(-cfg.clock_drift_bound, cfg.clock_drift_bound)
-            ),
-            epoch=self.env.now,
-            rng=np.random.default_rng(self.rng.integers(2 ** 63)),
-        )
+        clock = runtime.make_clock(self.rng)
         vehicle = self._make_agent(
             hop.node, info, radio, clock, garrival.arrival.speed
         )
@@ -515,9 +455,7 @@ class GridWorld:
                 yield self.env.timeout(remaining / cruise)
                 # 3. Respect car-following spacing on the destination
                 #    lane: never materialise on top of a queued tail.
-                lane = self._lanes.setdefault(
-                    (hop.node, hop.movement.entry.value), []
-                )
+                lane = self.nodes[hop.node].lane(hop.movement.entry.value)
                 waited = 0.0
                 while True:
                     leader = next(
@@ -532,11 +470,8 @@ class GridWorld:
                 # 4. Re-spawn at the next node: same radio (address,
                 #    sequence-guard and dedup continuity), same drifting
                 #    clock, fresh agent and per-hop record.
-                info = VehicleInfo(
-                    vehicle_id=record.vehicle_id,
-                    spec=spec,
-                    movement=hop.movement,
-                    buffer=cfg.im.base_buffer,
+                info = self.nodes[hop.node].vehicle_info(
+                    record.vehicle_id, spec, hop.movement
                 )
                 previous = vehicle
                 vehicle = self._make_agent(
@@ -563,82 +498,6 @@ class GridWorld:
         finally:
             self._inflight -= 1
 
-    # -- ground-truth safety -------------------------------------------------
-    def _pose_of(self, vehicle: BaseVehicle):
-        """Node-local footprint (same maths as ``World.pose_of``)."""
-        movement = vehicle.info.movement
-        spec = vehicle.info.spec
-        path = self.geometry.path(movement)
-        approach = self.geometry.approach_length
-        centre_s = vehicle.front - spec.length / 2.0
-        from repro.geometry.collision import OrientedRect
-
-        if centre_s < approach:
-            entry = self.geometry.entry_point(movement.entry)
-            fwd = np.array(movement.entry.inbound_unit)
-            point = entry - (approach - centre_s) * fwd
-            heading = movement.entry.heading
-        else:
-            s = centre_s - approach
-            if s <= path.length:
-                point = path.point_at(s)
-                heading = path.heading_at(s)
-            else:
-                end = path.point_at(path.length)
-                heading = path.heading_at(path.length)
-                point = end + (s - path.length) * np.array(
-                    [math.cos(heading), math.sin(heading)]
-                )
-        return OrientedRect(
-            cx=float(point[0]),
-            cy=float(point[1]),
-            heading=float(heading),
-            length=spec.length,
-            width=spec.width,
-        )
-
-    def _in_box(self, vehicle: BaseVehicle) -> bool:
-        approach = self.geometry.approach_length
-        path_len = vehicle.path_length
-        return (
-            vehicle.front + vehicle.info.buffer >= approach
-            and vehicle.rear - vehicle.info.buffer <= approach + path_len
-        )
-
-    def _safety_monitor(self, node: str):
-        import itertools as _it
-
-        state = self._safety[node]
-        vehicles = self._node_vehicles[node]
-        while True:
-            active = [v for v in vehicles if not v.done and self._in_box(v)]
-            for a, b in _it.combinations(active, 2):
-                rect_a, rect_b = self._pose_of(a), self._pose_of(b)
-                gap = math.hypot(rect_a.cx - rect_b.cx, rect_a.cy - rect_b.cy)
-                state.min_separation = min(state.min_separation, gap)
-                pair = (
-                    min(a.info.vehicle_id, b.info.vehicle_id),
-                    max(a.info.vehicle_id, b.info.vehicle_id),
-                )
-                if rects_overlap(rect_a, rect_b):
-                    if pair not in state.collided_pairs:
-                        state.collided_pairs.add(pair)
-                        state.collisions += 1
-                elif a.info.movement.entry != b.info.movement.entry and (
-                    rects_overlap(
-                        rect_a.inflated_longitudinal(a.info.buffer),
-                        rect_b.inflated_longitudinal(b.info.buffer),
-                    )
-                ):
-                    state.buffer_violations += 1
-            yield self.env.timeout(self.config.safety_dt)
-
-    def _im_watchdog(self, node: str):
-        im = self.ims[node]
-        while True:
-            yield self.env.timeout(1.0)
-            im.invalidate_quiet(self.env.now)
-
     # -- execution ----------------------------------------------------------
     @property
     def all_done(self) -> bool:
@@ -658,79 +517,13 @@ class GridWorld:
         return self.result()
 
     # -- metrics ------------------------------------------------------------
-    def _machine_counters(self, perf: PerfCounters, node: str) -> None:
-        """Per-node protocol-machine counters (same keys as World's)."""
-        vehicles = self._node_vehicles[node]
-        im = self.ims[node]
-        loops = [v.proto for v in vehicles]
-        perf.incr("machine.request_loop.exchanges", sum(l.exchanges for l in loops))
-        perf.incr("machine.request_loop.timeouts", sum(l.timeouts for l in loops))
-        perf.incr("machine.request_loop.discarded", sum(l.discarded for l in loops))
-        syncs = [v.sync for v in vehicles]
-        perf.incr("machine.timesync.sessions", sum(s.sessions for s in syncs))
-        perf.incr("machine.timesync.samples", sum(s.samples for s in syncs))
-        perf.incr("machine.timesync.resamples", sum(s.resamples for s in syncs))
-        monitors = [v.monitor for v in vehicles]
-        perf.incr("machine.degradation.timeouts",
-                  sum(m.timeouts_total for m in monitors))
-        perf.incr("machine.degradation.contacts",
-                  sum(m.contacts for m in monitors))
-        perf.incr("machine.degradation.entries",
-                  sum(m.degraded_entries for m in monitors))
-        perf.incr("machine.degradation.degraded_s",
-                  sum(m.degraded_time for m in monitors))
-        perf.incr("machine.sequence_guard.admitted", im.guard.admitted)
-        perf.incr("machine.sequence_guard.drops", im.guard.drops)
-        perf.incr("machine.sequence_guard.stale_cancels", im.guard.stale_cancels)
-        perf.incr("machine.timesync_responder.responses",
-                  im.sync_responder.responses)
-
-    def _node_perf(self, node: str) -> Dict[str, float]:
-        perf = PerfCounters()
-        perf.merge(self.ims[node].perf)
-        self._machine_counters(perf, node)
-        im = self.ims[node]
-        reservations = getattr(im, "reservations", None)
-        if reservations is not None:  # AIM node
-            grid = reservations.grid
-            perf.incr("tile_cells_tested", grid.cells_tested)
-            perf.incr("tile_cache_hits", grid.cache_hits)
-            perf.incr("tile_cache_misses", grid.cache_misses)
-            perf.incr("tile_cells_purged", reservations.purged_total)
-            perf.incr("tile_cells_simulated", im.cells_simulated)
-        snapshot = perf.snapshot()
-        if reservations is not None:
-            snapshot["tile_cache_hit_rate"] = perf.hit_rate(
-                "tile_cache_hits", "tile_cache_misses"
-            )
-        return snapshot
-
     def node_result(self, node: str) -> SimResult:
         """Full single-intersection result view of one node."""
-        im = self.ims[node]
-        stats = self.channel.stats
-        addr = self._im_addr[node]
-        safety = self._safety[node]
-        return SimResult(
-            policy=self._policies[node].name,
-            records=[v.record for v in self._node_vehicles[node]],
-            sim_duration=self.env.now,
-            compute_time=im.compute.total_time,
-            compute_requests=im.compute.requests,
-            messages_sent=int(stats.by_endpoint[addr]),
-            bytes_sent=int(stats.bytes_by_endpoint[addr]),
-            messages_by_type=dict(stats.by_type),
-            rejects=im.stats.rejects,
-            collisions=safety.collisions,
-            buffer_violations=safety.buffer_violations,
-            min_separation=safety.min_separation,
-            worst_service_time=im.stats.worst_service_time,
-            duplicates_dropped=int(stats.dupes_by_endpoint[addr]),
-            losses_by_reason={k: int(v) for k, v in sorted(stats.by_reason.items())},
+        return self.nodes[node].result(
+            stats=self.channel.stats,
+            per_endpoint=True,
             fault_injections=self.faults.snapshot() if self.faults else {},
-            reservation_invalidations=im.stats.invalidations,
-            stale_requests_dropped=im.stats.stale_requests_dropped,
-            perf=self._node_perf(node),
+            perf=self.nodes[node].perf_snapshot(),
         )
 
     def result(self) -> GridResult:
@@ -756,4 +549,9 @@ class GridWorld:
                 if self.obs is not None
                 else {}
             ),
+            violations={
+                name: tuple(runtime.oracle.violations)
+                for name, runtime in self.nodes.items()
+                if runtime.oracle is not None
+            },
         )

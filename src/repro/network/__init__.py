@@ -10,6 +10,7 @@ than Crossroads because of its re-request storms).
 """
 
 from repro.network.channel import Channel, NetworkStats, Radio
+from repro.network.transport import Transport, default_transport
 from repro.network.delay import (
     ConstantDelay,
     DelayModel,
@@ -50,7 +51,9 @@ __all__ = [
     "Radio",
     "SyncRequest",
     "SyncResponse",
+    "Transport",
     "UniformDelay",
     "VelocityCommand",
+    "default_transport",
     "testbed_delay_model",
 ]

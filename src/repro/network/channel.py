@@ -35,6 +35,7 @@ import numpy as np
 from repro.des import Environment, Event, Store
 from repro.network.delay import ConstantDelay, DelayModel
 from repro.network.messages import Message
+from repro.network.transport import Transport
 from repro.obs.events import NULL_LOG
 
 __all__ = ["Channel", "NetworkStats", "Radio"]
@@ -149,8 +150,9 @@ class Radio:
         return f"Radio({self.address!r})"
 
 
-class Channel:
-    """Broadcast medium with per-message delay and loss.
+class Channel(Transport):
+    """Broadcast medium with per-message delay and loss — the default
+    in-process :class:`~repro.network.transport.Transport`.
 
     Parameters
     ----------

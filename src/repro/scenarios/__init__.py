@@ -30,6 +30,7 @@ from repro.scenarios.library import (
 from repro.scenarios.oracle import VIOLATION_KINDS, SafetyOracle, Violation
 from repro.scenarios.runner import (
     ScenarioResult,
+    attach_oracles,
     build_world,
     run_spec,
     run_spec_replicated,
@@ -56,6 +57,7 @@ __all__ = [
     "TrafficSpec",
     "VIOLATION_KINDS",
     "Violation",
+    "attach_oracles",
     "build_world",
     "fault_config_from_dict",
     "fault_config_to_dict",

@@ -27,7 +27,12 @@ from repro.sim.metrics import SimResult
 from repro.sim.parallel import ParallelRunner, RunTask, resolve_jobs
 from repro.sim.world import World
 
-__all__ = ["ScenarioResult", "run_spec", "run_spec_replicated"]
+__all__ = [
+    "ScenarioResult",
+    "attach_oracles",
+    "run_spec",
+    "run_spec_replicated",
+]
 
 
 @dataclass(frozen=True)
@@ -82,6 +87,27 @@ def build_world(
         else None
     )
     return world, checker
+
+
+def attach_oracles(world, starvation_bound: float = 120.0):
+    """Attach one :class:`SafetyOracle` per node of a grid world.
+
+    ``world`` is duck-typed on a ``nodes`` mapping of per-intersection
+    node runtimes (:class:`~repro.grid.world.GridWorld`; kept duck-typed
+    so the scenario layer needs no grid import).  Each runtime exposes
+    the same ``safety_checks``/``collision_episodes``/``im`` seam a
+    single-intersection :class:`World` does, so the oracle attaches
+    unchanged; the runtime's ``oracle`` slot is set so
+    ``GridResult.violations`` can attribute findings per node.  Returns
+    the ``{node name: oracle}`` mapping.  Call *before* ``run()`` —
+    like ``SafetyOracle`` itself, attaching never perturbs the run.
+    """
+    oracles = {}
+    for name, runtime in world.nodes.items():
+        checker = SafetyOracle(runtime, starvation_bound=starvation_bound)
+        runtime.oracle = checker
+        oracles[name] = checker
+    return oracles
 
 
 def run_spec(

@@ -10,6 +10,7 @@ full policy-by-flow grid of the Matlab evaluation.
 """
 
 from repro.sim.analytic import AnalyticConfig, run_analytic
+from repro.sim.engine import NodeRuntime, lane_predecessor
 from repro.sim.flowsweep import FlowPoint, run_flow, run_flow_sweep
 from repro.sim.metrics import SimResult, compare_policies
 from repro.sim.parallel import ParallelRunner, RunTask, resolve_jobs, run_tasks
@@ -21,6 +22,7 @@ __all__ = [
     "AnalyticConfig",
     "FlowPoint",
     "MetricStats",
+    "NodeRuntime",
     "ParallelRunner",
     "Replication",
     "RunTask",
@@ -34,6 +36,7 @@ __all__ = [
     "World",
     "WorldConfig",
     "compare_policies",
+    "lane_predecessor",
     "run_analytic",
     "run_flow",
     "run_flow_sweep",

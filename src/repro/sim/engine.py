@@ -1,0 +1,463 @@
+"""The shared node runtime: one intersection's complete machinery.
+
+:class:`NodeRuntime` owns everything that happens *at* one
+intersection — the IM (with its scheduler), the per-lane vehicle
+queues and spawn wiring, the ground-truth safety monitor, the 1 Hz
+reservation-invalidation watchdog, perf/machine-counter harvesting,
+and the two scenario seams (``on_spawn`` hooks, ``safety_checks``
+ticks).  :class:`~repro.sim.world.World` is a single-node
+instantiation; :class:`~repro.grid.world.GridWorld` composes N of
+them on one DES environment and one shared
+:class:`~repro.network.transport.Transport` (the hand-off logic
+between nodes stays in :mod:`repro.grid`).
+
+What stays with the composer — and why
+--------------------------------------
+* **Master-RNG ownership.**  The composer draws the channel seed and
+  passes its generator into :meth:`make_clock` / :meth:`add_vehicle`,
+  which perform the per-spawn draws in the pinned order (clock offset,
+  clock drift, clock RNG key, vehicle RNG key).  One stream across all
+  nodes keeps a 1-node grid bit-identical to a plain world.
+* **DES process creation.**  :meth:`safety_monitor` and
+  :meth:`im_watchdog` are plain generators; the composer passes them
+  to ``env.process`` in its documented order (the IM's own processes
+  start inside ``make_im`` at runtime construction).
+* **Transport scope.**  The runtime holds a reference for the IM but
+  never attaches endpoints; radios are attached (and, across grid
+  hand-offs, re-used) by the composer that owns the medium.
+
+The golden engine-equivalence suite pins all of this: World,
+GridWorld and the scenario library must replay bit-identically across
+the extraction, serially and under a 2-worker pool.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import replace
+from functools import partial
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.policy import make_im
+from repro.geometry.collision import OrientedRect, rects_overlap
+from repro.geometry.conflicts import ConflictTable
+from repro.geometry.layout import IntersectionGeometry
+from repro.network.transport import Transport
+from repro.obs.events import EventLog
+from repro.perf import PerfCounters
+from repro.sensors.plant import PlantConfig
+from repro.sim.metrics import SimResult
+from repro.timesync.clock import Clock
+from repro.vehicle.agent import BaseVehicle, make_vehicle
+from repro.vehicle.spec import VehicleInfo
+
+__all__ = ["NodeRuntime", "lane_predecessor"]
+
+
+def lane_predecessor(lane: List[BaseVehicle], me_index: int) -> Optional[BaseVehicle]:
+    """The nearest not-yet-despawned vehicle ahead in ``lane``.
+
+    ``me_index`` is the caller's spawn position in the lane list; the
+    scan walks backwards from there so the returned leader is the one
+    whose rear bumper bounds the caller's car-following headway.  A
+    returned ``None`` means the full approach is clear — every earlier
+    spawn has already cleared its box and outrun.  Bound per-spawn via
+    ``functools.partial`` with the lane list *object* (shared with
+    later spawns) and the index *value* (frozen at spawn time).
+    """
+    for earlier in reversed(lane[:me_index]):
+        if not earlier.done:
+            return earlier
+    return None
+
+
+class NodeRuntime:
+    """One intersection's runtime on a shared DES + transport.
+
+    Parameters
+    ----------
+    env:
+        The (shared) DES environment.
+    policy_spec:
+        A resolved policy (:func:`repro.core.registry.resolve_policy`
+        output) — resolution stays with the composer, which may mix
+        policies across nodes.
+    transport:
+        The shared medium; consumed strictly through the
+        :class:`~repro.network.transport.Transport` surface.
+    geometry / conflicts:
+        Node-local intersection layout and (for VT-style policies) its
+        conflict table, shared across nodes of one grid.
+    config:
+        The experiment's :class:`~repro.sim.world.WorldConfig`.
+    im_address:
+        This node's IM endpoint address (``config.im.address`` itself
+        for a single-node world, ``"{base}.{node}"`` on grids).
+    name:
+        Label used as the actor of emitted safety events (``"world"``
+        for the single-intersection world, the node name on grids).
+    obs:
+        Optional event log, threaded through IM and scheduler exactly
+        as the pre-engine worlds did.
+    """
+
+    def __init__(
+        self,
+        env,
+        policy_spec,
+        transport: Transport,
+        geometry: IntersectionGeometry,
+        conflicts: Optional[ConflictTable],
+        config,
+        im_address: str,
+        name: str = "world",
+        obs: Optional[EventLog] = None,
+    ):
+        self.env = env
+        self.spec = policy_spec
+        self.policy = policy_spec.name
+        self.transport = transport
+        self.geometry = geometry
+        self.conflicts = conflicts
+        self.config = config
+        self.im_address = im_address
+        self.name = name
+        self.obs = obs
+        im_cfg = (
+            config.im
+            if config.im.address == im_address
+            else replace(config.im, address=im_address)
+        )
+        self.im = make_im(
+            policy_spec,
+            env,
+            transport,
+            geometry,
+            conflicts=conflicts,
+            config=im_cfg,
+            aim_config=config.aim,
+        )
+        if obs is not None:
+            # Injected post-construction to keep the policy-plugin IM
+            # builder signature stable; safe because DES processes
+            # scheduled in the constructor only execute under env.run().
+            self.im.obs = obs
+            scheduler = getattr(self.im, "scheduler", None)
+            if scheduler is not None:
+                scheduler.obs = obs
+                scheduler.obs_now = lambda: self.env.now
+        self.vehicles: List[BaseVehicle] = []
+        self._lanes: Dict[str, List[BaseVehicle]] = {}
+        self.collisions = 0
+        self.buffer_violations = 0
+        self.min_separation = math.inf
+        #: Pairs currently in body overlap.  A pair that separates is
+        #: cleared, so a later re-collision opens a *new* episode —
+        #: ``collisions`` counts distinct contact events, not pairs.
+        self._touching_pairs = set()
+        #: ``(onset_time, (id_a, id_b))`` per collision episode; always
+        #: satisfies ``len(collision_episodes) == collisions``.
+        self.collision_episodes: List[Tuple[float, Tuple[int, int]]] = []
+        #: Optional hook called with each vehicle right after it spawns
+        #: (the scenario layer attaches behaviour processes here).  Must
+        #: never draw from an RNG shared with the world: a ``None`` hook
+        #: and a no-op hook are bit-identical.
+        self.on_spawn: Optional[Callable[[BaseVehicle], None]] = None
+        #: Extra per-tick safety checks, called as ``check(now)`` from
+        #: the safety monitor after the pairwise sweep.  Checks only
+        #: *observe* (no RNG, no DES events), so attaching one never
+        #: changes a run's summary.
+        self.safety_checks: List[Callable[[float], None]] = []
+        #: Slot for an attached :class:`~repro.scenarios.SafetyOracle`
+        #: (set by the scenario layer; read duck-typed by
+        #: ``GridResult`` for per-node violation attribution).
+        self.oracle = None
+
+    # -- spawning -----------------------------------------------------------
+    def vehicle_info(self, vehicle_id: int, spec, movement) -> VehicleInfo:
+        """Per-hop vehicle identity with this world's planning buffer."""
+        return VehicleInfo(
+            vehicle_id=vehicle_id,
+            spec=spec,
+            movement=movement,
+            buffer=self.config.im.base_buffer,
+        )
+
+    def make_clock(self, master_rng: np.random.Generator) -> Clock:
+        """Draw a fresh drifting clock (three master-RNG draws, in the
+        pinned order: offset, drift, child RNG key)."""
+        cfg = self.config
+        return Clock(
+            offset=float(
+                master_rng.uniform(-cfg.clock_offset_bound, cfg.clock_offset_bound)
+            ),
+            drift=float(
+                master_rng.uniform(-cfg.clock_drift_bound, cfg.clock_drift_bound)
+            ),
+            epoch=self.env.now,
+            rng=np.random.default_rng(master_rng.integers(2 ** 63)),
+        )
+
+    def plant_config(self) -> PlantConfig:
+        cfg = self.config
+        plant_config = cfg.plant
+        if cfg.ideal_vehicles:
+            plant_config = PlantConfig(
+                a_max=plant_config.a_max,
+                d_max=plant_config.d_max,
+                v_max=plant_config.v_max,
+                tau=1e-3,
+                accel_noise_std=0.0,
+                encoder=plant_config.encoder,
+            )
+        return plant_config
+
+    def lane(self, entry_value: str) -> List[BaseVehicle]:
+        """This node's (created-on-demand) queue for one entry arm."""
+        return self._lanes.setdefault(entry_value, [])
+
+    def add_vehicle(
+        self,
+        info: VehicleInfo,
+        radio,
+        clock: Clock,
+        spawn_speed: float,
+        master_rng: np.random.Generator,
+    ) -> BaseVehicle:
+        """Build one protocol-running agent at this node (one master-RNG
+        draw: the vehicle's child RNG key), register it into its lane,
+        and fire the ``on_spawn`` seam."""
+        cfg = self.config
+        lane = self.lane(info.movement.entry.value)
+        vehicle = make_vehicle(
+            self.spec,
+            self.env,
+            info,
+            radio,
+            clock,
+            path_length=self.geometry.crossing_distance(info.movement),
+            approach_length=self.geometry.approach_length,
+            spawn_speed=min(spawn_speed, info.spec.v_max),
+            plant_config=self.plant_config(),
+            im_address=self.im_address,
+            predecessor=partial(lane_predecessor, lane, len(lane)),
+            config=cfg.agent,
+            rng=np.random.default_rng(master_rng.integers(2 ** 63)),
+            plant_headroom=1.0 if cfg.ideal_vehicles else cfg.plant_headroom,
+            obs=self.obs,
+        )
+        if cfg.ideal_vehicles:
+            vehicle.plant.ideal = True
+        lane.append(vehicle)
+        self.vehicles.append(vehicle)
+        if self.on_spawn is not None:
+            self.on_spawn(vehicle)
+        return vehicle
+
+    # -- ground-truth poses --------------------------------------------------
+    def pose_of(self, vehicle: BaseVehicle) -> OrientedRect:
+        """Node-frame footprint of a vehicle's *body* (no buffer)."""
+        movement = vehicle.info.movement
+        spec = vehicle.info.spec
+        path = self.geometry.path(movement)
+        approach = self.geometry.approach_length
+        centre_s = vehicle.front - spec.length / 2.0
+        if centre_s < approach:
+            entry = self.geometry.entry_point(movement.entry)
+            fwd = np.array(movement.entry.inbound_unit)
+            point = entry - (approach - centre_s) * fwd
+            heading = movement.entry.heading
+        else:
+            s = centre_s - approach
+            if s <= path.length:
+                point = path.point_at(s)
+                heading = path.heading_at(s)
+            else:
+                end = path.point_at(path.length)
+                heading = path.heading_at(path.length)
+                point = end + (s - path.length) * np.array(
+                    [math.cos(heading), math.sin(heading)]
+                )
+        return OrientedRect(
+            cx=float(point[0]),
+            cy=float(point[1]),
+            heading=float(heading),
+            length=spec.length,
+            width=spec.width,
+        )
+
+    def in_box(self, vehicle: BaseVehicle) -> bool:
+        approach = self.geometry.approach_length
+        path_len = vehicle.path_length
+        return (
+            vehicle.front + vehicle.info.buffer >= approach
+            and vehicle.rear - vehicle.info.buffer <= approach + path_len
+        )
+
+    # -- periodic processes (composer passes these to env.process) ----------
+    def safety_monitor(self):
+        """Ground-truth sweep of all in-box footprints at ``safety_dt``."""
+        while True:
+            active = [
+                v for v in self.vehicles if not v.done and self.in_box(v)
+            ]
+            for a, b in itertools.combinations(active, 2):
+                rect_a, rect_b = self.pose_of(a), self.pose_of(b)
+                gap = math.hypot(rect_a.cx - rect_b.cx, rect_a.cy - rect_b.cy)
+                self.min_separation = min(self.min_separation, gap)
+                pair = (min(a.info.vehicle_id, b.info.vehicle_id),
+                        max(a.info.vehicle_id, b.info.vehicle_id))
+                if rects_overlap(rect_a, rect_b):
+                    # Episode semantics: a sustained overlap counts
+                    # once at onset; once the bodies separate the pair
+                    # is cleared, so a distinct later contact counts
+                    # as a new episode.
+                    if pair not in self._touching_pairs:
+                        self._touching_pairs.add(pair)
+                        self.collisions += 1
+                        self.collision_episodes.append((self.env.now, pair))
+                        if self.obs is not None and self.obs.enabled:
+                            self.obs.emit(
+                                "safety.collision", self.env.now, self.name,
+                                vehicle_a=pair[0], vehicle_b=pair[1],
+                            )
+                elif pair in self._touching_pairs:
+                    self._touching_pairs.discard(pair)
+                elif a.info.movement.entry != b.info.movement.entry and rects_overlap(
+                    rect_a.inflated_longitudinal(a.info.buffer),
+                    rect_b.inflated_longitudinal(b.info.buffer),
+                ):
+                    # Buffered-footprint contact between *cross-traffic*
+                    # vehicles: the planned-safety margin was consumed.
+                    # Same-lane pairs queueing at the line are expected
+                    # to sit closer than two buffers and are excluded.
+                    self.buffer_violations += 1
+            for check in self.safety_checks:
+                check(self.env.now)
+            yield self.env.timeout(self.config.safety_dt)
+
+    def im_watchdog(self):
+        """1 Hz sweep invalidating reservations of quiet vehicles.
+
+        Lives outside the IM: an infinite periodic process in
+        :class:`~repro.core.base.BaseIM` would keep the event queue
+        non-empty and hang unit tests that ``env.run()`` with no
+        ``until`` (the composer's :meth:`run` steps in bounded
+        increments instead).
+        """
+        while True:
+            yield self.env.timeout(1.0)
+            self.im.invalidate_quiet(self.env.now)
+
+    # -- metrics -------------------------------------------------------------
+    def machine_counters(self, perf: PerfCounters) -> None:
+        """Harvest the ROADMAP's per-machine protocol counters.
+
+        All values derive from deterministic machine state (sim-time
+        and message accounting, never wall clock), so jobs=1 and
+        jobs=2 merges of the same seeds agree exactly.
+        """
+        loops = [v.proto for v in self.vehicles]
+        perf.incr("machine.request_loop.exchanges",
+                  sum(l.exchanges for l in loops))
+        perf.incr("machine.request_loop.timeouts",
+                  sum(l.timeouts for l in loops))
+        perf.incr("machine.request_loop.discarded",
+                  sum(l.discarded for l in loops))
+        syncs = [v.sync for v in self.vehicles]
+        perf.incr("machine.timesync.sessions", sum(s.sessions for s in syncs))
+        perf.incr("machine.timesync.samples", sum(s.samples for s in syncs))
+        perf.incr("machine.timesync.resamples", sum(s.resamples for s in syncs))
+        monitors = [v.monitor for v in self.vehicles]
+        perf.incr("machine.degradation.timeouts",
+                  sum(m.timeouts_total for m in monitors))
+        perf.incr("machine.degradation.contacts",
+                  sum(m.contacts for m in monitors))
+        perf.incr("machine.degradation.entries",
+                  sum(m.degraded_entries for m in monitors))
+        perf.incr("machine.degradation.degraded_s",
+                  sum(m.degraded_time for m in monitors))
+        guard = self.im.guard
+        perf.incr("machine.sequence_guard.admitted", guard.admitted)
+        perf.incr("machine.sequence_guard.drops", guard.drops)
+        perf.incr("machine.sequence_guard.stale_cancels", guard.stale_cancels)
+        perf.incr("machine.timesync_responder.responses",
+                  self.im.sync_responder.responses)
+
+    def perf_snapshot(
+        self,
+        base: Optional[PerfCounters] = None,
+        des_events: Optional[int] = None,
+    ) -> Dict[str, float]:
+        """IM + machine + tile counters, merged onto ``base`` (the
+        composer's wall-clock timers; kernel event count rides in via
+        ``des_events`` so a per-node grid snapshot can omit it)."""
+        perf = base if base is not None else PerfCounters()
+        perf.merge(self.im.perf)
+        if des_events is not None:
+            perf.incr("des_events", des_events)
+        self.machine_counters(perf)
+        reservations = getattr(self.im, "reservations", None)
+        if reservations is not None:  # AIM only
+            grid = reservations.grid
+            perf.incr("tile_cells_tested", grid.cells_tested)
+            perf.incr("tile_cache_hits", grid.cache_hits)
+            perf.incr("tile_cache_misses", grid.cache_misses)
+            perf.incr("tile_cells_purged", reservations.purged_total)
+            perf.incr("tile_cells_simulated", self.im.cells_simulated)
+        snapshot = perf.snapshot()
+        if reservations is not None:
+            snapshot["tile_cache_hit_rate"] = perf.hit_rate(
+                "tile_cache_hits", "tile_cache_misses"
+            )
+        return snapshot
+
+    def result(
+        self,
+        stats,
+        per_endpoint: bool,
+        fault_injections: Dict,
+        perf: Dict[str, float],
+        obs_stats: Optional[Dict[str, float]] = None,
+    ) -> SimResult:
+        """This node's single-intersection result view.
+
+        ``stats`` is the transport's counter object; ``per_endpoint``
+        selects this IM's ``by_endpoint`` share of a shared medium
+        (grids) versus the global totals (a single-node world, where
+        the two coincide by the ``by_endpoint[im] == sent`` identity).
+        """
+        if per_endpoint:
+            addr = self.im_address
+            messages_sent = int(stats.by_endpoint[addr])
+            bytes_sent = int(stats.bytes_by_endpoint[addr])
+            duplicates_dropped = int(stats.dupes_by_endpoint[addr])
+        else:
+            messages_sent = stats.sent
+            bytes_sent = stats.bytes_sent
+            duplicates_dropped = stats.duplicates_dropped
+        return SimResult(
+            policy=self.policy,
+            records=[v.record for v in self.vehicles],
+            sim_duration=self.env.now,
+            compute_time=self.im.compute.total_time,
+            compute_requests=self.im.compute.requests,
+            messages_sent=messages_sent,
+            bytes_sent=bytes_sent,
+            messages_by_type=dict(stats.by_type),
+            rejects=self.im.stats.rejects,
+            collisions=self.collisions,
+            buffer_violations=self.buffer_violations,
+            min_separation=self.min_separation,
+            worst_service_time=self.im.stats.worst_service_time,
+            duplicates_dropped=duplicates_dropped,
+            losses_by_reason={k: int(v) for k, v in sorted(stats.by_reason.items())},
+            fault_injections=fault_injections,
+            reservation_invalidations=self.im.stats.invalidations,
+            stale_requests_dropped=self.im.stats.stale_requests_dropped,
+            perf=perf,
+            obs=obs_stats if obs_stats is not None else {},
+        )

@@ -1,54 +1,51 @@
-"""The micro-simulator: vehicles + network + IM + safety monitor.
+"""The micro-simulator: one intersection's node runtime + its workload.
 
 A :class:`World` assembles one complete experiment:
 
 * the intersection geometry and (for VT-style policies) its conflict
   table;
-* a wireless :class:`~repro.network.Channel` with the testbed's delay
-  distribution and optional loss;
-* one IM process of the chosen policy;
+* a wireless medium behind the
+  :class:`~repro.network.transport.Transport` seam (the in-process
+  channel with the testbed's delay distribution and optional loss);
+* a single :class:`~repro.sim.engine.NodeRuntime` — the IM process of
+  the chosen policy plus the per-lane spawn wiring, the ground-truth
+  safety monitor and the reservation watchdog;
 * a spawner that turns an arrival list into protocol-running
   :class:`~repro.vehicle.BaseVehicle` agents, each with its own
-  drifting clock and noisy plant, registered into per-lane queues for
-  the car-following clamp;
-* a ground-truth safety monitor sampling all in-box footprints and
-  recording body collisions, buffered near-misses and the minimum
-  separation seen.
+  drifting clock and noisy plant.
 
 ``world.run()`` advances the DES until every vehicle has despawned (or
 a hard time limit is hit) and returns a
 :class:`~repro.sim.metrics.SimResult`.
+:class:`~repro.grid.world.GridWorld` composes N of the same runtimes
+on one environment; this class is the single-node instantiation.
 """
 
 from __future__ import annotations
 
-import itertools
-import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.aim import AimConfig
 from repro.core.base import IMConfig
-from repro.core.policy import make_im
 from repro.core.registry import resolve_policy
 from repro.des import Environment
 from repro.faults import FaultConfig, FaultInjector
-from repro.geometry.collision import OrientedRect, rects_overlap
+from repro.geometry.collision import OrientedRect
 from repro.geometry.conflicts import ConflictTable
 from repro.geometry.layout import IntersectionGeometry
-from repro.network.channel import Channel
 from repro.network.delay import DelayModel, testbed_delay_model
+from repro.network.transport import default_transport
 from repro.obs.events import EventLog
 from repro.obs.spans import build_spans, span_stats
 from repro.perf import PerfCounters
 from repro.sensors.plant import PlantConfig
+from repro.sim.engine import NodeRuntime
 from repro.sim.metrics import SimResult
-from repro.timesync.clock import Clock
 from repro.traffic.generator import Arrival
-from repro.vehicle.agent import AgentConfig, BaseVehicle, make_vehicle
-from repro.vehicle.spec import VehicleInfo
+from repro.vehicle.agent import AgentConfig, BaseVehicle
 
 __all__ = ["World", "WorldConfig", "run_scenario"]
 
@@ -167,7 +164,7 @@ class World:
                 rng=np.random.default_rng([channel_seed, 1]),
                 im_address=self.config.im.address,
             )
-        self.channel = Channel(
+        self.channel = default_transport(
             self.env,
             delay_model=delay,
             loss_probability=self.config.message_loss,
@@ -178,52 +175,61 @@ class World:
         if self._spec.needs_conflicts and conflicts is None:
             conflicts = ConflictTable(self.geometry)
         self.conflicts = conflicts
-        self.im = make_im(
-            self._spec,
+        self._node = NodeRuntime(
             self.env,
+            self._spec,
             self.channel,
             self.geometry,
-            conflicts=conflicts,
-            config=self.config.im,
-            aim_config=self.config.aim,
+            conflicts,
+            self.config,
+            im_address=self.config.im.address,
+            name="world",
+            obs=obs,
         )
-        if obs is not None:
-            # Injected post-construction to keep the policy-plugin IM
-            # builder signature stable; safe because DES processes
-            # scheduled in the constructor only execute under env.run().
-            self.im.obs = obs
-            scheduler = getattr(self.im, "scheduler", None)
-            if scheduler is not None:
-                scheduler.obs = obs
-                scheduler.obs_now = lambda: self.env.now
-        self.vehicles: List[BaseVehicle] = []
-        self._lanes: Dict[str, List[BaseVehicle]] = {}
-        self.collisions = 0
-        self.buffer_violations = 0
-        self.min_separation = math.inf
-        #: Pairs currently in body overlap.  A pair that separates is
-        #: cleared, so a later re-collision opens a *new* episode —
-        #: ``collisions`` counts distinct contact events, not pairs.
-        self._touching_pairs = set()
-        #: ``(onset_time, (id_a, id_b))`` per collision episode; always
-        #: satisfies ``len(collision_episodes) == collisions``.
-        self.collision_episodes: List[Tuple[float, Tuple[int, int]]] = []
-        #: Optional hook called with each vehicle right after it spawns
-        #: (the scenario layer attaches behaviour processes here).  Must
-        #: never draw from an RNG shared with the world: a ``None`` hook
-        #: and a no-op hook are bit-identical.
-        self.on_spawn: Optional[Callable[[BaseVehicle], None]] = None
-        #: Extra per-tick safety checks, called as ``check(now)`` from
-        #: the safety monitor after the pairwise sweep.  Checks only
-        #: *observe* (no RNG, no DES events), so attaching one never
-        #: changes a run's summary.
-        self.safety_checks: List[Callable[[float], None]] = []
+        self.im = self._node.im
         #: Wall-clock timers for this run (counters are harvested from
         #: the kernel / IM at :meth:`result` time).
         self.perf = PerfCounters()
         self.env.process(self._spawner())
-        self.env.process(self._safety_monitor())
-        self.env.process(self._im_watchdog())
+        self.env.process(self._node.safety_monitor())
+        self.env.process(self._node.im_watchdog())
+
+    # -- node-runtime views --------------------------------------------------
+    @property
+    def vehicles(self) -> List[BaseVehicle]:
+        return self._node.vehicles
+
+    @property
+    def collisions(self) -> int:
+        return self._node.collisions
+
+    @property
+    def buffer_violations(self) -> int:
+        return self._node.buffer_violations
+
+    @property
+    def min_separation(self) -> float:
+        return self._node.min_separation
+
+    @property
+    def collision_episodes(self) -> List[Tuple[float, Tuple[int, int]]]:
+        """``(onset_time, (id_a, id_b))`` per collision episode."""
+        return self._node.collision_episodes
+
+    @property
+    def safety_checks(self) -> List[Callable[[float], None]]:
+        """Extra per-tick safety checks run by the node's monitor."""
+        return self._node.safety_checks
+
+    @property
+    def on_spawn(self) -> Optional[Callable[[BaseVehicle], None]]:
+        """Hook fired with each vehicle right after it spawns (the
+        scenario layer attaches behaviour processes here)."""
+        return self._node.on_spawn
+
+    @on_spawn.setter
+    def on_spawn(self, hook: Optional[Callable[[BaseVehicle], None]]) -> None:
+        self._node.on_spawn = hook
 
     # -- spawning -----------------------------------------------------------
     def _spawner(self):
@@ -234,156 +240,19 @@ class World:
             self._spawn(index, arrival)
 
     def _spawn(self, index: int, arrival: Arrival) -> BaseVehicle:
-        cfg = self.config
-        info = VehicleInfo(
-            vehicle_id=index,
-            spec=arrival.spec,
-            movement=arrival.movement,
-            buffer=cfg.im.base_buffer,
-        )
+        node = self._node
+        info = node.vehicle_info(index, arrival.spec, arrival.movement)
         radio = self.channel.attach(f"V{index}")
-        clock = Clock(
-            offset=float(self.rng.uniform(-cfg.clock_offset_bound, cfg.clock_offset_bound)),
-            drift=float(self.rng.uniform(-cfg.clock_drift_bound, cfg.clock_drift_bound)),
-            epoch=self.env.now,
-            rng=np.random.default_rng(self.rng.integers(2 ** 63)),
-        )
-        lane_key = arrival.movement.entry.value
-        lane = self._lanes.setdefault(lane_key, [])
-
-        def predecessor(lane=lane, me_index=len(lane)):
-            for earlier in reversed(lane[:me_index]):
-                if not earlier.done:
-                    return earlier
-            return None
-
-        plant_config = cfg.plant
-        if cfg.ideal_vehicles:
-            plant_config = PlantConfig(
-                a_max=plant_config.a_max,
-                d_max=plant_config.d_max,
-                v_max=plant_config.v_max,
-                tau=1e-3,
-                accel_noise_std=0.0,
-                encoder=plant_config.encoder,
-            )
-        vehicle = make_vehicle(
-            self._spec,
-            self.env,
-            info,
-            radio,
-            clock,
-            path_length=self.geometry.crossing_distance(arrival.movement),
-            approach_length=self.geometry.approach_length,
-            spawn_speed=min(arrival.speed, arrival.spec.v_max),
-            plant_config=plant_config,
-            im_address=cfg.im.address,
-            predecessor=predecessor,
-            config=cfg.agent,
-            rng=np.random.default_rng(self.rng.integers(2 ** 63)),
-            plant_headroom=1.0 if cfg.ideal_vehicles else cfg.plant_headroom,
-            obs=self.obs,
-        )
-        if cfg.ideal_vehicles:
-            vehicle.plant.ideal = True
-        lane.append(vehicle)
-        self.vehicles.append(vehicle)
-        if self.on_spawn is not None:
-            self.on_spawn(vehicle)
-        return vehicle
+        clock = node.make_clock(self.rng)
+        return node.add_vehicle(info, radio, clock, arrival.speed, self.rng)
 
     # -- ground-truth poses -----------------------------------------------------
     def pose_of(self, vehicle: BaseVehicle) -> OrientedRect:
         """World-frame footprint of a vehicle's *body* (no buffer)."""
-        movement = vehicle.info.movement
-        spec = vehicle.info.spec
-        path = self.geometry.path(movement)
-        approach = self.geometry.approach_length
-        centre_s = vehicle.front - spec.length / 2.0
-        if centre_s < approach:
-            entry = self.geometry.entry_point(movement.entry)
-            fwd = np.array(movement.entry.inbound_unit)
-            point = entry - (approach - centre_s) * fwd
-            heading = movement.entry.heading
-        else:
-            s = centre_s - approach
-            if s <= path.length:
-                point = path.point_at(s)
-                heading = path.heading_at(s)
-            else:
-                end = path.point_at(path.length)
-                heading = path.heading_at(path.length)
-                point = end + (s - path.length) * np.array(
-                    [math.cos(heading), math.sin(heading)]
-                )
-        return OrientedRect(
-            cx=float(point[0]),
-            cy=float(point[1]),
-            heading=float(heading),
-            length=spec.length,
-            width=spec.width,
-        )
+        return self._node.pose_of(vehicle)
 
     def _in_box(self, vehicle: BaseVehicle) -> bool:
-        approach = self.geometry.approach_length
-        path_len = vehicle.path_length
-        return (
-            vehicle.front + vehicle.info.buffer >= approach
-            and vehicle.rear - vehicle.info.buffer <= approach + path_len
-        )
-
-    def _safety_monitor(self):
-        while True:
-            active = [
-                v for v in self.vehicles if not v.done and self._in_box(v)
-            ]
-            for a, b in itertools.combinations(active, 2):
-                rect_a, rect_b = self.pose_of(a), self.pose_of(b)
-                gap = math.hypot(rect_a.cx - rect_b.cx, rect_a.cy - rect_b.cy)
-                self.min_separation = min(self.min_separation, gap)
-                pair = (min(a.info.vehicle_id, b.info.vehicle_id),
-                        max(a.info.vehicle_id, b.info.vehicle_id))
-                if rects_overlap(rect_a, rect_b):
-                    # Episode semantics: a sustained overlap counts
-                    # once at onset; once the bodies separate the pair
-                    # is cleared, so a distinct later contact counts
-                    # as a new episode.
-                    if pair not in self._touching_pairs:
-                        self._touching_pairs.add(pair)
-                        self.collisions += 1
-                        self.collision_episodes.append((self.env.now, pair))
-                        if self.obs is not None and self.obs.enabled:
-                            self.obs.emit(
-                                "safety.collision", self.env.now, "world",
-                                vehicle_a=pair[0], vehicle_b=pair[1],
-                            )
-                elif pair in self._touching_pairs:
-                    self._touching_pairs.discard(pair)
-                elif a.info.movement.entry != b.info.movement.entry and rects_overlap(
-                    rect_a.inflated_longitudinal(a.info.buffer),
-                    rect_b.inflated_longitudinal(b.info.buffer),
-                ):
-                    # Buffered-footprint contact between *cross-traffic*
-                    # vehicles: the planned-safety margin was consumed.
-                    # Same-lane pairs queueing at the line are expected
-                    # to sit closer than two buffers and are excluded.
-                    self.buffer_violations += 1
-            for check in self.safety_checks:
-                check(self.env.now)
-            yield self.env.timeout(self.config.safety_dt)
-
-    def _im_watchdog(self):
-        """1 Hz sweep invalidating reservations of quiet vehicles.
-
-        Lives in the world (whose :meth:`run` steps the DES in bounded
-        increments) rather than inside the IM: an infinite periodic
-        process in :class:`~repro.core.base.BaseIM` would keep the
-        event queue non-empty and hang unit tests that ``env.run()``
-        with no ``until``.
-        """
-        while True:
-            yield self.env.timeout(1.0)
-            self.im.invalidate_quiet(self.env.now)
+        return self._node.in_box(vehicle)
 
     # -- execution ---------------------------------------------------------------
     @property
@@ -400,88 +269,20 @@ class World:
                 self.env.run(until=self.env.now + step)
         return self.result()
 
-    def _machine_counters(self, perf: PerfCounters) -> None:
-        """Harvest the ROADMAP's per-machine protocol counters.
-
-        All values derive from deterministic machine state (sim-time
-        and message accounting, never wall clock), so jobs=1 and
-        jobs=2 merges of the same seeds agree exactly.
-        """
-        loops = [v.proto for v in self.vehicles]
-        perf.incr("machine.request_loop.exchanges",
-                  sum(l.exchanges for l in loops))
-        perf.incr("machine.request_loop.timeouts",
-                  sum(l.timeouts for l in loops))
-        perf.incr("machine.request_loop.discarded",
-                  sum(l.discarded for l in loops))
-        syncs = [v.sync for v in self.vehicles]
-        perf.incr("machine.timesync.sessions", sum(s.sessions for s in syncs))
-        perf.incr("machine.timesync.samples", sum(s.samples for s in syncs))
-        perf.incr("machine.timesync.resamples", sum(s.resamples for s in syncs))
-        monitors = [v.monitor for v in self.vehicles]
-        perf.incr("machine.degradation.timeouts",
-                  sum(m.timeouts_total for m in monitors))
-        perf.incr("machine.degradation.contacts",
-                  sum(m.contacts for m in monitors))
-        perf.incr("machine.degradation.entries",
-                  sum(m.degraded_entries for m in monitors))
-        perf.incr("machine.degradation.degraded_s",
-                  sum(m.degraded_time for m in monitors))
-        guard = self.im.guard
-        perf.incr("machine.sequence_guard.admitted", guard.admitted)
-        perf.incr("machine.sequence_guard.drops", guard.drops)
-        perf.incr("machine.sequence_guard.stale_cancels", guard.stale_cancels)
-        perf.incr("machine.timesync_responder.responses",
-                  self.im.sync_responder.responses)
-
-    def _perf_snapshot(self) -> Dict[str, float]:
-        """Timers from this world + counters harvested from subsystems."""
-        perf = PerfCounters(times=self.perf.times)
-        perf.merge(self.im.perf)
-        perf.incr("des_events", self.env.events_processed)
-        self._machine_counters(perf)
-        reservations = getattr(self.im, "reservations", None)
-        if reservations is not None:  # AIM only
-            grid = reservations.grid
-            perf.incr("tile_cells_tested", grid.cells_tested)
-            perf.incr("tile_cache_hits", grid.cache_hits)
-            perf.incr("tile_cache_misses", grid.cache_misses)
-            perf.incr("tile_cells_purged", reservations.purged_total)
-            perf.incr("tile_cells_simulated", self.im.cells_simulated)
-        snapshot = perf.snapshot()
-        if reservations is not None:
-            snapshot["tile_cache_hit_rate"] = perf.hit_rate(
-                "tile_cache_hits", "tile_cache_misses"
-            )
-        return snapshot
-
     def result(self) -> SimResult:
         """Snapshot the metrics of the current state."""
-        stats = self.channel.stats
-        return SimResult(
-            policy=self.policy,
-            records=[v.record for v in self.vehicles],
-            sim_duration=self.env.now,
-            compute_time=self.im.compute.total_time,
-            compute_requests=self.im.compute.requests,
-            messages_sent=stats.sent,
-            bytes_sent=stats.bytes_sent,
-            messages_by_type=dict(stats.by_type),
-            rejects=self.im.stats.rejects,
-            collisions=self.collisions,
-            buffer_violations=self.buffer_violations,
-            min_separation=self.min_separation,
-            worst_service_time=self.im.stats.worst_service_time,
-            duplicates_dropped=stats.duplicates_dropped,
-            losses_by_reason={k: int(v) for k, v in sorted(stats.by_reason.items())},
+        return self._node.result(
+            stats=self.channel.stats,
+            per_endpoint=False,
             fault_injections=self.faults.snapshot() if self.faults else {},
-            reservation_invalidations=self.im.stats.invalidations,
-            stale_requests_dropped=self.im.stats.stale_requests_dropped,
-            perf=self._perf_snapshot(),
-            obs=(
+            perf=self._node.perf_snapshot(
+                base=PerfCounters(times=self.perf.times),
+                des_events=self.env.events_processed,
+            ),
+            obs_stats=(
                 span_stats(build_spans(self.obs))
                 if self.obs is not None
-                else {}
+                else None
             ),
         )
 

@@ -1,0 +1,164 @@
+"""Unit tests for the shared node-runtime engine (``repro.sim.engine``).
+
+Two seams introduced by the engine extraction get direct coverage here:
+
+* :func:`~repro.sim.engine.lane_predecessor` — the single
+  car-following headway helper that both the single-intersection
+  :class:`World` and the corridor :class:`GridWorld` now bind per
+  spawn (it used to be two copy-pasted closures);
+* the scenario seams on a grid — ``install`` scripting behaviours
+  through ``GridWorld.on_spawn`` and per-node
+  :class:`~repro.scenarios.SafetyOracle` s attached via
+  :func:`~repro.scenarios.attach_oracles`, with violations attributed
+  to the right node in ``GridResult.violations``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+
+from repro.sim.engine import lane_predecessor
+
+
+@dataclass
+class _Stub:
+    """Minimal stand-in for a spawned agent: the helper only reads
+    ``done``."""
+
+    name: str
+    done: bool = False
+
+
+class TestLanePredecessor:
+    """The lane-predecessor headway contract.
+
+    The returned leader is the *nearest earlier spawn still on the
+    road*; despawned vehicles are transparent; vehicles spawned later
+    than the caller never lead it, even though they share the lane
+    list object.
+    """
+
+    def test_empty_lane_has_no_leader(self):
+        assert lane_predecessor([], 0) is None
+
+    def test_nearest_earlier_vehicle_leads(self):
+        a, b = _Stub("a"), _Stub("b")
+        lane = [a, b]
+        assert lane_predecessor(lane, 2) is b
+        assert lane_predecessor(lane, 1) is a
+
+    def test_done_vehicles_are_transparent(self):
+        a, b, c = _Stub("a"), _Stub("b", done=True), _Stub("c", done=True)
+        lane = [a, b, c]
+        # Both immediate leaders have despawned: the scan falls through
+        # to the nearest one still on the road.
+        assert lane_predecessor(lane, 3) is a
+        a.done = True
+        assert lane_predecessor(lane, 3) is None
+
+    def test_spawn_position_is_frozen_not_live(self):
+        """The per-spawn binding captures the lane *object* (shared
+        with later spawns) but the index *value*: a vehicle appended
+        after me never becomes my predecessor."""
+        a = _Stub("a")
+        lane = [a]
+        me = partial(lane_predecessor, lane, len(lane))
+        later = _Stub("later")
+        lane.append(later)
+        assert me() is a
+        a.done = True
+        # With my only true leader gone the road ahead is clear, even
+        # though the lane list now has a live entry behind me.
+        assert me() is None
+
+    def test_world_binds_the_shared_helper(self):
+        """A live World spawn resolves its predecessor through the
+        engine helper with the same semantics."""
+        from repro.sim.world import World
+        from repro.traffic.generator import (
+            Approach,
+            Arrival,
+            Movement,
+            Turn,
+            VehicleSpec,
+        )
+
+        movement = Movement(Approach.WEST, Turn.STRAIGHT)
+        arrivals = [
+            Arrival(time=0.0, movement=movement, spec=VehicleSpec(), speed=1.0),
+            Arrival(time=0.5, movement=movement, spec=VehicleSpec(), speed=1.0),
+        ]
+        world = World("crossroads", arrivals, seed=1)
+        world.env.run(until=1.0)
+        first, second = world.vehicles
+        assert second.predecessor() is first
+        assert first.predecessor() is None
+
+
+class TestGridScenarioSeams:
+    """Scripted misbehaviour + safety oracles on a 3-node corridor.
+
+    The corridor runs the same ``on_spawn``/``safety_checks`` seams as
+    a single world: ``install`` needs no grid-specific code, and each
+    node's oracle sees only its own intersection, so
+    ``GridResult.violations`` attributes findings per node.
+    """
+
+    def _run_corridor(self):
+        from repro.grid import GridPoissonTraffic, GridWorld, corridor_spec
+        from repro.scenarios import BehaviourSpec, attach_oracles, install
+
+        spec = corridor_spec(3)
+        arrivals = GridPoissonTraffic(spec, 0.4, seed=11).generate(12)
+        world = GridWorld(spec, arrivals, seed=21)
+        assert world.on_spawn is None
+        install(world, [
+            # Vehicle 2 spawns at N2 at t=0.76; hijacked at t=1.0 it
+            # crosses the line with no live grant — the TE violator.
+            BehaviourSpec(kind="run_red_light", vehicle_id=2, start=1.0),
+            # Vehicle 1 spawns at N0 and dies 0.5 m into the box for
+            # six seconds; followers pile into it.
+            BehaviourSpec(kind="stall_in_box", vehicle_id=1, start=0.0,
+                          duration=6.0, value=0.5),
+        ])
+        oracles = attach_oracles(world)
+        return world, oracles, world.run()
+
+    def test_per_node_violation_attribution(self):
+        world, oracles, result = self._run_corridor()
+        # Every node is monitored; findings land on the right node.
+        assert set(result.violations) == {"N0", "N1", "N2"}
+        n0_kinds = {v.kind for v in result.violations["N0"]}
+        n2_kinds = {v.kind for v in result.violations["N2"]}
+        assert "collision" in n0_kinds
+        assert all(v.vehicle_id == 1 for v in result.violations["N0"])
+        assert n2_kinds == {"ungranted_entry"}
+        assert all(v.vehicle_id == 2 for v in result.violations["N2"])
+        assert result.violations["N1"] == ()
+        # The per-node SimResult ground truth agrees with the oracle's
+        # attribution: all collisions at the stall node, none elsewhere.
+        assert result.per_node["N0"].collisions == len(
+            [v for v in result.violations["N0"] if v.kind == "collision"]
+        )
+        assert result.per_node["N1"].collisions == 0
+        assert result.per_node["N2"].collisions == 0
+        assert result.summary()["collisions"] == float(
+            result.per_node["N0"].collisions
+        )
+
+    def test_oracles_live_on_the_runtimes(self):
+        world, oracles, result = self._run_corridor()
+        for name, oracle in oracles.items():
+            runtime = world.nodes[name]
+            assert runtime.oracle is oracle
+            assert oracle._tick in runtime.safety_checks
+        # The stall behaviour actually fired on the grid (the on_spawn
+        # seam reached the node runtime's spawn path).
+        stalled = [
+            v for v in world.vehicles
+            if getattr(v, "_scenario_stalled", False)
+        ]
+        assert [v.info.vehicle_id for v in stalled] == [1]
+        # Misbehaviour disrupts but does not wedge the corridor.
+        assert result.summary()["completed"] == 12.0

@@ -1,0 +1,266 @@
+"""Golden-replay bit-identity suite for the node-runtime engine refactor.
+
+The ``repro.sim.engine`` extraction re-expresses :class:`World` as a
+single :class:`~repro.sim.engine.NodeRuntime` instantiation and
+:class:`~repro.grid.world.GridWorld` as an N-node composition over the
+same engine, with the wireless medium consumed through the
+:class:`~repro.network.transport.Transport` seam.  The refactor is
+*behaviour-preserving by construction*: every RNG draw and every DES
+process creation keeps its pre-refactor order, so fixed seeds must
+reproduce the exact pre-refactor summaries, bit for bit.
+
+``tests/golden/engine_equivalence.json`` pins the summaries recorded at
+the pre-refactor commit:
+
+* ``world`` — 3 policies x 2 seeds through ``run_flow``;
+* ``grid1`` — 1-node grids (crossroads and aim), whose node summary
+  must *also* equal a plain :class:`World` run on the same arrivals
+  (asserted live, not just against the golden);
+* ``grid3`` — a 3-node mixed-policy corridor x 2 seeds, whole-network
+  and per-node summaries;
+* ``scenarios`` — every spec checked into ``scenarios/``: summary plus
+  the oracle's violation kinds.
+
+Replay helpers pass ``jobs=None`` so ``REPRO_JOBS`` picks the
+execution mode: the CI ``engine-equivalence`` job runs this file twice,
+serially and with ``REPRO_JOBS=2``, and both must match the goldens.
+If a later PR changes behaviour *intentionally*, re-record with::
+
+    PYTHONPATH=src python tests/test_engine_equivalence.py --record
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict
+
+import pytest
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "golden", "engine_equivalence.json"
+)
+LIBRARY = os.path.join(os.path.dirname(__file__), os.pardir, "scenarios")
+
+POLICIES = ("vt-im", "crossroads", "aim")
+WORLD_SEEDS = (3, 17)
+WORLD_FLOW = 0.5
+WORLD_CARS = 10
+
+GRID1_POLICIES = ("crossroads", "aim")
+GRID1_SEED = 7
+GRID3_POLICIES = ("crossroads", "aim", "vt-im")
+GRID3_SEEDS = (5, 9)
+GRID_FLOW = 0.3
+GRID_CARS = 12
+
+
+def world_key(policy: str, seed: int) -> str:
+    return f"{policy}#s{seed}"
+
+
+def _library_specs():
+    from repro.scenarios import load_library
+
+    return load_library(LIBRARY)
+
+
+# -- cell runners (each returns plain JSON-able data) ----------------------
+
+def run_world_cells(jobs=None) -> Dict[str, Dict]:
+    """All (policy, seed) cells through the stock sweep entry point."""
+    from repro.sim.flowsweep import run_flow_sweep
+
+    cells: Dict[str, Dict] = {}
+    for seed in WORLD_SEEDS:
+        sweep = run_flow_sweep(
+            policies=list(POLICIES),
+            flow_rates=[WORLD_FLOW],
+            n_cars=WORLD_CARS,
+            seed=seed,
+            jobs=jobs,
+        )
+        for policy in POLICIES:
+            (point,) = sweep[policy]
+            cells[world_key(policy, seed)] = point.result.summary()
+    return cells
+
+
+def run_grid1_cell(policy: str) -> Dict[str, Dict]:
+    """One 1-node grid; returns the network and node summaries."""
+    from repro.grid import GridPoissonTraffic, GridWorld, corridor_spec
+
+    spec = corridor_spec(1, policy=policy)
+    arrivals = GridPoissonTraffic(spec, 0.4, seed=11).generate(WORLD_CARS)
+    result = GridWorld(spec, arrivals, seed=GRID1_SEED).run()
+    return {
+        "summary": result.summary(),
+        "node": result.per_node["N0"].summary(),
+    }
+
+
+def run_grid3_cells(jobs=None) -> Dict[str, Dict]:
+    """The 3-node mixed-policy corridor across the pinned seeds."""
+    from repro.grid import corridor_spec, sweep_grid
+
+    spec = corridor_spec(3, policies=GRID3_POLICIES)
+    rows = sweep_grid(
+        spec, GRID_CARS, seeds=GRID3_SEEDS, flow_rate=GRID_FLOW, jobs=jobs
+    )
+    return {
+        f"s{row['seed']}": {
+            "summary": row["summary"],
+            "per_node": row["per_node"],
+        }
+        for row in rows
+    }
+
+
+def run_scenario_cells(jobs=None) -> Dict[str, Dict]:
+    """Replay the whole checked-in scenario library."""
+    from repro.scenarios.runner import _spec_cell
+    from repro.sim.parallel import RunTask, run_tasks
+
+    specs = _library_specs()
+    tasks = [
+        RunTask(_spec_cell, (spec, spec.seed), label=spec.name)
+        for spec in specs
+    ]
+    outcomes = run_tasks(tasks, jobs)
+    return {
+        outcome.spec.name: {
+            "summary": outcome.result.summary(),
+            "kinds": sorted(outcome.kinds),
+        }
+        for outcome in outcomes
+    }
+
+
+def record_goldens(path: str = GOLDEN_PATH) -> Dict:
+    goldens = {
+        "world": run_world_cells(),
+        "grid1": {p: run_grid1_cell(p) for p in GRID1_POLICIES},
+        "grid3": run_grid3_cells(),
+        "scenarios": run_scenario_cells(),
+    }
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(goldens, fh, indent=2, sort_keys=True)
+    return goldens
+
+
+@pytest.fixture(scope="module")
+def goldens() -> Dict:
+    if not os.path.exists(GOLDEN_PATH):  # pragma: no cover - setup error
+        pytest.fail(
+            "golden file missing; record with "
+            "`PYTHONPATH=src python tests/test_engine_equivalence.py --record`"
+        )
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+def _assert_summary_equal(observed: Dict, pinned: Dict, label: str):
+    assert set(observed) == set(pinned), f"{label}: summary keys changed"
+    for key in sorted(pinned):
+        assert observed[key] == pinned[key], (
+            f"{label}: {key} drifted: {observed[key]!r} != "
+            f"pinned {pinned[key]!r}"
+        )
+
+
+class TestWorldReplay:
+    """Single-intersection cells replay bit-identically."""
+
+    def test_cells_match_golden(self, goldens):
+        observed = run_world_cells()
+        assert set(observed) == set(goldens["world"])
+        for key in sorted(observed):
+            _assert_summary_equal(observed[key], goldens["world"][key], key)
+
+
+class TestGridReplay:
+    """Grid composition replays bit-identically, and a 1-node grid *is*
+    the plain single-intersection world."""
+
+    @pytest.mark.parametrize("policy", GRID1_POLICIES)
+    def test_one_node_grid_is_world(self, goldens, policy):
+        from repro.grid import GridPoissonTraffic, corridor_spec
+        from repro.sim.world import World
+
+        observed = run_grid1_cell(policy)
+        _assert_summary_equal(
+            observed["node"], goldens["grid1"][policy]["node"],
+            f"grid1[{policy}].node",
+        )
+        _assert_summary_equal(
+            observed["summary"], goldens["grid1"][policy]["summary"],
+            f"grid1[{policy}]",
+        )
+        # The live half of the contract: same arrivals through a plain
+        # World reproduce the node summary exactly (messages_sent rides
+        # on the by_endpoint[im] == sent identity of a single-IM medium).
+        spec = corridor_spec(1, policy=policy)
+        arrivals = GridPoissonTraffic(spec, 0.4, seed=11).generate(WORLD_CARS)
+        world = World(
+            policy, [ga.arrival for ga in arrivals], seed=GRID1_SEED
+        )
+        _assert_summary_equal(
+            observed["node"], world.run().summary(),
+            f"grid1[{policy}] vs World",
+        )
+
+    def test_corridor_matches_golden(self, goldens):
+        observed = run_grid3_cells()
+        assert set(observed) == set(goldens["grid3"])
+        for key in sorted(observed):
+            _assert_summary_equal(
+                observed[key]["summary"], goldens["grid3"][key]["summary"],
+                f"grid3[{key}]",
+            )
+            assert (
+                set(observed[key]["per_node"])
+                == set(goldens["grid3"][key]["per_node"])
+            )
+            for node in sorted(observed[key]["per_node"]):
+                _assert_summary_equal(
+                    observed[key]["per_node"][node],
+                    goldens["grid3"][key]["per_node"][node],
+                    f"grid3[{key}].{node}",
+                )
+
+
+class TestScenarioReplay:
+    """Every checked-in scenario reproduces its pinned summary and
+    violation kinds through the engine-backed world."""
+
+    def test_library_matches_golden(self, goldens):
+        observed = run_scenario_cells()
+        assert set(observed) == set(goldens["scenarios"]), (
+            "scenario library membership changed; re-record"
+        )
+        for name in sorted(observed):
+            assert observed[name]["kinds"] == goldens["scenarios"][name]["kinds"], (
+                f"{name}: violation kinds drifted"
+            )
+            _assert_summary_equal(
+                observed[name]["summary"],
+                goldens["scenarios"][name]["summary"],
+                name,
+            )
+
+
+if __name__ == "__main__":
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--record", action="store_true",
+                        help="(re-)record the golden summaries")
+    args = parser.parse_args()
+    if not args.record:
+        parser.error("run under pytest, or pass --record")
+    recorded = record_goldens()
+    n = sum(len(v) for v in recorded.values())
+    print(f"recorded {n} cells -> {GOLDEN_PATH}")
+    sys.exit(0)

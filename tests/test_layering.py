@@ -36,6 +36,47 @@ def test_no_layer_violations():
     assert "grid" not in graph.get("analysis", set())
 
 
+def test_seam_rules_catch_forbidden_imports():
+    """The FORBIDDEN seam lint bites: engine->grid/scenarios and any
+    sim/grid import of the in-process Channel (module-level, lazy, or
+    through the repro.network re-export) are flagged."""
+    import ast
+    from pathlib import Path
+
+    lint = _load_lint()
+    fake = Path("fake.py")
+
+    def violations(module, source):
+        return list(lint._forbidden_violations(module, ast.parse(source), fake))
+
+    # The seam rules hold on the real tree (check() was clean above),
+    # and each banned edge is actually detected:
+    assert violations("repro.sim.engine", "import repro.grid")
+    assert violations("repro.sim.engine",
+                      "def f():\n    from repro.scenarios import install")
+    assert violations("repro.sim.world",
+                      "from repro.network.channel import Channel")
+    assert violations("repro.grid.world",
+                      "def f():\n    from repro.network import Channel")
+    # The sanctioned path through the Transport seam stays open.
+    assert not violations(
+        "repro.sim.world",
+        "from repro.network.transport import Transport, default_transport",
+    )
+    assert not violations(
+        "repro.grid.world", "from repro.network import default_transport"
+    )
+
+
+def test_engine_and_transport_rules_registered():
+    """The tentpole's seam rules stay pinned in the lint config."""
+    lint = _load_lint()
+    assert "repro.grid" in lint.FORBIDDEN["repro.sim.engine"]
+    assert "repro.scenarios" in lint.FORBIDDEN["repro.sim.engine"]
+    for scope in ("repro.sim", "repro.grid"):
+        assert "repro.network.channel" in lint.FORBIDDEN[scope]
+
+
 def test_every_package_has_a_level():
     lint = _load_lint()
     packages = {

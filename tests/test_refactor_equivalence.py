@@ -7,8 +7,9 @@ RNG draw must be unchanged, so a fixed ``(policy, flow, seed)`` triple
 must reproduce the exact pre-refactor summary, bit for bit.
 
 ``tests/golden/refactor_equivalence.json`` pins the summaries recorded
-at the pre-refactor seed commit (3 policies x 2 flows x 2 seeds, 12
-cars per cell).  This suite replays every cell serially *and* across a
+at the last intentional behaviour change (3 policies x 2 flows x 2
+seeds, 12 cars per cell); last re-recorded after the stop-line creep
+fix widened the safe-stop latch for every policy.  This suite replays every cell serially *and* across a
 2-worker pool and asserts float-exact equality.  If a later PR changes
 behaviour *intentionally*, re-record with::
 

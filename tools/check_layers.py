@@ -69,7 +69,79 @@ LAYERS: Dict[str, int] = {
     "<top>": 9,
 }
 
+#: Seam rules, finer-grained than LAYERS: for files whose full module
+#: name matches a key (the module itself or anything beneath it), the
+#: listed targets may not be imported at *any* level — lazy
+#: function-level imports are banned too, because these guard an
+#: abstraction seam, not import-time load order.  A target bans the
+#: exact module/symbol and everything beneath it.
+FORBIDDEN: Dict[str, Tuple[str, ...]] = {
+    # The node-runtime engine is the shared substrate under both the
+    # single-intersection World and the corridor GridWorld: it must
+    # never know about the grid composition or the scenario DSL built
+    # on top of it.
+    "repro.sim.engine": ("repro.grid", "repro.scenarios"),
+    # Simulation engines consume the wireless medium strictly through
+    # the Transport seam (repro.network.transport.default_transport);
+    # naming the in-process Channel — by module or by the re-exported
+    # class — would pin the implementation the seam exists to hide.
+    "repro.sim": ("repro.network.channel", "repro.network.Channel"),
+    "repro.grid": ("repro.network.channel", "repro.network.Channel"),
+}
+
 ROOT_PACKAGE = "repro"
+
+
+def _module_name(path: Path, src_root: Path) -> str:
+    """Dotted module name of a source file (packages drop __init__)."""
+    parts = list(path.relative_to(src_root).with_suffix("").parts)
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def _matches(name: str, prefix: str) -> bool:
+    return name == prefix or name.startswith(prefix + ".")
+
+
+def _all_import_targets(tree: ast.Module) -> Iterator[Tuple[int, str]]:
+    """Every imported dotted path in the file, at any nesting depth.
+
+    ``from M import N`` yields both ``M`` and ``M.N`` so seam rules can
+    ban a re-exported symbol as well as its home module.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node.lineno, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level != 0 or node.module is None:
+                continue
+            yield node.lineno, node.module
+            for alias in node.names:
+                yield node.lineno, f"{node.module}.{alias.name}"
+
+
+def _forbidden_violations(
+    module: str, tree: ast.Module, path: Path
+) -> Iterator[str]:
+    rules = [
+        banned
+        for scope, banned in FORBIDDEN.items()
+        if _matches(module, scope)
+    ]
+    if not rules:
+        return
+    for lineno, target in _all_import_targets(tree):
+        for banned in rules:
+            for entry in banned:
+                if _matches(target, entry):
+                    yield (
+                        f"{path}:{lineno}: seam violation — {module} "
+                        f"imports {target} (forbidden: {entry}); use the "
+                        f"sanctioned abstraction instead (see "
+                        f"tools/check_layers.py FORBIDDEN)"
+                    )
 
 
 def _package_of(path: Path, src_root: Path) -> str:
@@ -126,6 +198,9 @@ def check(src_root: Path) -> Tuple[List[str], Dict[str, Set[str]]]:
             continue
         level = LAYERS[package]
         tree = ast.parse(path.read_text(), filename=str(path))
+        violations.extend(
+            _forbidden_violations(_module_name(path, src_root), tree, path)
+        )
         for node in _module_level_imports(tree):
             for target in _imported_packages(node):
                 if target == package:
