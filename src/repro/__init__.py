@@ -32,6 +32,7 @@ from repro.grid import (
     run_grid,
     sweep_grid,
 )
+from repro.obs import MetricsRegistry, merge_metrics_snapshots, to_prometheus
 from repro.perf import PerfCounters
 from repro.scenarios import (
     BehaviourSpec,
@@ -75,6 +76,7 @@ __all__ = [
     "GridSpec",
     "GridWorld",
     "IntersectionGeometry",
+    "MetricsRegistry",
     "Movement",
     "ParallelRunner",
     "PerfCounters",
@@ -99,6 +101,7 @@ __all__ = [
     "compare_policies",
     "corridor_spec",
     "make_im",
+    "merge_metrics_snapshots",
     "run_analytic",
     "run_flow",
     "run_flow_sweep",
@@ -109,5 +112,6 @@ __all__ = [
     "scale_model_scenarios",
     "scale_model_specs",
     "sweep_grid",
+    "to_prometheus",
     "__version__",
 ]

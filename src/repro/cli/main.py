@@ -26,6 +26,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="record the run on the repro.obs event bus and "
                           "write a Chrome trace-event file FILE (open it "
                           "at https://ui.perfetto.dev)")
+    _add_metrics_argument(run)
     _add_plugin_argument(run)
 
     trace = sub.add_parser(
@@ -105,7 +106,23 @@ def build_parser() -> argparse.ArgumentParser:
                            "Chrome trace-event file FILE")
     grid.add_argument("--save-spec", metavar="FILE", default=None,
                       help="also write the resolved GridSpec as JSON")
+    _add_metrics_argument(grid)
     _add_plugin_argument(grid)
+
+    met = sub.add_parser(
+        "metrics",
+        help="streaming metrics: run one workload with the time-series "
+             "registry, print the series summary, optionally export",
+    )
+    _add_workload_arguments(met)
+    met.add_argument("--bucket", type=float, default=1.0, metavar="SECONDS",
+                     help="time-series bucket width in simulated seconds "
+                          "(default: 1.0)")
+    met.add_argument("--out", metavar="FILE", default=None,
+                     help="export the snapshot; format by extension: "
+                          ".prom/.txt Prometheus text, .csv per-bucket "
+                          "series, .jsonl one JSON object per series")
+    _add_plugin_argument(met)
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -202,6 +219,37 @@ def _build_workload(args):
     return 0, arrivals, label, config, fault_config
 
 
+def _add_metrics_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="attach the streaming-metrics registry and export its "
+             "snapshot to FILE (format by extension: .prom/.txt "
+             "Prometheus text, .csv per-bucket series, .jsonl)")
+
+
+def _make_registry(args):
+    """The registry for a ``--metrics FILE`` flag (None when unset)."""
+    if getattr(args, "metrics", None) is None:
+        return None
+    from repro.obs import MetricsRegistry
+
+    return MetricsRegistry()
+
+
+def _export_metrics(snapshot, path: str) -> None:
+    """Write ``snapshot`` to ``path``, format chosen by extension
+    (Prometheus text when unrecognised)."""
+    from repro.obs import metrics_to_csv, metrics_to_jsonl, to_prometheus
+
+    if path.endswith(".csv"):
+        metrics_to_csv(snapshot, path=path)
+    elif path.endswith(".jsonl"):
+        metrics_to_jsonl(snapshot, path=path)
+    else:
+        with open(path, "w") as handle:
+            handle.write(to_prometheus(snapshot))
+
+
 def _add_plugin_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--plugin", action="append", default=[], metavar="MODULE",
@@ -244,8 +292,10 @@ def _cmd_run(args) -> int:
         from repro.obs import EventLog
 
         log = EventLog()
+    registry = _make_registry(args)
     result = run_scenario(
-        args.policy, arrivals, config=config, seed=args.seed, obs=log
+        args.policy, arrivals, config=config, seed=args.seed, obs=log,
+        metrics=registry,
     )
     print(f"{args.policy} on {label}")
     if fault_config is not None:
@@ -263,6 +313,11 @@ def _cmd_run(args) -> int:
     print(f"\navg wait {result.average_delay:.3f} s | throughput "
           f"{result.throughput:.3f} | messages {result.messages_sent} | "
           f"IM compute {result.compute_time:.2f} s | safe {result.safe}")
+    losses = ", ".join(
+        f"{reason}={n}" for reason, n in result.losses_by_reason.items()
+    ) or "none"
+    print(f"losses by reason: {losses} | "
+          f"dup dropped {result.duplicates_dropped}")
     if fault_config is not None:
         injected = ", ".join(
             f"{kind}={n}" for kind, n in result.fault_injections.items()
@@ -272,16 +327,12 @@ def _cmd_run(args) -> int:
             f"stale rejected {result.stale_rejected} | "
             f"deadline misses {result.deadline_misses} | "
             f"retries {result.retries} | "
-            f"dup dropped {result.duplicates_dropped} | "
             f"degraded {result.degraded_time:.2f} s "
             f"({result.degraded_entries} entries) | "
             f"invalidations {result.reservation_invalidations} | "
             f"stale reqs dropped {result.stale_requests_dropped}"
         )
-        losses = ", ".join(
-            f"{reason}={n}" for reason, n in result.losses_by_reason.items()
-        ) or "none"
-        print(f"injected: {injected}\nlosses by reason: {losses}")
+        print(f"injected: {injected}")
     if args.perf and result.perf:
         print("\nperf counters (repro.perf):")
         for name, value in sorted(result.perf.items()):
@@ -293,6 +344,9 @@ def _cmd_run(args) -> int:
         print(f"\ntrace: {len(log)} events -> {args.trace} "
               f"(open at https://ui.perfetto.dev)")
         _print_span_stats(result.obs)
+    if registry is not None:
+        _export_metrics(result.metrics, args.metrics)
+        print(f"metrics: {len(registry)} series -> {args.metrics}")
     return 0 if result.safe else 1
 
 
@@ -440,6 +494,10 @@ def _cmd_grid(args) -> int:
         print(f"spec -> {args.save_spec}")
 
     if args.seeds is not None:
+        if args.metrics is not None:
+            print("--metrics applies to single corridor runs, not --seeds "
+                  "replication", file=sys.stderr)
+            return 2
         cells = sweep_grid(
             spec, args.cars, seeds=args.seeds, flow_rate=args.flow,
             jobs=args.jobs,
@@ -465,8 +523,10 @@ def _cmd_grid(args) -> int:
         from repro.obs import EventLog
 
         log = EventLog()
+    registry = _make_registry(args)
     result = run_grid(
-        spec, args.cars, flow_rate=args.flow, seed=args.seed, obs=log
+        spec, args.cars, flow_rate=args.flow, seed=args.seed, obs=log,
+        metrics=registry,
     )
     print(f"{label}: flow {args.flow} car/lane/s, {args.cars} cars, "
           f"seed {args.seed}\n")
@@ -494,6 +554,47 @@ def _cmd_grid(args) -> int:
         print(f"\ntrace: {len(log)} events -> {args.trace} "
               f"(open at https://ui.perfetto.dev)")
         _print_span_stats(result.obs)
+    if registry is not None:
+        _export_metrics(result.metrics, args.metrics)
+        print(f"metrics: {len(registry)} series -> {args.metrics}")
+    return 0 if result.safe else 1
+
+
+def _cmd_metrics(args) -> int:
+    from repro.analysis import render_table
+    from repro.obs import MetricsRegistry
+    from repro.sim import run_scenario
+
+    status = _load_plugins(args.plugin)
+    if status:
+        return status
+    status, arrivals, label, config, fault_config = _build_workload(args)
+    if status:
+        return status
+    try:
+        registry = MetricsRegistry(bucket_dt=args.bucket)
+    except ValueError as exc:
+        print(f"bad --bucket: {exc}", file=sys.stderr)
+        return 2
+
+    result = run_scenario(
+        args.policy, arrivals, config=config, seed=args.seed,
+        metrics=registry,
+    )
+    print(f"{args.policy} on {label} (metered, bucket {args.bucket:g} s)")
+    if fault_config is not None:
+        print(f"faults: {fault_config.describe()} (seed {args.seed})")
+    print()
+    rows = [
+        [name, f"{value:.6g}"]
+        for name, value in sorted(registry.flat().items())
+    ]
+    print(render_table(["series", "value"], rows))
+    print(f"\n{len(registry)} series over {result.sim_duration:.1f} "
+          f"simulated seconds | safe {result.safe}")
+    if args.out is not None:
+        _export_metrics(result.metrics, args.out)
+        print(f"metrics -> {args.out}")
     return 0 if result.safe else 1
 
 
@@ -621,6 +722,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "sweep": _cmd_sweep,
     "grid": _cmd_grid,
+    "metrics": _cmd_metrics,
     "fuzz": _cmd_fuzz,
     "scenarios": _cmd_scenarios,
     "buffer": _cmd_buffer,

@@ -43,6 +43,7 @@ def run_grid(
     geometry: Optional[IntersectionGeometry] = None,
     conflicts: Optional[ConflictTable] = None,
     obs: Optional[EventLog] = None,
+    metrics=None,
 ) -> GridResult:
     """Generate (or accept) a workload, run one corridor, return results.
 
@@ -66,6 +67,7 @@ def run_grid(
         config=config,
         seed=seed,
         obs=obs,
+        metrics=metrics,
     )
     return world.run()
 

@@ -152,6 +152,9 @@ class GridResult:
     perf: Dict[str, float] = field(default_factory=dict)
     #: Exchange-span stats when traced (not in :meth:`summary`).
     obs: Dict[str, float] = field(default_factory=dict)
+    #: Streaming-metrics snapshot when a registry was attached (per-node
+    #: series carry ``node=<name>`` labels; not in :meth:`summary`).
+    metrics: Dict = field(default_factory=dict)
     #: Per-node safety-oracle violations (only nodes with an attached
     #: :class:`~repro.scenarios.SafetyOracle`; empty tuples for clean
     #: nodes stay in, so attribution is explicit per monitored node).
@@ -258,6 +261,12 @@ class GridWorld:
     obs:
         Optional event log; hand-offs emit ``grid.handoff`` records
         and per-node IM addresses give spans per-node attribution.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry` shared by the
+        kernel, the transport and every node runtime — per-node series
+        are distinguished by their ``node`` label, and completed link
+        hand-offs feed a ``grid.handoffs`` counter.  Same bit-identity
+        contract as ``obs``.
     """
 
     def __init__(
@@ -269,6 +278,7 @@ class GridWorld:
         config: Optional[WorldConfig] = None,
         seed: Optional[int] = None,
         obs: Optional[EventLog] = None,
+        metrics=None,
     ):
         self.spec = spec
         self.arrivals = sorted(arrivals, key=lambda a: a.time)
@@ -276,6 +286,9 @@ class GridWorld:
         self.geometry = geometry if geometry is not None else IntersectionGeometry()
         self.rng = np.random.default_rng(seed)
         self.obs = obs
+        self.metrics = (
+            metrics if metrics is not None and metrics.enabled else None
+        )
         cfg = self.config
 
         # A link must out-last the despawn outrun, or the hand-off
@@ -295,6 +308,8 @@ class GridWorld:
         self.env = Environment()
         if obs is not None:
             self.env.obs = obs
+        if self.metrics is not None:
+            self.env.metrics = self.metrics.counter("des.events")
         delay = (
             cfg.delay_model if cfg.delay_model is not None else testbed_delay_model()
         )
@@ -315,6 +330,7 @@ class GridWorld:
             rng=np.random.default_rng(channel_seed),
             faults=self.faults,
             obs=obs,
+            metrics=self.metrics,
         )
         if conflicts is None and any(
             p.needs_conflicts for p in policies.values()
@@ -340,6 +356,7 @@ class GridWorld:
                 ),
                 name=node.name,
                 obs=obs,
+                metrics=self.metrics,
             )
         #: Per-node IMs (kept as a flat view; tests and analysis poke
         #: reservation state through it).
@@ -356,6 +373,11 @@ class GridWorld:
         self._spawned = 0
         self._inflight = 0
         self.perf = PerfCounters()
+        self._m_handoffs = (
+            self.metrics.counter("grid.handoffs")
+            if self.metrics is not None
+            else None
+        )
 
         # Process creation order mirrors World (spawner, monitor,
         # watchdog) — per-node fan-out collapses to World's exact
@@ -480,6 +502,8 @@ class GridWorld:
                 record.hops.append((hop.node, vehicle.record))
                 record.handoff_wait_s += waited
                 self.handoffs += 1
+                if self._m_handoffs is not None:
+                    self._m_handoffs.inc(1.0, self.env.now)
                 if waited > 0.0:
                     self.handoffs_delayed += 1
                     self.handoff_wait_s += waited
@@ -532,6 +556,10 @@ class GridWorld:
         perf.incr("des_events", self.env.events_processed)
         perf.incr("grid.handoffs", self.handoffs)
         perf.incr("grid.handoffs_delayed", self.handoffs_delayed)
+        if self.metrics is not None:
+            # Final sample per node (same reason as World.result).
+            for runtime in self.nodes.values():
+                runtime.sample_metrics(self.env.now)
         return GridResult(
             spec=self.spec,
             per_node={
@@ -548,6 +576,9 @@ class GridWorld:
                 span_stats(build_spans(self.obs))
                 if self.obs is not None
                 else {}
+            ),
+            metrics=(
+                self.metrics.snapshot() if self.metrics is not None else {}
             ),
             violations={
                 name: tuple(runtime.oracle.violations)

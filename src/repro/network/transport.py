@@ -55,6 +55,7 @@ def default_transport(
     rng=None,
     faults=None,
     obs=None,
+    metrics=None,
 ) -> Transport:
     """The stock in-process medium.
 
@@ -71,4 +72,5 @@ def default_transport(
         rng=rng,
         faults=faults,
         obs=obs,
+        metrics=metrics,
     )

@@ -1,0 +1,175 @@
+"""Metrics exporters: Prometheus text format, CSV and JSONL series.
+
+All three consume the plain-data :meth:`repro.obs.metrics.MetricsRegistry.snapshot`
+dict, so they work identically on a live registry, a pickled worker
+snapshot, or a merged replication — and the upcoming service facade
+can serve :func:`to_prometheus` straight from a scrape endpoint.
+
+:func:`parse_prometheus` is the matching (deliberately strict) reader
+used by the CI round-trip check: every exported sample must parse back
+to its exact value.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "metrics_to_csv",
+    "metrics_to_jsonl",
+    "parse_prometheus",
+    "to_prometheus",
+]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _prom_name(name: str, namespace: str) -> str:
+    return f"{namespace}_{_NAME_RE.sub('_', name)}"
+
+
+def _label_str(labels: Dict[str, str], extra: Optional[Tuple[str, str]] = None) -> str:
+    items = sorted(labels.items())
+    if extra is not None:
+        items.append(extra)
+    if not items:
+        return ""
+    body = ",".join(
+        '{}="{}"'.format(k, str(v).replace("\\", r"\\").replace('"', r"\""))
+        for k, v in items
+    )
+    return "{" + body + "}"
+
+
+def _fmt(value: float) -> str:
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(snapshot: Dict, namespace: str = "repro") -> str:
+    """Render a metrics snapshot in the Prometheus text exposition
+    format (one scrape's worth: totals, last gauge values, cumulative
+    histogram buckets — the per-time-bucket series are a CSV/JSONL
+    concern, a scrape endpoint only ever shows current state)."""
+    lines: List[str] = []
+    typed: Dict[str, str] = {}
+    for entry in snapshot.get("series", ()):
+        kind = entry["type"]
+        name = _prom_name(entry["name"], namespace)
+        if kind == "counter":
+            name += "_total"
+        labels = entry["labels"]
+        if name not in typed:
+            typed[name] = kind
+            lines.append(f"# HELP {name} repro series {entry['name']}")
+            lines.append(f"# TYPE {name} {kind}")
+        elif typed[name] != kind:
+            raise ValueError(f"metric {name!r} exported as both "
+                             f"{typed[name]} and {kind}")
+        if kind == "counter":
+            lines.append(f"{name}{_label_str(labels)} {_fmt(entry['total'])}")
+        elif kind == "gauge":
+            lines.append(f"{name}{_label_str(labels)} {_fmt(entry['value'])}")
+        elif kind == "histogram":
+            cumulative = 0.0
+            for bound, count in zip(entry["bounds"], entry["counts"]):
+                cumulative += count
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_label_str(labels, ('le', _fmt(bound)))} "
+                    f"{_fmt(cumulative)}"
+                )
+            cumulative += entry["counts"][-1]
+            lines.append(
+                f"{name}_bucket{_label_str(labels, ('le', '+Inf'))} "
+                f"{_fmt(cumulative)}"
+            )
+            lines.append(f"{name}_sum{_label_str(labels)} {_fmt(entry['sum'])}")
+            lines.append(f"{name}_count{_label_str(labels)} {_fmt(entry['count'])}")
+        else:
+            raise ValueError(f"unknown metric type {kind!r}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus(text: str) -> List[Tuple[str, Dict[str, str], float]]:
+    """Parse Prometheus text format into ``(name, labels, value)``
+    samples.  Strict by design — the CI check uses it to prove
+    :func:`to_prometheus` output is well-formed — so any line that is
+    neither a comment nor a valid sample raises :class:`ValueError`."""
+    samples: List[Tuple[str, Dict[str, str], float]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: not a valid sample: {raw!r}")
+        labels: Dict[str, str] = {}
+        body = match.group("labels")
+        if body:
+            consumed = 0
+            for pair in _LABEL_RE.finditer(body):
+                labels[pair.group(1)] = (
+                    pair.group(2).replace(r"\"", '"').replace(r"\\", "\\")
+                )
+                consumed += len(pair.group(0))
+            if consumed < len(body.replace(",", "")):
+                raise ValueError(f"line {lineno}: malformed labels: {raw!r}")
+        value_text = match.group("value")
+        try:
+            value = float(value_text.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError:
+            raise ValueError(f"line {lineno}: bad value {value_text!r}")
+        samples.append((match.group("name"), labels, value))
+    return samples
+
+
+def metrics_to_csv(snapshot: Dict, path: Optional[str] = None) -> str:
+    """Flatten the per-sim-time-bucket series to CSV rows
+    ``metric,type,labels,t_start_s,value`` (counters: increments in
+    the bucket; gauges: last value seen in the bucket; histograms:
+    observations landing in the bucket)."""
+    bucket_dt = snapshot.get("bucket_dt", 1.0)
+    lines = ["metric,type,labels,t_start_s,value"]
+    for entry in snapshot.get("series", ()):
+        tags = ";".join(f"{k}={v}" for k, v in sorted(entry["labels"].items()))
+        for bucket, value in sorted(entry["series"].items()):
+            lines.append(
+                f"{entry['name']},{entry['type']},{tags},"
+                f"{float(bucket) * bucket_dt:g},{_fmt(value)}"
+            )
+    text = "\n".join(lines) + "\n"
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(text)
+    return text
+
+
+def metrics_to_jsonl(snapshot: Dict, path: Optional[str] = None) -> str:
+    """One JSON object per series, time buckets converted to absolute
+    ``t_start_s`` keys — the machine-readable long-term form."""
+    bucket_dt = snapshot.get("bucket_dt", 1.0)
+    lines = []
+    for entry in snapshot.get("series", ()):
+        record = dict(entry)
+        record["bucket_dt"] = bucket_dt
+        record["series"] = {
+            f"{float(bucket) * bucket_dt:g}": value
+            for bucket, value in sorted(entry["series"].items())
+        }
+        lines.append(json.dumps(record, sort_keys=True))
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(text)
+    return text

@@ -47,6 +47,7 @@ from repro.geometry.conflicts import ConflictTable
 from repro.geometry.layout import IntersectionGeometry
 from repro.network.transport import Transport
 from repro.obs.events import EventLog
+from repro.obs.metrics import RTD_BUCKETS
 from repro.perf import PerfCounters
 from repro.sensors.plant import PlantConfig
 from repro.sim.metrics import SimResult
@@ -102,6 +103,15 @@ class NodeRuntime:
     obs:
         Optional event log, threaded through IM and scheduler exactly
         as the pre-engine worlds did.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`.  The runtime
+        samples its health gauges (per-approach queue depth, IM
+        backlog, degraded population, reservation-book and tile-claim
+        occupancy) from the safety-monitor tick and feeds the online
+        round-trip-delay histogram — all labelled ``node=<name>`` so
+        grids get per-node series.  Sampling only observes (no RNG,
+        no DES events), so attaching a registry never changes a run's
+        summary.
     """
 
     def __init__(
@@ -115,6 +125,7 @@ class NodeRuntime:
         im_address: str,
         name: str = "world",
         obs: Optional[EventLog] = None,
+        metrics=None,
     ):
         self.env = env
         self.spec = policy_spec
@@ -126,6 +137,14 @@ class NodeRuntime:
         self.im_address = im_address
         self.name = name
         self.obs = obs
+        self.metrics = (
+            metrics if metrics is not None and metrics.enabled else None
+        )
+        #: Lazily built instrument cache (see :meth:`sample_metrics`).
+        self._minstr: Optional[Dict[str, object]] = None
+        #: Per-vehicle cursors into ``record.rtds`` so each completed
+        #: round trip is folded into the online histogram exactly once.
+        self._rtd_seen: List[int] = []
         im_cfg = (
             config.im
             if config.im.address == im_address
@@ -337,6 +356,8 @@ class NodeRuntime:
                     self.buffer_violations += 1
             for check in self.safety_checks:
                 check(self.env.now)
+            if self.metrics is not None:
+                self.sample_metrics(self.env.now)
             yield self.env.timeout(self.config.safety_dt)
 
     def im_watchdog(self):
@@ -351,6 +372,91 @@ class NodeRuntime:
         while True:
             yield self.env.timeout(1.0)
             self.im.invalidate_quiet(self.env.now)
+
+    # -- streaming metrics ---------------------------------------------------
+    def sample_metrics(self, now: float) -> None:
+        """Record this node's health series into the metrics registry.
+
+        Invoked from the safety-monitor tick (``config.safety_dt``) and
+        once more at result time so the final protocol exchanges are
+        counted.  Purely observational: reads existing state, draws
+        from no RNG, schedules no DES event — the metrics-off
+        bit-identity test pins that.
+        """
+        registry = self.metrics
+        if registry is None:
+            return
+        cached = self._minstr
+        if cached is None:
+            labels = {"node": self.name}
+            cached = self._minstr = {
+                "active": registry.gauge("node.vehicles_active", labels=labels),
+                "degraded": registry.gauge("vehicles.degraded", labels=labels),
+                "backlog": registry.gauge("im.backlog", labels=labels),
+                "pending": registry.gauge("im.pending", labels=labels),
+                # Occupancy gauges only where the IM has the structure:
+                # a reservation book (VT-style) or a tile grid (AIM).
+                "book": (
+                    registry.gauge("scheduler.reservations", labels=labels)
+                    if getattr(self.im, "scheduler", None) is not None
+                    else None
+                ),
+                "tiles": (
+                    registry.gauge("tiles.claims", labels=labels)
+                    if getattr(self.im, "reservations", None) is not None
+                    else None
+                ),
+                "rtd": registry.histogram(
+                    "vehicle.rtd_seconds", labels=labels, buckets=RTD_BUCKETS
+                ),
+                "queues": {},
+            }
+        active = 0
+        degraded = 0
+        for vehicle in self.vehicles:
+            if not vehicle.done:
+                active += 1
+                if vehicle.monitor.degraded:
+                    degraded += 1
+        cached["active"].set(active, now)
+        cached["degraded"].set(degraded, now)
+        queues = cached["queues"]
+        for entry, lane in self._lanes.items():
+            gauge = queues.get(entry)
+            if gauge is None:
+                gauge = queues.setdefault(
+                    entry,
+                    registry.gauge(
+                        "node.queue_depth",
+                        labels={"node": self.name, "approach": entry},
+                    ),
+                )
+            gauge.set(sum(1 for v in lane if not v.done), now)
+        work_queue = getattr(self.im, "_work_queue", None)
+        if work_queue is not None:
+            cached["backlog"].set(len(work_queue), now)
+        pending = getattr(self.im, "_pending", None)
+        if pending is not None:
+            cached["pending"].set(len(pending), now)
+        if cached["book"] is not None:
+            cached["book"].set(len(self.im.scheduler), now)
+        if cached["tiles"] is not None:
+            cached["tiles"].set(self.im.reservations.claim_count, now)
+        # Online RTD distribution: fold in the round trips completed
+        # since the previous sample (cursor per vehicle, so no sample
+        # list is ever re-read and nothing is retained beyond the
+        # histogram's fixed bucket counts).
+        histogram = cached["rtd"]
+        cursors = self._rtd_seen
+        for index, vehicle in enumerate(self.vehicles):
+            if index == len(cursors):
+                cursors.append(0)
+            rtds = vehicle.record.rtds
+            seen = cursors[index]
+            if len(rtds) > seen:
+                for rtd in rtds[seen:]:
+                    histogram.observe(rtd, now)
+                cursors[index] = len(rtds)
 
     # -- metrics -------------------------------------------------------------
     def machine_counters(self, perf: PerfCounters) -> None:
@@ -422,6 +528,7 @@ class NodeRuntime:
         fault_injections: Dict,
         perf: Dict[str, float],
         obs_stats: Optional[Dict[str, float]] = None,
+        metrics_snapshot: Optional[Dict] = None,
     ) -> SimResult:
         """This node's single-intersection result view.
 
@@ -460,4 +567,5 @@ class NodeRuntime:
             stale_requests_dropped=self.im.stats.stale_requests_dropped,
             perf=perf,
             obs=obs_stats if obs_stats is not None else {},
+            metrics=metrics_snapshot if metrics_snapshot is not None else {},
         )

@@ -65,6 +65,15 @@ class SimResult:
     #: deliberately *not* part of :meth:`summary`: attaching tracing
     #: must never change the scientific metrics.
     obs: Dict[str, float] = field(default_factory=dict)
+    #: Streaming-metrics snapshot
+    #: (:meth:`repro.obs.MetricsRegistry.snapshot`) — empty unless the
+    #: world ran with a registry attached.  Picklable and mergeable
+    #: across parallel workers via
+    #: :func:`repro.obs.merge_metrics_snapshots`.  Like ``perf`` and
+    #: ``obs``, deliberately *not* part of :meth:`summary`: attaching
+    #: metrics must never change the scientific numbers (the metered ≡
+    #: unmetered equivalence test pins this).
+    metrics: Dict = field(default_factory=dict)
 
     # -- vehicle-level aggregates ------------------------------------------
     @property

@@ -123,6 +123,13 @@ class World:
         IM, scheduler).  Tracing never touches an RNG and never
         schedules a DES event, so a traced run's ``summary()`` is
         bit-identical to an untraced one.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry` wired through the
+        kernel (event rate), the transport (sent/delivered/dropped/
+        in-flight) and the node runtime (queue depth, IM backlog,
+        degraded population, occupancy gauges, online RTD histogram).
+        The same bit-identity contract as ``obs`` applies; the
+        snapshot rides on :attr:`SimResult.metrics`.
     """
 
     def __init__(
@@ -134,6 +141,7 @@ class World:
         config: Optional[WorldConfig] = None,
         seed: Optional[int] = None,
         obs: Optional[EventLog] = None,
+        metrics=None,
     ):
         self._spec = resolve_policy(policy)
         self.policy = self._spec.name
@@ -142,10 +150,15 @@ class World:
         self.geometry = geometry if geometry is not None else IntersectionGeometry()
         self.rng = np.random.default_rng(seed)
         self.obs = obs
+        self.metrics = (
+            metrics if metrics is not None and metrics.enabled else None
+        )
 
         self.env = Environment()
         if obs is not None:
             self.env.obs = obs
+        if self.metrics is not None:
+            self.env.metrics = self.metrics.counter("des.events")
         delay = (
             self.config.delay_model
             if self.config.delay_model is not None
@@ -171,6 +184,7 @@ class World:
             rng=np.random.default_rng(channel_seed),
             faults=self.faults,
             obs=obs,
+            metrics=self.metrics,
         )
         if self._spec.needs_conflicts and conflicts is None:
             conflicts = ConflictTable(self.geometry)
@@ -185,6 +199,7 @@ class World:
             im_address=self.config.im.address,
             name="world",
             obs=obs,
+            metrics=self.metrics,
         )
         self.im = self._node.im
         #: Wall-clock timers for this run (counters are harvested from
@@ -271,6 +286,10 @@ class World:
 
     def result(self) -> SimResult:
         """Snapshot the metrics of the current state."""
+        if self.metrics is not None:
+            # Final gauge/histogram sample so round trips completed
+            # after the last safety tick are still counted.
+            self._node.sample_metrics(self.env.now)
         return self._node.result(
             stats=self.channel.stats,
             per_endpoint=False,
@@ -284,6 +303,9 @@ class World:
                 if self.obs is not None
                 else None
             ),
+            metrics_snapshot=(
+                self.metrics.snapshot() if self.metrics is not None else None
+            ),
         )
 
 
@@ -295,6 +317,7 @@ def run_scenario(
     geometry: Optional[IntersectionGeometry] = None,
     seed: Optional[int] = None,
     obs: Optional[EventLog] = None,
+    metrics=None,
 ) -> SimResult:
     """One-call wrapper: build a :class:`World`, run it, return results."""
     world = World(
@@ -305,5 +328,6 @@ def run_scenario(
         config=config,
         seed=seed,
         obs=obs,
+        metrics=metrics,
     )
     return world.run()

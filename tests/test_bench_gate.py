@@ -1,0 +1,147 @@
+"""Tests for tools/bench_gate.py — the bench regression gate.
+
+``tools`` is not a package, so the module is loaded straight from its
+file path.  The suite pins the acceptance pair: the gate passes on the
+committed baselines compared against themselves, and demonstrably
+fails on a synthetic 2x regression.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_gate", REPO_ROOT / "tools" / "bench_gate.py"
+)
+bench_gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_gate)
+
+
+BASELINE = {
+    "serial_wall_s": 1.0,
+    "speedup": 1.8,
+    "perf": {"des_events": 29788, "tile_cache_hit_rate": 0.88,
+             "sim_run_wall_s": 1.0},
+    "cpus": 8,
+    "workload": {"policy": "crossroads", "n_cars": 12},
+}
+
+
+class TestClassify:
+    @pytest.mark.parametrize("key,kind", [
+        ("serial_wall_s", "time"),
+        ("parallel_cold_wall_s", "time"),
+        ("perf.sim_run_wall_s", "time"),
+        ("speedup", "ratio_up"),
+        ("speedup_cold", "ratio_up"),
+        ("corridor_3.vehicles_per_s", "ratio_up"),
+        ("perf.tile_cache_hit_rate", "rate"),
+        ("cpus", "info"),
+        ("pool_spawns", "info"),
+        ("perf.des_events", "exact"),
+        ("workload.policy", "exact"),
+    ])
+    def test_kinds(self, key, kind):
+        assert bench_gate.classify(key) == kind
+
+
+class TestFlatten:
+    def test_dot_paths(self):
+        flat = bench_gate.flatten(BASELINE)
+        assert flat["perf.des_events"] == 29788
+        assert flat["workload.policy"] == "crossroads"
+        assert "perf" not in flat
+
+
+class TestCompare:
+    def test_self_compare_passes(self):
+        findings = bench_gate.compare("b.json", BASELINE, BASELINE)
+        assert all(f.ok for f in findings)
+
+    def test_two_x_slowdown_fails(self):
+        fresh = json.loads(json.dumps(BASELINE))
+        fresh["serial_wall_s"] = 3.0          # > 2.5x baseline
+        fresh["perf"]["sim_run_wall_s"] = 3.0
+        fresh["speedup"] = 0.9                # < baseline / 1.75
+        bad = [f for f in bench_gate.compare("b.json", BASELINE, fresh)
+               if not f.ok]
+        assert {f.key for f in bad} == {
+            "serial_wall_s", "perf.sim_run_wall_s", "speedup"}
+
+    def test_sub_50ms_walls_never_gate(self):
+        base = {"tiny_wall_s": 0.001}
+        findings = bench_gate.compare("b.json", base, {"tiny_wall_s": 0.04})
+        assert all(f.ok for f in findings)
+
+    def test_exact_counter_drift_fails(self):
+        fresh = json.loads(json.dumps(BASELINE))
+        fresh["perf"]["des_events"] = 29789
+        bad = [f for f in bench_gate.compare("b.json", BASELINE, fresh)
+               if not f.ok]
+        assert [f.key for f in bad] == ["perf.des_events"]
+        assert bad[0].note == "deterministic value drifted"
+
+    def test_hit_rate_slack(self):
+        fresh = json.loads(json.dumps(BASELINE))
+        fresh["perf"]["tile_cache_hit_rate"] = 0.75  # within 0.15 slack
+        assert all(f.ok for f in bench_gate.compare("b.json", BASELINE, fresh))
+        fresh["perf"]["tile_cache_hit_rate"] = 0.5
+        assert any(not f.ok
+                   for f in bench_gate.compare("b.json", BASELINE, fresh))
+
+    def test_info_keys_never_gate(self):
+        fresh = json.loads(json.dumps(BASELINE))
+        fresh["cpus"] = 1
+        findings = bench_gate.compare("b.json", BASELINE, fresh)
+        cpu = next(f for f in findings if f.key == "cpus")
+        assert cpu.ok and cpu.kind == "info"
+
+    def test_missing_key_fails_new_key_informational(self):
+        fresh = json.loads(json.dumps(BASELINE))
+        del fresh["speedup"]
+        fresh["brand_new"] = 1.0
+        findings = bench_gate.compare("b.json", BASELINE, fresh)
+        missing = next(f for f in findings if f.key == "speedup")
+        assert not missing.ok and missing.note == "missing from fresh run"
+        new = next(f for f in findings if f.key == "brand_new")
+        assert new.ok and new.kind == "new"
+
+
+class TestMain:
+    def test_committed_baselines_self_compare(self, capsys):
+        """The gate must pass on the repo's own BENCH_*.json artefacts."""
+        rc = bench_gate.main(["--baseline", str(REPO_ROOT),
+                              "--fresh", str(REPO_ROOT), "-q"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "all baselines within tolerance" in out
+
+    def test_synthetic_regression_exits_nonzero(self, tmp_path, capsys):
+        baseline_dir = tmp_path / "base"
+        fresh_dir = tmp_path / "fresh"
+        baseline_dir.mkdir()
+        fresh_dir.mkdir()
+        (baseline_dir / "BENCH_x.json").write_text(json.dumps(BASELINE))
+        fresh = json.loads(json.dumps(BASELINE))
+        fresh["serial_wall_s"] = 2.0 * 2.5 * BASELINE["serial_wall_s"]
+        fresh["speedup"] = BASELINE["speedup"] / (2.0 * 1.75)
+        (fresh_dir / "BENCH_x.json").write_text(json.dumps(fresh))
+        rc = bench_gate.main(["--baseline", str(baseline_dir),
+                              "--fresh", str(fresh_dir)])
+        assert rc == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_missing_fresh_artefact_fails(self, tmp_path):
+        (tmp_path / "BENCH_x.json").write_text(json.dumps(BASELINE))
+        empty = tmp_path / "fresh"
+        empty.mkdir()
+        rc = bench_gate.main(["--baseline", str(tmp_path),
+                              "--fresh", str(empty)])
+        assert rc == 1
+
+    def test_no_baselines_is_an_error(self, tmp_path):
+        assert bench_gate.main(["--baseline", str(tmp_path)]) == 2

@@ -83,6 +83,43 @@ class TestCommands:
     def test_run_bad_scenario_number(self, capsys):
         assert main(["run", "--scenario", "11"]) == 2
 
+    def test_run_always_reports_losses_and_duplicates(self, capsys):
+        """The robustness tallies print even on a healthy run, so a
+        lossy network can never hide in a quiet summary."""
+        assert main(["run", "--flow", "0.2", "--cars", "6", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "losses by reason" in out
+        assert "dup dropped" in out
+
+    def test_run_metrics_export_parses(self, capsys, tmp_path):
+        from repro.obs import parse_prometheus
+
+        out_file = tmp_path / "run.prom"
+        assert main(["run", "--flow", "0.2", "--cars", "6", "--seed", "3",
+                     "--metrics", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "metrics:" in out
+        samples = parse_prometheus(out_file.read_text())
+        names = {name for name, _, _ in samples}
+        assert "repro_des_events_total" in names
+        assert "repro_vehicle_rtd_seconds_bucket" in names
+
+    def test_metrics_command_prints_series_table(self, capsys, tmp_path):
+        csv_file = tmp_path / "series.csv"
+        assert main(["metrics", "--flow", "0.2", "--cars", "6", "--seed", "3",
+                     "--out", str(csv_file)]) == 0
+        out = capsys.readouterr().out
+        assert "des.events" in out
+        assert "vehicle.rtd_seconds" in out
+        assert "series over" in out
+        assert csv_file.read_text().startswith(
+            "metric,type,labels,t_start_s,value")
+
+    def test_grid_metrics_with_seeds_rejected(self, capsys, tmp_path):
+        rc = main(["grid", "--nodes", "2", "--cars", "4", "--seeds", "1", "2",
+                   "--metrics", str(tmp_path / "x.prom")])
+        assert rc == 2
+
     def test_run_with_trace_writes_chrome_trace(self, capsys, tmp_path):
         out_file = tmp_path / "run.trace.json"
         assert main(["run", "--flow", "0.2", "--cars", "5", "--seed", "3",

@@ -40,6 +40,25 @@ class TestCounters:
         with pytest.raises(ValueError):
             PerfCounters().add_time("x", -1.0)
 
+    def test_nested_timers_accumulate_independently(self):
+        """Nested ``timer()`` contexts each accumulate their own key,
+        and the outer context includes the inner's span."""
+        perf = PerfCounters()
+        with perf.timer("outer"):
+            with perf.timer("inner"):
+                time.sleep(0.01)
+        assert perf.time_of("inner") >= 0.01
+        assert perf.time_of("outer") >= perf.time_of("inner")
+
+    def test_nested_timer_same_key_reentrant(self):
+        """Re-entering one key nests safely: both spans land on the
+        accumulator (outer covers inner, so total >= 2x inner sleep)."""
+        perf = PerfCounters()
+        with perf.timer("work"):
+            with perf.timer("work"):
+                time.sleep(0.01)
+        assert perf.time_of("work") >= 0.02
+
     def test_merge(self):
         a = PerfCounters()
         a.incr("cells", 10)
@@ -120,6 +139,15 @@ class TestSnapshotMerge:
 
     def test_merge_snapshots_empty(self):
         assert merge_snapshots([]) == {}
+
+    def test_merge_snapshots_disjoint_keys(self):
+        """Workers that counted entirely different things merge into
+        the union — nothing is dropped and nothing cross-pollinates."""
+        a = {"count.cells": 10.0, "time.batch_s": 0.25}
+        b = {"count.events": 7.0, "time.run_s": 1.0}
+        merged = merge_snapshots([a, b])
+        assert merged == {"count.cells": 10.0, "count.events": 7.0,
+                          "time.batch_s": 0.25, "time.run_s": 1.0}
 
 
 class TestSimResultPerf:

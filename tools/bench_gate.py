@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Bench regression gate: diff fresh BENCH_*.json against baselines.
+
+The committed ``BENCH_*.json`` files at the repo root are the
+performance baselines; CI regenerates fresh copies (benches honour
+``REPRO_BENCH_DIR``) and this gate diffs them key by key with
+per-metric tolerances, failing the build on a regression instead of
+letting it rot silently (the 1.04x parallel "speedup" sat unnoticed
+for five PRs).
+
+Keys are flattened to dot paths and classified:
+
+* **time** (``*wall*``): wall-clock seconds — noisy and
+  machine-dependent, lower is better; fresh must stay under
+  ``baseline * time_tolerance``.
+* **ratio-up** (``speedup*``, ``vehicles_per_s``): throughput-style,
+  higher is better; fresh must stay above
+  ``baseline / ratio_tolerance``.
+* **rate** (``*hit_rate*``): cache hit rates in [0, 1]; fresh must
+  stay above ``baseline - rate_slack``.
+* **info** (``cpus``, ``pool_spawns``): machine facts, reported only.
+* **exact** (everything else): deterministic counters, sim-time
+  quantities and workload config — byte-equal or the gate fails,
+  because a drift here is a behaviour change, not noise.
+
+Stdlib only; importable (``compare``/``compare_files``/``main``) so
+the tier-1 suite can pin that the gate passes on the committed
+baselines and fails on a synthetic 2x regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import math
+import os
+import sys
+from typing import Dict, List, NamedTuple, Optional
+
+__all__ = ["Finding", "Tolerances", "classify", "compare", "compare_files", "main"]
+
+#: Keys reported but never gated (facts about the machine, not the code).
+INFO_KEYS = frozenset({"cpus", "pool_spawns"})
+
+
+class Tolerances(NamedTuple):
+    """Per-class gate tolerances (see the module docstring)."""
+
+    time: float = 2.5
+    ratio: float = 1.75
+    rate_slack: float = 0.15
+
+
+class Finding(NamedTuple):
+    """One gated key's verdict."""
+
+    file: str
+    key: str
+    kind: str
+    baseline: object
+    fresh: object
+    ok: bool
+    note: str = ""
+
+
+def flatten(payload: Dict, prefix: str = "") -> Dict[str, object]:
+    """Nested dicts -> dot-path leaves (lists stay as values)."""
+    out: Dict[str, object] = {}
+    for name, value in payload.items():
+        key = f"{prefix}.{name}" if prefix else str(name)
+        if isinstance(value, dict):
+            out.update(flatten(value, key))
+        else:
+            out[key] = value
+    return out
+
+
+def classify(key: str) -> str:
+    """Gate class of one flattened dot-path key."""
+    leaf = key.rsplit(".", 1)[-1]
+    if leaf in INFO_KEYS:
+        return "info"
+    if "wall" in leaf:
+        return "time"
+    if leaf.startswith("speedup") or leaf == "vehicles_per_s":
+        return "ratio_up"
+    if "hit_rate" in leaf:
+        return "rate"
+    return "exact"
+
+
+def _numeric(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _check(kind: str, baseline: object, fresh: object,
+           tolerances: Tolerances) -> (bool, str):
+    if not (_numeric(baseline) and _numeric(fresh)):
+        ok = baseline == fresh
+        return ok, "" if ok else "value changed"
+    base, new = float(baseline), float(fresh)
+    if kind == "time":
+        limit = base * tolerances.time
+        if new <= limit or new <= 0.05:  # sub-50 ms: below timer noise
+            return True, ""
+        return False, f"slower than {tolerances.time:g}x baseline"
+    if kind == "ratio_up":
+        floor = base / tolerances.ratio
+        if new >= floor:
+            return True, ""
+        return False, f"below baseline/{tolerances.ratio:g}"
+    if kind == "rate":
+        floor = base - tolerances.rate_slack
+        if new >= floor:
+            return True, ""
+        return False, f"below baseline - {tolerances.rate_slack:g}"
+    # exact: deterministic quantities must not drift at all.
+    if math.isclose(base, new, rel_tol=0.0, abs_tol=0.0):
+        return True, ""
+    return False, "deterministic value drifted"
+
+
+def compare(name: str, baseline: Dict, fresh: Dict,
+            tolerances: Optional[Tolerances] = None) -> List[Finding]:
+    """Gate one fresh payload against its baseline."""
+    tolerances = tolerances if tolerances is not None else Tolerances()
+    findings: List[Finding] = []
+    flat_base = flatten(baseline)
+    flat_fresh = flatten(fresh)
+    for key in sorted(flat_base):
+        kind = classify(key)
+        if key not in flat_fresh:
+            findings.append(Finding(name, key, kind, flat_base[key], None,
+                                    False, "missing from fresh run"))
+            continue
+        if kind == "info":
+            findings.append(Finding(name, key, kind, flat_base[key],
+                                    flat_fresh[key], True, "informational"))
+            continue
+        ok, note = _check(kind, flat_base[key], flat_fresh[key], tolerances)
+        findings.append(Finding(name, key, kind, flat_base[key],
+                                flat_fresh[key], ok, note))
+    for key in sorted(set(flat_fresh) - set(flat_base)):
+        findings.append(Finding(name, key, "new", None, flat_fresh[key],
+                                True, "not in baseline (informational)"))
+    return findings
+
+
+def compare_files(baseline_path: str, fresh_path: str,
+                  tolerances: Optional[Tolerances] = None) -> List[Finding]:
+    name = os.path.basename(baseline_path)
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    if not os.path.exists(fresh_path):
+        return [Finding(name, "<file>", "exact", baseline_path, None, False,
+                        f"fresh artefact {fresh_path} not produced")]
+    with open(fresh_path) as handle:
+        fresh = json.load(handle)
+    return compare(name, baseline, fresh, tolerances)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff fresh BENCH_*.json against committed baselines "
+                    "with per-metric tolerances")
+    parser.add_argument("files", nargs="*",
+                        help="artefact names to gate (default: every "
+                             "BENCH_*.json in the baseline dir)")
+    parser.add_argument("--baseline", default=".", metavar="DIR",
+                        help="directory with the committed baselines "
+                             "(default: .)")
+    parser.add_argument("--fresh", default=".", metavar="DIR",
+                        help="directory with the freshly produced artefacts "
+                             "(default: .)")
+    parser.add_argument("--time-tolerance", type=float, default=2.5,
+                        help="wall-clock keys may grow to this multiple of "
+                             "baseline (default: 2.5)")
+    parser.add_argument("--ratio-tolerance", type=float, default=1.75,
+                        help="speedup-style keys may shrink to baseline over "
+                             "this factor (default: 1.75)")
+    parser.add_argument("--rate-slack", type=float, default=0.15,
+                        help="hit-rate keys may drop by this absolute amount "
+                             "(default: 0.15)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="only print regressions")
+    args = parser.parse_args(argv)
+
+    names = args.files or sorted(
+        os.path.basename(path)
+        for path in glob.glob(os.path.join(args.baseline, "BENCH_*.json"))
+    )
+    if not names:
+        print(f"no BENCH_*.json baselines under {args.baseline}",
+              file=sys.stderr)
+        return 2
+    tolerances = Tolerances(time=args.time_tolerance,
+                            ratio=args.ratio_tolerance,
+                            rate_slack=args.rate_slack)
+
+    failures = 0
+    for name in names:
+        findings = compare_files(os.path.join(args.baseline, name),
+                                 os.path.join(args.fresh, name), tolerances)
+        bad = [f for f in findings if not f.ok]
+        failures += len(bad)
+        status = "FAIL" if bad else "ok"
+        print(f"{status:4s} {name}: {len(findings)} keys, "
+              f"{len(bad)} regression(s)")
+        for finding in findings:
+            if args.quiet and finding.ok:
+                continue
+            mark = " " if finding.ok else "!"
+            print(f"  {mark} [{finding.kind:8s}] {finding.key:45s} "
+                  f"baseline={finding.baseline!r} fresh={finding.fresh!r}"
+                  + (f"  <- {finding.note}" if finding.note else ""))
+    if failures:
+        print(f"\nbench gate: {failures} regression(s) — see '!' rows above",
+              file=sys.stderr)
+        return 1
+    print("\nbench gate: all baselines within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

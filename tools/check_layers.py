@@ -33,8 +33,11 @@ from typing import Dict, Iterator, List, Set, Tuple
 #: only module-level import packages with a strictly smaller level.
 LAYERS: Dict[str, int] = {
     # Level 0 — substrate: the DES kernel, perf counters and the
-    # observability bus (des reaches obs via a duck-typed attribute,
-    # never an import, so no same-level edge exists).
+    # observability layer (obs.events event log + tracer, obs.metrics
+    # streaming time-series registry, obs.prom exporters).  des reaches
+    # obs via duck-typed attributes (``env.obs``, ``env.metrics``),
+    # never an import, so no same-level edge exists; obs imports
+    # nothing from the package at all.
     "des": 0,
     "perf": 0,
     "obs": 0,
