@@ -1,0 +1,84 @@
+"""S11 — serve-mode load curve: sustainable TPS, p99 RTD, overload.
+
+Self-hosts a TCP :class:`~repro.serve.ImServer` on localhost and
+sweeps an open-loop request rate across the saturation knee.  Service
+time is *simulated* (LinearComputeModel, ~28 ms/request at the default
+geometry), so the saturation point is a property of the configuration
+— capacity ≈ ``time_scale / 0.028`` ≈ 360 TPS at the 10x scale used
+here — not of the CI box; only the wall-RTD percentiles are
+machine-dependent, and the gate classes them as noisy ``time`` keys.
+
+Asserted (the graceful-degradation contract, not wall clock):
+
+* the sub-capacity rates complete everything they send;
+* the past-capacity rate sheds load as ``AimReject`` + ``by_reason
+  ["overload"]`` with the backlog pinned at ``max_queue``;
+* the server still answers after the overload burst.
+
+Records ``BENCH_serve.json`` (``REPRO_BENCH_DIR`` redirects, default
+CWD) for the bench gate.
+"""
+
+import json
+import os
+
+import pytest
+
+from conftest import banner
+from repro.serve import bench_serve
+
+pytestmark = pytest.mark.perf
+
+RATES = (40.0, 120.0, 800.0)
+DURATION_S = 2.0
+TIME_SCALE = 10.0
+MAX_QUEUE = 64
+
+
+def test_serve_load_curve():
+    payload = bench_serve(
+        rates=RATES,
+        duration_s=DURATION_S,
+        policy="crossroads",
+        time_scale=TIME_SCALE,
+        max_queue=MAX_QUEUE,
+    )
+
+    banner("S11 serve load curve")
+    header = (f"{'rate':>8} {'sent':>6} {'tps':>8} {'p50 ms':>8} "
+              f"{'p99 ms':>8} {'rejects':>8}")
+    print(header)
+    for rate in RATES:
+        row = payload["sweep"][f"rate_{rate:g}"]
+        print(f"{rate:8g} {row['sent']:6d} {row['tps']:8.1f} "
+              f"{row['rtd_p50_wall_s'] * 1e3:8.2f} "
+              f"{row['rtd_p99_wall_s'] * 1e3:8.2f} "
+              f"{row['rejects']:8d}")
+    print(f"overload: rejects={payload['overload']['rejects']} "
+          f"peak_backlog={payload['overload']['peak_backlog']} "
+          f"alive={payload['overload']['alive_after_overload']}")
+    print(f"wc-rtd estimate: "
+          f"{payload['server']['wc_rtd_estimate_s'] * 1e3:.1f} ms "
+          f"({payload['server']['rtd_samples']} samples)")
+
+    # Sub-capacity rates sustain their offered load.
+    for rate in RATES[:2]:
+        row = payload["sweep"][f"rate_{rate:g}"]
+        assert row["timeouts"] == 0
+        assert row["completed"] == row["sent"]
+
+    # The past-capacity rate degrades gracefully: explicit rejects,
+    # backlog clamped at the queue bound, server alive afterwards.
+    hot = payload["sweep"][f"rate_{RATES[-1]:g}"]
+    assert hot["rejects"] > 0
+    assert payload["overload"]["rejects"] == hot["rejects"]
+    assert payload["overload"]["peak_backlog"] <= MAX_QUEUE
+    assert payload["overload"]["alive_after_overload"] is True
+    assert payload["server"]["rtd_samples"] > 0
+    assert payload["server"]["wc_rtd_estimate_s"] > 0.0
+
+    out_dir = os.environ.get("REPRO_BENCH_DIR", ".")
+    out_path = os.path.join(out_dir, "BENCH_serve.json")
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    print(f"wrote {out_path}")

@@ -152,6 +152,62 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("-v", "--verbose", action="store_true",
                       help="print every draw's outcome")
 
+    serve = sub.add_parser(
+        "serve",
+        help="IM-as-a-service: host one IM over TCP speaking the "
+             "wire-framed protocol messages, WC-RTD measured online",
+    )
+    serve.add_argument("--policy", default="crossroads",
+                       help="vt-im | crossroads | aim | batch-crossroads")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7411,
+                       help="TCP port; 0 picks an ephemeral port "
+                            "(printed on startup; default: 7411)")
+    serve.add_argument("--http-port", type=int, default=None, metavar="PORT",
+                       help="also serve GET /metrics (Prometheus text) and "
+                            "/healthz on this port (0 for ephemeral)")
+    serve.add_argument("--time-scale", type=float, default=1.0,
+                       help="simulated seconds per wall second (default: 1)")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="IM work-queue bound; requests beyond it are "
+                            "shed with an AimReject (default: 64)")
+    serve.add_argument("--safety-factor", type=float, default=2.0,
+                       help="WC-RTD estimator safety multiplier (default: 2)")
+    serve.add_argument("--static-wc-rtd", action="store_true",
+                       help="keep the configured WC-RTD constant; report "
+                            "the online estimate without applying it")
+    serve.add_argument("--duration", type=float, default=None,
+                       metavar="SECONDS",
+                       help="stop (drain + flush) after this wall time "
+                            "(default: run until SIGINT/SIGTERM)")
+    serve.add_argument("--metrics-out", metavar="FILE", default=None,
+                       help="flush the final metrics snapshot here on "
+                            "shutdown (format by extension, like "
+                            "'run --metrics')")
+    _add_plugin_argument(serve)
+
+    bench = sub.add_parser("bench", help="load-test harnesses")
+    bench_sub = bench.add_subparsers(dest="bench_target", required=True)
+    bserve = bench_sub.add_parser(
+        "serve",
+        help="open-loop rate sweep against a self-hosted serve-mode IM: "
+             "sustained TPS, p99 RTD, overload degradation",
+    )
+    bserve.add_argument("--rate", type=float, nargs="+",
+                        default=[40.0, 120.0, 800.0], metavar="TPS",
+                        help="wall transactions/sec to sweep "
+                             "(default: 40 120 800)")
+    bserve.add_argument("--duration", type=float, default=2.0,
+                        metavar="SECONDS",
+                        help="wall seconds of sending per rate (default: 2)")
+    bserve.add_argument("--policy", default="crossroads")
+    bserve.add_argument("--time-scale", type=float, default=10.0,
+                        help="simulated seconds per wall second "
+                             "(default: 10; capacity ~ time_scale / 30 ms)")
+    bserve.add_argument("--max-queue", type=int, default=64)
+    bserve.add_argument("--out", metavar="FILE", default=None,
+                        help="write the BENCH_serve-style JSON payload here")
+
     scen = sub.add_parser("scenarios", help="Fig 7.1: the 10 scale-model cases")
     scen.add_argument("--repeats", type=int, default=3)
     scen.add_argument("--policies", nargs="+", default=["vt-im", "crossroads"])
@@ -717,8 +773,106 @@ def _cmd_policies(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.serve import ImServer, ServeConfig
+
+    status = _load_plugins(args.plugin)
+    if status:
+        return status
+    config = ServeConfig(
+        policy=args.policy,
+        host=args.host,
+        port=args.port,
+        http_port=args.http_port,
+        time_scale=args.time_scale,
+        max_queue=args.max_queue,
+        safety_factor=args.safety_factor,
+        apply_estimate=not args.static_wc_rtd,
+    )
+
+    async def _serve() -> int:
+        server = ImServer(config)
+        await server.start()
+        line = (
+            f"serving {config.policy} IM on tcp {config.host}:{server.port}"
+            f" (time scale {config.time_scale:g}x, queue bound "
+            f"{config.max_queue})"
+        )
+        if server.http_port is not None:
+            line += f"; metrics on http://{config.host}:{server.http_port}/metrics"
+        print(line, flush=True)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.request_shutdown)
+            except (NotImplementedError, RuntimeError):
+                pass  # e.g. Windows event loops; KeyboardInterrupt still works
+        if args.duration is not None:
+            loop.call_later(args.duration, server.request_shutdown)
+        try:
+            await server.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - handler fallback
+            await server.shutdown()
+        if args.metrics_out:
+            _export_metrics(server.metrics.snapshot(), args.metrics_out)
+            print(f"metrics snapshot -> {args.metrics_out}", flush=True)
+        stats = server.im.stats
+        print(
+            f"serve: drained and stopped; {stats.crossing_requests} requests"
+            f" ({stats.accepts} accepts, {stats.rejects} rejects,"
+            f" {stats.exits} exits), wc-rtd estimate"
+            f" {server.wc_rtd_estimate() * 1000.0:.1f} ms"
+            f" ({server.estimator.count} ack samples)",
+            flush=True,
+        )
+        return 0
+
+    return asyncio.run(_serve())
+
+
+def _cmd_bench(args) -> int:
+    import json
+
+    from repro.serve import bench_serve
+
+    payload = bench_serve(
+        rates=tuple(args.rate),
+        duration_s=args.duration,
+        policy=args.policy,
+        time_scale=args.time_scale,
+        max_queue=args.max_queue,
+    )
+    print(f"{'rate':>8} {'sent':>6} {'tps':>8} {'p50 ms':>8} {'p99 ms':>8} "
+          f"{'rejects':>8} {'timeouts':>9}")
+    for report in payload["sweep"].values():
+        print(f"{report['rate']:>8g} {report['sent']:>6d} "
+              f"{report['tps']:>8.1f} "
+              f"{report['rtd_p50_wall_s'] * 1000.0:>8.2f} "
+              f"{report['rtd_p99_wall_s'] * 1000.0:>8.2f} "
+              f"{report['rejects']:>8d} {report['timeouts']:>9d}")
+    overload = payload["overload"]
+    print(f"overload: {overload['rejects']} shed "
+          f"(by_reason['overload']), peak backlog "
+          f"{overload['peak_backlog']}, alive after: "
+          f"{overload['alive_after_overload']}")
+    server_info = payload["server"]
+    print(f"wc-rtd estimate: {server_info['wc_rtd_estimate_s'] * 1000.0:.1f} ms "
+          f"({server_info['rtd_samples']} ack samples, worst service "
+          f"{server_info['worst_service_s'] * 1000.0:.1f} ms)")
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        print(f"bench payload -> {args.out}")
+    return 0 if overload["alive_after_overload"] else 1
+
+
 _COMMANDS = {
     "run": _cmd_run,
+    "serve": _cmd_serve,
+    "bench": _cmd_bench,
     "trace": _cmd_trace,
     "sweep": _cmd_sweep,
     "grid": _cmd_grid,

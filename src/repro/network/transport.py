@@ -41,7 +41,17 @@ class Transport(abc.ABC):
 
     @abc.abstractmethod
     def detach(self, address: str) -> None:
-        """Remove an endpoint; in-flight traffic to it is dropped."""
+        """Remove an endpoint.
+
+        Detaching never raises — not for an unknown address, and not
+        when traffic to the endpoint is still in flight.  Messages
+        addressed to a detached (or never-attached) endpoint are
+        dropped silently and attributed to ``by_reason["no_route"]``
+        in :attr:`stats`; senders observe only the missing reply.
+        Both :class:`~repro.network.channel.Channel` and
+        :class:`repro.serve.SocketTransport` honour this contract
+        (pinned by the transport test suite).
+        """
 
     @abc.abstractmethod
     def transmit(self, message) -> None:

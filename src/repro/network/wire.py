@@ -1,0 +1,339 @@
+"""Versioned wire codec for the protocol messages.
+
+The serve mode (``repro.serve``) ships the exact
+:mod:`repro.network.messages` dataclasses over TCP.  Frames are::
+
+    [4-byte big-endian payload length][payload]
+    payload = [magic byte][version byte][compact JSON body]
+
+The JSON body carries the message kind, addressing, ``seq``/``corr``
+and the per-type payload fields (``vehicle_info`` as a nested dict).
+Every malformed input — truncated frame, bad magic, unknown version,
+garbage JSON, unknown kind, missing/extra/badly-typed fields —
+raises :class:`WireError` (never an arbitrary exception), so server
+loops can treat one ``except WireError`` as the complete hardening
+boundary.
+
+Decoding rebuilds messages with ``cls.__new__`` + ``setattr`` instead
+of calling the dataclass constructor: constructing normally would
+consume the global message sequence counter, and decode must restore
+the *sender's* ``seq`` verbatim.  That property is what makes
+:class:`CodecChannel` (every transmission round-tripped through the
+codec) bit-identical to the stock :class:`~repro.network.channel.Channel`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import struct
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+from repro.network import messages as _messages
+from repro.network.channel import Channel
+from repro.network.messages import Message
+
+__all__ = [
+    "CodecChannel",
+    "FrameAssembler",
+    "MAX_FRAME",
+    "WIRE_MAGIC",
+    "WIRE_VERSION",
+    "WireError",
+    "codec_transport",
+    "decode_message",
+    "encode_frame",
+    "encode_message",
+]
+
+#: First payload byte; rejects frames from non-repro peers early.
+WIRE_MAGIC = 0xC5
+#: Wire format version; bumped on any incompatible change.
+WIRE_VERSION = 1
+#: Upper bound on a single payload — anything larger is an attack or a
+#: corrupted length prefix, not a protocol message.
+MAX_FRAME = 1 << 20
+
+_HEADER = struct.Struct(">I")
+
+
+class WireError(Exception):
+    """Typed decode/encode failure: the frame is not a valid message."""
+
+
+#: Message registry: wire ``kind`` -> dataclass.
+_TYPES: Dict[str, Type[Message]] = {
+    name: getattr(_messages, name)
+    for name in _messages.__all__
+    if name != "Message"
+}
+
+_ADDRESSING = ("sender", "receiver", "seq", "corr")
+
+#: Per-class payload field specs: (name, kind) where kind is one of
+#: "bool" / "int" / "float" / "vinfo".  Inferred once from the
+#: dataclass defaults so new message types pick up codec support
+#: automatically.
+_SPEC_CACHE: Dict[Type[Message], Tuple[Tuple[str, str], ...]] = {}
+
+
+def _field_specs(cls: Type[Message]) -> Tuple[Tuple[str, str], ...]:
+    cached = _SPEC_CACHE.get(cls)
+    if cached is not None:
+        return cached
+    specs = []
+    for f in dataclasses.fields(cls):
+        if f.name in _ADDRESSING:
+            continue
+        if f.name == "vehicle_info":
+            specs.append((f.name, "vinfo"))
+        elif isinstance(f.default, bool):
+            specs.append((f.name, "bool"))
+        elif isinstance(f.default, int):
+            specs.append((f.name, "int"))
+        elif isinstance(f.default, float):
+            specs.append((f.name, "float"))
+        else:  # pragma: no cover - no such field exists today
+            raise WireError(
+                f"{cls.__name__}.{f.name} has no wire representation"
+            )
+    result = tuple(specs)
+    _SPEC_CACHE[cls] = result
+    return result
+
+
+def _encode_vehicle_info(info: Any) -> Optional[dict]:
+    if info is None:
+        return None
+    try:
+        spec = info.spec
+        movement = info.movement
+        return {
+            "vehicle_id": int(info.vehicle_id),
+            "buffer": float(info.buffer),
+            "spec": {
+                "length": float(spec.length),
+                "width": float(spec.width),
+                "a_max": float(spec.a_max),
+                "d_max": float(spec.d_max),
+                "v_max": float(spec.v_max),
+                "wheelbase": float(spec.wheelbase),
+            },
+            "movement": {
+                "entry": movement.entry.value,
+                "turn": movement.turn.value,
+            },
+        }
+    except (AttributeError, TypeError, ValueError) as exc:
+        raise WireError(f"unencodable vehicle_info: {exc}") from exc
+
+
+def _decode_vehicle_info(payload: Any) -> Any:
+    if payload is None:
+        return None
+    # network is layer 1; vehicle/geometry classes are imported lazily
+    # (the sanctioned escape hatch in tools/check_layers.py).
+    from repro.geometry.layout import Approach, Movement, Turn
+    from repro.vehicle.spec import VehicleInfo, VehicleSpec
+
+    if not isinstance(payload, dict):
+        raise WireError("vehicle_info must be null or an object")
+    try:
+        spec_d = payload["spec"]
+        move_d = payload["movement"]
+        spec = VehicleSpec(
+            length=float(spec_d["length"]),
+            width=float(spec_d["width"]),
+            a_max=float(spec_d["a_max"]),
+            d_max=float(spec_d["d_max"]),
+            v_max=float(spec_d["v_max"]),
+            wheelbase=float(spec_d["wheelbase"]),
+        )
+        movement = Movement(
+            entry=Approach(move_d["entry"]),
+            turn=Turn(move_d["turn"]),
+        )
+        return VehicleInfo(
+            vehicle_id=int(payload["vehicle_id"]),
+            spec=spec,
+            movement=movement,
+            buffer=float(payload["buffer"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError(f"bad vehicle_info: {exc}") from exc
+
+
+def encode_message(message: Message) -> bytes:
+    """Serialise ``message`` to a wire payload (no length prefix)."""
+    cls = type(message)
+    if _TYPES.get(cls.__name__) is not cls:
+        raise WireError(f"not a wire message type: {cls!r}")
+    fields: Dict[str, Any] = {}
+    for name, kind in _field_specs(cls):
+        value = getattr(message, name)
+        fields[name] = _encode_vehicle_info(value) if kind == "vinfo" else value
+    body = {
+        "kind": cls.__name__,
+        "sender": message.sender,
+        "receiver": message.receiver,
+        "seq": message.seq,
+        "corr": message.corr,
+        "fields": fields,
+    }
+    try:
+        text = json.dumps(
+            body, allow_nan=False, separators=(",", ":"), sort_keys=True
+        )
+    except (TypeError, ValueError) as exc:
+        raise WireError(f"unencodable message: {exc}") from exc
+    return bytes((WIRE_MAGIC, WIRE_VERSION)) + text.encode("utf-8")
+
+
+def _require(condition: bool, note: str) -> None:
+    if not condition:
+        raise WireError(note)
+
+
+def _coerce(name: str, kind: str, value: Any) -> Any:
+    if kind == "bool":
+        _require(isinstance(value, bool), f"field {name!r} must be a bool")
+        return value
+    if kind == "int":
+        _require(
+            isinstance(value, int) and not isinstance(value, bool),
+            f"field {name!r} must be an int",
+        )
+        return value
+    if kind == "float":
+        _require(
+            isinstance(value, (int, float)) and not isinstance(value, bool),
+            f"field {name!r} must be a number",
+        )
+        return float(value)
+    return _decode_vehicle_info(value)
+
+
+def decode_message(payload: bytes) -> Message:
+    """Parse a wire payload back into its message dataclass.
+
+    Raises :class:`WireError` on any malformed input.  The returned
+    object carries the sender's ``seq``/``corr`` verbatim (the global
+    sequence counter is not consumed).
+    """
+    _require(isinstance(payload, (bytes, bytearray)), "payload must be bytes")
+    _require(len(payload) >= 3, "payload truncated")
+    _require(payload[0] == WIRE_MAGIC, f"bad magic byte 0x{payload[0]:02x}")
+    _require(
+        payload[1] == WIRE_VERSION,
+        f"unsupported wire version {payload[1]} (speaking {WIRE_VERSION})",
+    )
+    try:
+        body = json.loads(bytes(payload[2:]).decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise WireError(f"bad JSON body: {exc}") from exc
+    _require(isinstance(body, dict), "body must be an object")
+    kind = body.get("kind")
+    cls = _TYPES.get(kind) if isinstance(kind, str) else None
+    _require(cls is not None, f"unknown message kind {kind!r}")
+    _require(
+        set(body) == {"kind", "sender", "receiver", "seq", "corr", "fields"},
+        "bad body keys",
+    )
+    _require(
+        isinstance(body["sender"], str) and isinstance(body["receiver"], str),
+        "sender/receiver must be strings",
+    )
+    for name in ("seq", "corr"):
+        _require(
+            isinstance(body[name], int) and not isinstance(body[name], bool),
+            f"{name} must be an int",
+        )
+    raw_fields = body["fields"]
+    _require(isinstance(raw_fields, dict), "fields must be an object")
+    specs = _field_specs(cls)
+    _require(
+        set(raw_fields) == {name for name, _ in specs},
+        f"bad field set for {cls.__name__}",
+    )
+    # __new__ + setattr: does not consume the global seq counter.
+    message = cls.__new__(cls)
+    message.sender = body["sender"]
+    message.receiver = body["receiver"]
+    message.seq = body["seq"]
+    message.corr = body["corr"]
+    for name, field_kind in specs:
+        setattr(message, name, _coerce(name, field_kind, raw_fields[name]))
+    return message
+
+
+def encode_frame(message: Message) -> bytes:
+    """Length-prefixed frame ready to write to a stream."""
+    payload = encode_message(message)
+    if len(payload) > MAX_FRAME:
+        raise WireError(f"payload of {len(payload)} bytes exceeds MAX_FRAME")
+    return _HEADER.pack(len(payload)) + payload
+
+
+class FrameAssembler:
+    """Incremental splitter of a byte stream into wire payloads.
+
+    Feed arbitrary chunks; complete payloads come back in order.  A
+    declared length outside ``(0, MAX_FRAME]`` raises :class:`WireError`
+    immediately — the stream is unrecoverable past a corrupt prefix.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[bytes]:
+        self._buffer.extend(data)
+        payloads: List[bytes] = []
+        while len(self._buffer) >= _HEADER.size:
+            (length,) = _HEADER.unpack_from(self._buffer, 0)
+            if length == 0 or length > MAX_FRAME:
+                raise WireError(f"frame length {length} out of bounds")
+            if len(self._buffer) < _HEADER.size + length:
+                break
+            end = _HEADER.size + length
+            payloads.append(bytes(self._buffer[_HEADER.size:end]))
+            del self._buffer[:end]
+        return payloads
+
+    def pending(self) -> int:
+        """Bytes buffered awaiting a complete frame."""
+        return len(self._buffer)
+
+
+class CodecChannel(Channel):
+    """A :class:`Channel` that encode/decodes every transmission.
+
+    The in-process equivalence harness: if the codec is lossless, a
+    world running on this transport is bit-identical to the stock
+    channel (same RNG draws, same stats, same delivered values).
+    """
+
+    def transmit(self, message: Message) -> None:
+        super().transmit(decode_message(encode_message(message)))
+
+
+def codec_transport(
+    env,
+    delay_model=None,
+    loss_probability: float = 0.0,
+    rng=None,
+    faults=None,
+    obs=None,
+    metrics=None,
+) -> CodecChannel:
+    """Factory with the :func:`~repro.network.transport.default_transport`
+    signature, for :class:`~repro.sim.world.World`'s ``transport_factory``
+    seam."""
+    return CodecChannel(
+        env,
+        delay_model=delay_model,
+        loss_probability=loss_probability,
+        rng=rng,
+        faults=faults,
+        obs=obs,
+        metrics=metrics,
+    )

@@ -1,0 +1,43 @@
+"""IM-as-a-service: the real-time streaming execution mode (L8).
+
+The unchanged IM core behind an asyncio server speaking the
+:mod:`repro.network.wire` framing of the stock message dataclasses —
+over TCP or an in-process queue pipe — with WC-RTD *measured* online
+from link acks instead of configured, backpressure by
+reject-with-backoff, and the :mod:`repro.obs.metrics` snapshot on an
+HTTP ``/metrics`` scrape endpoint.  See DESIGN.md ("Serve layer") and
+README ("Serving").
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.estimator import RtdEstimator
+from repro.serve.link import QueueLink, StreamLink, queue_pipe
+from repro.serve.loadgen import LoadReport, bench_serve, run_load
+from repro.serve.realtime import RealtimeBridge
+from repro.serve.server import ImServer, ServeConfig
+from repro.serve.transport import SocketTransport
+from repro.serve.worldclient import (
+    ClientSocketTransport,
+    link_transport_factory,
+    run_world_over_link,
+    run_world_over_server,
+)
+
+__all__ = [
+    "ClientSocketTransport",
+    "ImServer",
+    "LoadReport",
+    "QueueLink",
+    "RealtimeBridge",
+    "RtdEstimator",
+    "ServeClient",
+    "ServeConfig",
+    "SocketTransport",
+    "StreamLink",
+    "bench_serve",
+    "link_transport_factory",
+    "queue_pipe",
+    "run_load",
+    "run_world_over_link",
+    "run_world_over_server",
+]

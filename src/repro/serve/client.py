@@ -1,0 +1,182 @@
+"""Protocol client for the serve mode (load generator / tooling side).
+
+:class:`ServeClient` is *not* a simulated vehicle: it is the thin
+correlation layer a load generator (or an operator script) needs —
+send a request dataclass, await the reply matched by ``in_reply_to``,
+link-ack everything the server sends so the server's WC-RTD estimator
+gets its samples, and NTP-sync a local clock against the server's IM
+so request timestamps (``tt``) are meaningful.
+
+One client multiplexes any number of sender addresses over one
+connection (the server routes per sender, not per socket).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional
+
+from repro.network.messages import Ack, Message, SyncRequest, SyncResponse
+from repro.network.wire import WireError, decode_message, encode_message
+from repro.serve.link import StreamLink
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """Request/response correlation over one serve-mode link."""
+
+    def __init__(self, link, address: str = "client", time_scale: float = 1.0):
+        self.link = link
+        self.address = address
+        self.time_scale = time_scale
+        self._waiters: Dict[int, "asyncio.Future"] = {}
+        #: Wall send times of un-acked outbound messages (link RTT).
+        self._acks_pending: Dict[int, float] = {}
+        #: Measured link round trips, wall seconds (send -> server ack).
+        self.link_rtds: List[float] = []
+        #: Replies that matched no outstanding request (sync responses,
+        #: unsolicited commands).
+        self.unmatched: "asyncio.Queue" = asyncio.Queue()
+        #: Clock offset (simulated seconds) from the NTP exchange.
+        self.offset = 0.0
+        self._origin = 0.0
+        self._reader: Optional[asyncio.Task] = None
+        self._closed = False
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        address: str = "client",
+        time_scale: float = 1.0,
+    ) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        link = StreamLink(reader, writer, peer=f"{host}:{port}")
+        client = cls(link, address=address, time_scale=time_scale)
+        await client.start()
+        return client
+
+    async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._origin = loop.time()
+        self._reader = loop.create_task(self._read_loop())
+
+    # -- clocks --------------------------------------------------------------
+    def raw_time(self) -> float:
+        """Local clock in simulated seconds (unsynced)."""
+        return (
+            asyncio.get_running_loop().time() - self._origin
+        ) * self.time_scale
+
+    def local_time(self) -> float:
+        """NTP-corrected local clock (simulated seconds, server frame)."""
+        return self.raw_time() + self.offset
+
+    async def sync_clock(
+        self, im_address: str = "IM", timeout: float = 5.0
+    ) -> float:
+        """One NTP exchange against the server's responder.
+
+        Returns (and stores) the measured offset.  The
+        :class:`~repro.network.messages.SyncResponse` carries no
+        ``in_reply_to``; it is matched by the echoed ``t0`` off the
+        unmatched-message queue.
+        """
+        t0 = self.raw_time()
+        request = SyncRequest(
+            sender=self.address, receiver=im_address, t0=t0
+        )
+        request.corr = request.seq
+        await self.send(request)
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while True:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                raise asyncio.TimeoutError("clock sync timed out")
+            message = await asyncio.wait_for(
+                self.unmatched.get(), timeout=remaining
+            )
+            if isinstance(message, SyncResponse) and message.t0 == t0:
+                t3 = self.raw_time()
+                self.offset = ((message.t1 - t0) + (message.t2 - t3)) / 2.0
+                return self.offset
+
+    # -- traffic -------------------------------------------------------------
+    async def send(self, message: Message) -> None:
+        """Fire-and-forget (tracked for the link-RTT sample)."""
+        self._acks_pending[message.seq] = asyncio.get_running_loop().time()
+        self.link.write_frame(encode_message(message))
+        await self.link.drain()
+
+    async def request(
+        self, message: Message, timeout: float = 5.0
+    ) -> Optional[Message]:
+        """Send and await the reply (``in_reply_to == message.seq``).
+
+        Returns ``None`` on timeout or connection loss.  ``timeout``
+        is wall seconds.
+        """
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future" = loop.create_future()
+        self._waiters[message.seq] = future
+        message.corr = message.seq
+        await self.send(message)
+        try:
+            return await asyncio.wait_for(future, timeout=timeout)
+        except asyncio.TimeoutError:
+            self._waiters.pop(message.seq, None)
+            return None
+
+    async def _read_loop(self) -> None:
+        while True:
+            try:
+                payload = await self.link.read_frame()
+            except WireError:
+                break
+            if payload is None:
+                break
+            try:
+                message = decode_message(payload)
+            except WireError:
+                continue
+            if isinstance(message, Ack):
+                sent = self._acks_pending.pop(message.acked_seq, None)
+                if sent is not None:
+                    self.link_rtds.append(
+                        asyncio.get_running_loop().time() - sent
+                    )
+                continue
+            # Link-ack the reply so the server can sample its RTD.
+            ack = Ack(
+                sender=message.receiver,
+                receiver=message.sender,
+                acked_seq=message.seq,
+            )
+            ack.corr = message.corr
+            try:
+                self.link.write_frame(encode_message(ack))
+            except WireError:  # pragma: no cover - outbound is trusted
+                pass
+            in_reply_to = getattr(message, "in_reply_to", 0)
+            future = self._waiters.pop(in_reply_to, None)
+            if future is not None and not future.done():
+                future.set_result(message)
+            else:
+                self.unmatched.put_nowait(message)
+        self._closed = True
+        for future in self._waiters.values():
+            if not future.done():
+                future.set_result(None)
+        self._waiters.clear()
+
+    async def close(self) -> None:
+        self.link.close()
+        if self._reader is not None:
+            try:
+                await asyncio.wait_for(self._reader, timeout=1.0)
+            except asyncio.TimeoutError:  # pragma: no cover
+                self._reader.cancel()
+        await self.link.wait_closed()

@@ -1,0 +1,99 @@
+"""Wall-clock pacing of the DES kernel for the serve mode.
+
+The IM core is a set of DES processes (receive loop, compute worker,
+watchdog).  In serve mode those processes must advance against *wall*
+time: a request arriving over the socket is delivered at the simulated
+instant corresponding to "now", and the compute model's service time
+elapses as real milliseconds before the reply leaves.
+
+:class:`RealtimeBridge` maps ``loop.time()`` to ``env.now`` through
+``time_scale`` (simulated seconds per wall second — 10 means the sim
+runs 10x faster than reality, letting load tests compress minutes of
+traffic into seconds) and drives the kernel from a single asyncio
+task: sleep until the next scheduled event is due, run every event
+that is, repeat.  ``kick()`` wakes the driver early when new work was
+injected from a socket handler.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Optional
+
+__all__ = ["RealtimeBridge"]
+
+
+class RealtimeBridge:
+    """Paces a DES :class:`~repro.des.Environment` against wall time."""
+
+    def __init__(self, env, time_scale: float = 1.0, idle_tick: float = 0.2):
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        self.env = env
+        self.time_scale = time_scale
+        #: Longest wall sleep while the event queue is empty (bounds
+        #: shutdown latency; any kick cuts it short anyway).
+        self.idle_tick = idle_tick
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._origin = 0.0
+        self._wakeup: Optional[asyncio.Event] = None
+        self._stopped = False
+
+    def start(self) -> None:
+        """Bind to the running loop; wall 'now' becomes ``env.now``."""
+        self._loop = asyncio.get_running_loop()
+        self._origin = self._loop.time() - self.env.now / self.time_scale
+        self._wakeup = asyncio.Event()
+        self._stopped = False
+
+    @property
+    def sim_now(self) -> float:
+        """The simulated time corresponding to this wall instant."""
+        assert self._loop is not None, "bridge not started"
+        return (self._loop.time() - self._origin) * self.time_scale
+
+    def wall(self) -> float:
+        """The loop's monotonic wall clock (seconds)."""
+        assert self._loop is not None, "bridge not started"
+        return self._loop.time()
+
+    def sync(self) -> None:
+        """Run every due event and advance ``env.now`` to wall-now."""
+        target = self.sim_now
+        if target > self.env.now:
+            self.env.run(until=target)
+
+    def kick(self) -> None:
+        """Wake the driver: new events were injected."""
+        if self._wakeup is not None:
+            self._wakeup.set()
+
+    def stop(self) -> None:
+        self._stopped = True
+        self.kick()
+
+    async def run(self, until: Optional[Callable[[], bool]] = None) -> None:
+        """Drive the kernel until :meth:`stop` (or ``until()`` is true).
+
+        One iteration: catch the kernel up to wall time, then sleep
+        until the next scheduled event is due (capped at
+        ``idle_tick``), waking early on :meth:`kick`.
+        """
+        assert self._wakeup is not None, "bridge not started"
+        while not self._stopped:
+            self.sync()
+            if until is not None and until():
+                return
+            horizon = self.env.peek()
+            if horizon == float("inf"):
+                delay = self.idle_tick
+            else:
+                delay = min(
+                    max((horizon - self.sim_now) / self.time_scale, 0.0),
+                    self.idle_tick,
+                )
+            self._wakeup.clear()
+            try:
+                await asyncio.wait_for(self._wakeup.wait(), timeout=delay)
+            except asyncio.TimeoutError:
+                pass

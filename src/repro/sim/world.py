@@ -130,6 +130,13 @@ class World:
         degraded population, occupancy gauges, online RTD histogram).
         The same bit-identity contract as ``obs`` applies; the
         snapshot rides on :attr:`SimResult.metrics`.
+    transport_factory:
+        Optional callable with the
+        :func:`~repro.network.transport.default_transport` signature,
+        returning the :class:`~repro.network.transport.Transport` the
+        world runs on.  The injection seam for alternative media —
+        the serve mode's socket fabric, the codec round-trip harness —
+        without the world ever naming a concrete implementation.
     """
 
     def __init__(
@@ -142,6 +149,7 @@ class World:
         seed: Optional[int] = None,
         obs: Optional[EventLog] = None,
         metrics=None,
+        transport_factory=None,
     ):
         self._spec = resolve_policy(policy)
         self.policy = self._spec.name
@@ -177,7 +185,11 @@ class World:
                 rng=np.random.default_rng([channel_seed, 1]),
                 im_address=self.config.im.address,
             )
-        self.channel = default_transport(
+        make_transport = (
+            transport_factory if transport_factory is not None
+            else default_transport
+        )
+        self.channel = make_transport(
             self.env,
             delay_model=delay,
             loss_probability=self.config.message_loss,
@@ -318,6 +330,7 @@ def run_scenario(
     seed: Optional[int] = None,
     obs: Optional[EventLog] = None,
     metrics=None,
+    transport_factory=None,
 ) -> SimResult:
     """One-call wrapper: build a :class:`World`, run it, return results."""
     world = World(
@@ -329,5 +342,6 @@ def run_scenario(
         seed=seed,
         obs=obs,
         metrics=metrics,
+        transport_factory=transport_factory,
     )
     return world.run()

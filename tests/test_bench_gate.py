@@ -44,6 +44,18 @@ class TestClassify:
         ("pool_spawns", "info"),
         ("perf.des_events", "exact"),
         ("workload.policy", "exact"),
+        # serve-bench payload (BENCH_serve.json)
+        ("sweep.rate_800.tps", "ratio_up"),
+        ("sweep.rate_40.rtd_p99_wall_s", "time"),
+        ("sweep.rate_40.rtd_max_wall_s", "time"),
+        ("sweep.rate_120.sent", "info"),
+        ("sweep.rate_120.reject_rate", "info"),
+        ("overload.rejects", "info"),
+        ("overload.peak_backlog", "info"),
+        ("overload.alive_after_overload", "exact"),
+        ("server.wc_rtd_estimate_s", "info"),
+        ("server.requests_served", "info"),
+        ("workload.max_queue", "exact"),
     ])
     def test_kinds(self, key, kind):
         assert bench_gate.classify(key) == kind

@@ -1,0 +1,157 @@
+"""WC-RTD estimator: unit invariants, plus the fault-injected loopback
+acceptance test — with :class:`~repro.faults.models.DelaySpikes` delay
+injected on the serve link, the online estimate must cover the worst
+observation yet stay within the documented safety factor of the true
+injected delay bound:
+
+    ``window_max <= wc_rtd() <= safety_factor * B``
+
+where ``B`` is the per-round-trip bound implied by the injected delay
+distribution (both link directions at their maxima, plus an event-loop
+scheduling allowance).
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.faults.models import DelaySpikes
+from repro.serve import ImServer, RtdEstimator, ServeClient, ServeConfig
+from repro.network.messages import ExitNotification
+from tests.test_serve import _request
+
+
+class TestEstimatorUnit:
+    def test_validation(self):
+        for kwargs in (
+            {"alpha": 0.0}, {"alpha": 1.5}, {"window": 0},
+            {"safety_factor": 0.9}, {"floor": -1.0},
+        ):
+            with pytest.raises(ValueError):
+                RtdEstimator(**kwargs)
+
+    def test_first_sample_initialises_ewma(self):
+        estimator = RtdEstimator(alpha=0.5)
+        estimator.observe(0.100)
+        assert estimator.ewma == pytest.approx(0.100)
+        estimator.observe(0.200)
+        assert estimator.ewma == pytest.approx(0.150)
+
+    def test_negative_samples_ignored(self):
+        estimator = RtdEstimator()
+        estimator.observe(-0.1)
+        assert estimator.count == 0
+        assert estimator.wc_rtd() == 0.0
+
+    def test_window_max_slides(self):
+        estimator = RtdEstimator(window=4, safety_factor=2.0)
+        for sample in (0.5, 0.1, 0.1, 0.1):
+            estimator.observe(sample)
+        assert estimator.window_max == pytest.approx(0.5)
+        estimator.observe(0.1)  # 0.5 falls out of the window
+        assert estimator.window_max == pytest.approx(0.1)
+        assert estimator.max_seen == pytest.approx(0.5)
+        assert estimator.wc_rtd() == pytest.approx(0.2)
+
+    def test_floor_dominates_when_quiet(self):
+        estimator = RtdEstimator(floor=0.150)
+        assert estimator.wc_rtd() == pytest.approx(0.150)
+        estimator.observe(0.010)
+        assert estimator.wc_rtd() == pytest.approx(0.150)
+        estimator.observe(0.200)
+        assert estimator.wc_rtd() == pytest.approx(0.400)
+
+    def test_invariant_on_random_streams(self):
+        rng = np.random.default_rng(42)
+        for _ in range(20):
+            estimator = RtdEstimator(
+                window=64,
+                safety_factor=float(rng.uniform(1.0, 4.0)),
+            )
+            bound = float(rng.uniform(0.01, 0.5))
+            for _ in range(200):
+                estimator.observe(float(rng.uniform(0.0, bound)))
+            assert estimator.window_max <= estimator.wc_rtd()
+            assert estimator.wc_rtd() <= estimator.safety_factor * bound
+
+
+class TestFaultInjectedLoopback:
+    """Acceptance: the online estimate tracks a known injected bound."""
+
+    # Injected per-direction delay: BASE always, plus a DelaySpikes
+    # excursion up to SPIKE_HIGH.  Both directions of the ack round
+    # trip can hit the maximum, and the asyncio loop adds scheduling
+    # time on top — JITTER absorbs that (wall seconds, generous for CI).
+    BASE = 0.005
+    SPIKE_HIGH = 0.020
+    JITTER = 0.050
+    TRUE_BOUND = 2 * (BASE + SPIKE_HIGH) + JITTER
+
+    def test_estimate_within_safety_factor_of_true_bound(self):
+        spikes = DelaySpikes(prob=0.3, low=0.005, high=self.SPIKE_HIGH)
+        rng = np.random.default_rng(7)
+
+        def delay():
+            return self.BASE + spikes.sample(rng)
+
+        async def body():
+            server = ImServer(ServeConfig(
+                policy="crossroads",
+                time_scale=1.0,  # wall delay == simulated delay
+                safety_factor=2.0,
+                apply_estimate=True,
+                min_samples=5,
+                sample_dt=0.05,
+            ))
+            await server.start(listen=False)
+            link = server.connect_local(
+                to_server_delay=delay, to_client_delay=delay
+            )
+            client = ServeClient(link, address="V0", time_scale=1.0)
+            await client.start()
+            try:
+                await client.sync_clock()
+                for i in range(20):
+                    await client.request(
+                        _request("V0", index=i,
+                                 tt=client.local_time() + 1.0),
+                        timeout=5.0,
+                    )
+                    await client.send(
+                        ExitNotification(sender="V0", receiver="IM")
+                    )
+                await asyncio.sleep(0.1)  # let the sampler tick
+
+                estimator = server.estimator
+                assert estimator.count >= 20
+                # The invariant: covers the worst observation, bounded
+                # by safety_factor times the true injected bound.
+                assert estimator.window_max <= estimator.wc_rtd()
+                assert estimator.wc_rtd() <= (
+                    server.config.safety_factor * self.TRUE_BOUND
+                )
+                # Every sample respected the injected bound too (the
+                # measurement path adds no phantom delay).
+                assert estimator.max_seen <= self.TRUE_BOUND
+                assert estimator.max_seen >= 2 * self.BASE
+
+                # The estimate was applied to the live IM config and
+                # exported as a metrics series.
+                assert server.im.config.wc_rtd == pytest.approx(
+                    max(server.wc_rtd_estimate(), 1e-3)
+                )
+                entries = {
+                    entry["name"]: entry
+                    for entry in server.metrics.snapshot()["series"]
+                }
+                assert entries["serve.wc_rtd_estimate"]["value"] > 0.0
+                assert entries["serve.rtd_ewma"]["value"] == pytest.approx(
+                    estimator.ewma
+                )
+                assert entries["serve.rtd_seconds"]["count"] >= 20
+            finally:
+                await client.close()
+                await server.shutdown()
+
+        asyncio.run(body())

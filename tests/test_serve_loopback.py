@@ -1,0 +1,148 @@
+"""Loopback equivalence: the serve fabric does not change decisions.
+
+Two pins, per the L8 contract:
+
+* **Bit identity** — a stock :class:`~repro.sim.world.World` and the
+  same world whose transport round-trips *every* message through the
+  wire codec (:class:`~repro.network.wire.CodecChannel`) produce
+  identical results: same summary, same per-vehicle decision sequence.
+  The codec is provably lossless in situ, not just in unit round-trips.
+
+* **Decision-level pin over TCP** — a one-node world whose IM traffic
+  crosses a real localhost socket to a remote
+  :class:`~repro.serve.ImServer` reaches the same per-vehicle decision
+  sequence (grant/reject kinds, in order) as the stock in-process
+  channel.  Timing-tolerant by design: wall-clock jitter may shift
+  *when* decisions land, never *what* they are.
+"""
+
+import asyncio
+import threading
+
+from repro.geometry.layout import Approach, Movement, Turn
+from repro.network.wire import codec_transport
+from repro.obs.events import EventLog
+from repro.serve import ImServer, ServeConfig, run_world_over_server
+from repro.sim.world import World
+from repro.traffic import PoissonTraffic
+from repro.traffic.generator import Arrival
+
+#: Message kinds that are IM decisions (vehicle-bound verdicts).
+DECISIONS = frozenset(
+    {"CrossroadsCommand", "VelocityCommand", "AimAccept", "AimReject"}
+)
+
+
+def _decision_sequences(log: EventLog) -> dict:
+    """Per-vehicle ordered decision kinds from ``net.deliver`` events."""
+    out: dict = {}
+    for event in log.events:
+        if event.kind != "net.deliver":
+            continue
+        if event.data.get("msg") not in DECISIONS:
+            continue
+        out.setdefault(event.actor, []).append(event.data["msg"])
+    return out
+
+
+class TestCodecBitIdentity:
+    def _world(self, transport_factory=None):
+        return World(
+            "crossroads",
+            PoissonTraffic(0.3, seed=11).generate(12),
+            seed=7,
+            obs=EventLog(),
+            transport_factory=transport_factory,
+        )
+
+    def test_codec_transport_is_bit_identical(self):
+        stock = self._world()
+        stock_result = stock.run()
+        coded = self._world(transport_factory=codec_transport)
+        coded_result = coded.run()
+        assert coded_result.summary() == stock_result.summary()
+        assert coded.env.now == stock.env.now
+        assert coded.env.events_processed == stock.env.events_processed
+        assert _decision_sequences(coded.obs) == _decision_sequences(
+            stock.obs
+        )
+        stats = coded.channel.stats
+        assert stats.sent == stock.channel.stats.sent
+        assert stats.delivered == stock.channel.stats.delivered
+
+
+ARRIVALS = [
+    (0.0, Approach.SOUTH, Turn.STRAIGHT),
+    (2.0, Approach.EAST, Turn.RIGHT),
+    (4.0, Approach.NORTH, Turn.STRAIGHT),
+    (6.0, Approach.WEST, Turn.LEFT),
+]
+
+
+def _arrivals():
+    return [
+        Arrival(time=t, movement=Movement(entry=entry, turn=turn), speed=2.5)
+        for t, entry, turn in ARRIVALS
+    ]
+
+
+class TestTcpDecisionPin:
+    def test_world_over_tcp_matches_stock_decisions(self):
+        # Reference: the same workload on the stock in-process channel.
+        stock = World("crossroads", _arrivals(), seed=3, obs=EventLog())
+        stock_result = stock.run()
+        expected = _decision_sequences(stock.obs)
+        assert stock_result.n_finished == len(ARRIVALS)
+        assert expected, "stock run must produce decisions to pin against"
+
+        # Serve-mode server on its own thread + event loop.
+        holder = {}
+        ready = threading.Event()
+
+        def serve():
+            async def main():
+                server = ImServer(ServeConfig(
+                    policy="crossroads", port=0,
+                    time_scale=10.0, apply_estimate=False,
+                ))
+                await server.start()
+                holder["server"] = server
+                holder["loop"] = asyncio.get_running_loop()
+                ready.set()
+                await server.serve_forever()
+
+            asyncio.run(main())
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        assert ready.wait(10.0), "server failed to start"
+        server = holder["server"]
+
+        decisions: dict = {}
+
+        def on_deliver(message) -> None:
+            if type(message).__name__ in DECISIONS:
+                decisions.setdefault(message.receiver, []).append(
+                    type(message).__name__
+                )
+
+        try:
+            result = run_world_over_server(
+                "crossroads",
+                _arrivals(),
+                "127.0.0.1",
+                server.port,
+                seed=3,
+                time_scale=10.0,
+                on_deliver=on_deliver,
+            )
+        finally:
+            holder["loop"].call_soon_threadsafe(server.request_shutdown)
+            thread.join(timeout=10.0)
+        assert not thread.is_alive()
+
+        assert result.n_finished == len(ARRIVALS)
+        assert decisions == expected
+        assert server.im.stats.accepts == len(ARRIVALS)
+        assert server.im.stats.rejects == 0
+        assert server.im.stats.exits == len(ARRIVALS)

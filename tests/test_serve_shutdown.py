@@ -1,0 +1,87 @@
+"""Graceful shutdown of ``python -m repro serve`` (subprocess).
+
+SIGINT and SIGTERM must both drain the server, flush the final
+metrics snapshot and exit 0 — the contract an orchestrator (or an
+operator's ^C) relies on.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.obs.prom import parse_prometheus
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _spawn(metrics_out):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env.setdefault("PYTHONUNBUFFERED", "1")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--http-port", "0",
+            "--time-scale", "10",
+            "--duration", "60",  # safety net only; the signal ends it
+            "--metrics-out", str(metrics_out),
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    line = process.stdout.readline()
+    assert line.startswith("serving "), f"unexpected startup line: {line!r}"
+    assert " on tcp " in line
+    return process
+
+
+@pytest.mark.parametrize("signum", [signal.SIGINT, signal.SIGTERM],
+                         ids=["SIGINT", "SIGTERM"])
+def test_signal_drains_and_exits_zero(tmp_path, signum):
+    metrics_out = tmp_path / "serve.prom"
+    process = _spawn(metrics_out)
+    try:
+        time.sleep(0.3)  # let the listeners settle
+        process.send_signal(signum)
+        stdout, stderr = process.communicate(timeout=30)
+    except Exception:
+        process.kill()
+        raise
+    assert process.returncode == 0, (
+        f"exit {process.returncode}\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    )
+    assert "drained and stopped" in stdout
+    assert metrics_out.exists(), "final metrics snapshot not flushed"
+    samples = parse_prometheus(metrics_out.read_text())
+    names = {name for name, _labels, _value in samples}
+    assert any("serve_wc_rtd_estimate" in name for name in names)
+
+
+def test_duration_expiry_exits_zero(tmp_path):
+    metrics_out = tmp_path / "serve.prom"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    process = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--http-port", "0",
+            "--time-scale", "10",
+            "--duration", "0.5",
+            "--metrics-out", str(metrics_out),
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=30,
+    )
+    assert process.returncode == 0, process.stderr
+    assert "drained and stopped" in process.stdout
+    assert metrics_out.exists()

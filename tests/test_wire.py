@@ -1,0 +1,239 @@
+"""Wire-format hardening: the versioned codec round-trips every
+message type and rejects every malformed input with ``WireError``.
+
+The serve mode's server loop treats ``except WireError`` as its whole
+hardening boundary, so the property pinned here — *no* input makes
+``decode_message``/``FrameAssembler`` raise anything else — is what
+keeps a hostile byte stream from killing the service.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.geometry import Approach, Movement, Turn
+from repro.network import messages as M
+from repro.network.wire import (
+    MAX_FRAME,
+    WIRE_MAGIC,
+    WIRE_VERSION,
+    FrameAssembler,
+    WireError,
+    decode_message,
+    encode_frame,
+    encode_message,
+)
+from repro.vehicle import VehicleSpec
+from repro.vehicle.spec import VehicleInfo
+
+ALL_TYPES = [getattr(M, name) for name in M.__all__ if name != "Message"]
+
+
+def _vehicle_info(rng):
+    return VehicleInfo(
+        vehicle_id=int(rng.integers(0, 1000)),
+        spec=VehicleSpec(
+            length=float(rng.uniform(0.3, 1.0)),
+            width=float(rng.uniform(0.1, 0.5)),
+            a_max=float(rng.uniform(1.0, 5.0)),
+            d_max=float(rng.uniform(1.0, 5.0)),
+            v_max=float(rng.uniform(1.0, 5.0)),
+            wheelbase=0.3,
+        ),
+        movement=Movement(
+            entry=rng.choice(list(Approach)),
+            turn=rng.choice(list(Turn)),
+        ),
+        buffer=float(rng.uniform(0.0, 0.2)),
+    )
+
+
+def _random_message(cls, rng):
+    message = cls(sender=f"V{int(rng.integers(0, 99))}", receiver="IM")
+    for f in dataclasses.fields(cls):
+        if f.name in ("sender", "receiver", "seq", "corr"):
+            continue
+        if f.name == "vehicle_info":
+            value = _vehicle_info(rng) if rng.random() < 0.8 else None
+        elif isinstance(f.default, bool):
+            value = bool(rng.random() < 0.5)
+        elif isinstance(f.default, int):
+            value = int(rng.integers(0, 10_000))
+        else:
+            value = float(rng.uniform(-1e6, 1e6))
+        setattr(message, f.name, value)
+    message.corr = int(rng.integers(0, 10_000))
+    return message
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("cls", ALL_TYPES, ids=lambda c: c.__name__)
+    def test_defaults_round_trip(self, cls):
+        message = cls(sender="a", receiver="b")
+        decoded = decode_message(encode_message(message))
+        assert decoded == message
+        assert type(decoded) is cls
+        assert decoded.seq == message.seq
+        assert decoded.corr == message.corr
+
+    @pytest.mark.parametrize("cls", ALL_TYPES, ids=lambda c: c.__name__)
+    def test_random_payloads_round_trip(self, cls):
+        rng = np.random.default_rng(hash(cls.__name__) % 2**32)
+        for _ in range(25):
+            message = _random_message(cls, rng)
+            assert decode_message(encode_message(message)) == message
+
+    def test_decode_does_not_consume_global_seq(self):
+        """Re-constructing via the dataclass would shift every later
+        seq — the property the CodecChannel bit-identity rests on."""
+        message = M.CrossingRequest(sender="V1", receiver="IM", tt=1.0)
+        payload = encode_message(message)
+        probe_a = M.Ack(sender="x", receiver="y")
+        decode_message(payload)
+        decode_message(payload)
+        probe_b = M.Ack(sender="x", receiver="y")
+        assert probe_b.seq == probe_a.seq + 1
+
+    def test_float_fields_accept_json_integers(self):
+        message = M.SyncRequest(sender="a", receiver="b", t0=2.0)
+        payload = encode_message(message)
+        body = json.loads(payload[2:])
+        body["fields"]["t0"] = 2  # ints are valid JSON numbers
+        raw = bytes((WIRE_MAGIC, WIRE_VERSION)) + json.dumps(body).encode()
+        decoded = decode_message(raw)
+        assert decoded.t0 == 2.0 and isinstance(decoded.t0, float)
+
+
+class TestRejection:
+    """Every malformed input raises WireError — nothing else."""
+
+    @pytest.mark.parametrize("junk", [
+        b"",
+        b"\x00",
+        b"\xc5",
+        bytes((0x00, WIRE_VERSION)) + b"{}",          # bad magic
+        bytes((WIRE_MAGIC, WIRE_VERSION + 1)) + b"{}",  # future version
+        bytes((WIRE_MAGIC, WIRE_VERSION)) + b"not json",
+        bytes((WIRE_MAGIC, WIRE_VERSION)) + b"[1,2]",   # not an object
+        bytes((WIRE_MAGIC, WIRE_VERSION)) + b"\xff\xfe",  # not UTF-8
+    ], ids=["empty", "one-byte", "magic-only", "bad-magic", "bad-version",
+            "garbage", "non-object", "non-utf8"])
+    def test_garbage_rejected(self, junk):
+        with pytest.raises(WireError):
+            decode_message(junk)
+
+    def test_truncated_valid_payload_rejected(self):
+        payload = encode_message(M.Ack(sender="a", receiver="b"))
+        for cut in range(2, len(payload) - 1):
+            with pytest.raises(WireError):
+                decode_message(payload[:cut])
+
+    def test_random_garbage_never_raises_anything_else(self):
+        rng = np.random.default_rng(2017)
+        for _ in range(300):
+            blob = rng.bytes(int(rng.integers(0, 64)))
+            try:
+                decode_message(blob)
+            except WireError:
+                pass  # the only allowed outcome for bad input
+
+    def test_mutated_valid_frames_never_raise_anything_else(self):
+        rng = np.random.default_rng(7)
+        base = encode_message(_random_message(M.CrossingRequest, rng))
+        for _ in range(300):
+            blob = bytearray(base)
+            for _ in range(int(rng.integers(1, 4))):
+                blob[int(rng.integers(0, len(blob)))] = int(
+                    rng.integers(0, 256)
+                )
+            try:
+                decode_message(bytes(blob))
+            except WireError:
+                pass
+
+    @pytest.mark.parametrize("mutate", [
+        lambda b: b.pop("fields"),
+        lambda b: b.__setitem__("kind", "NoSuchMessage"),
+        lambda b: b.__setitem__("kind", 7),
+        lambda b: b.__setitem__("seq", "one"),
+        lambda b: b.__setitem__("seq", True),
+        lambda b: b.__setitem__("sender", 3),
+        lambda b: b.__setitem__("extra", 1),
+        lambda b: b["fields"].__setitem__("bogus", 1),
+        lambda b: b["fields"].pop("t0"),
+        lambda b: b["fields"].__setitem__("t0", "late"),
+        lambda b: b["fields"].__setitem__("t0", True),
+    ], ids=["no-fields", "unknown-kind", "non-str-kind", "str-seq",
+            "bool-seq", "int-sender", "extra-key", "extra-field",
+            "missing-field", "str-float", "bool-float"])
+    def test_structural_mutations_rejected(self, mutate):
+        payload = encode_message(M.SyncRequest(sender="a", receiver="b"))
+        body = json.loads(payload[2:])
+        mutate(body)
+        raw = bytes((WIRE_MAGIC, WIRE_VERSION)) + json.dumps(body).encode()
+        with pytest.raises(WireError):
+            decode_message(raw)
+
+    def test_bad_vehicle_info_rejected(self):
+        message = M.CrossingRequest(
+            sender="a", receiver="b",
+            vehicle_info=_vehicle_info(np.random.default_rng(1)),
+        )
+        payload = encode_message(message)
+        body = json.loads(payload[2:])
+        for mutation in [
+            lambda v: v.__setitem__("vehicle_id", "x"),
+            lambda v: v["spec"].__setitem__("length", -1.0),  # fails validation
+            lambda v: v["spec"].pop("width"),
+            lambda v: v["movement"].__setitem__("entry", "Q"),
+            lambda v: v["movement"].__setitem__("turn", "u-turn"),
+        ]:
+            mutated = json.loads(json.dumps(body))
+            mutation(mutated["fields"]["vehicle_info"])
+            raw = bytes((WIRE_MAGIC, WIRE_VERSION)) + json.dumps(
+                mutated
+            ).encode()
+            with pytest.raises(WireError):
+                decode_message(raw)
+
+    def test_nan_unencodable(self):
+        message = M.SyncRequest(sender="a", receiver="b", t0=float("nan"))
+        with pytest.raises(WireError):
+            encode_message(message)
+
+    def test_non_wire_object_unencodable(self):
+        with pytest.raises(WireError):
+            encode_message("not a message")
+
+
+class TestFraming:
+    def test_chunked_reassembly(self):
+        rng = np.random.default_rng(5)
+        frames = [
+            encode_frame(_random_message(cls, rng))
+            for cls in ALL_TYPES
+            for _ in range(3)
+        ]
+        stream = b"".join(frames)
+        assembler = FrameAssembler()
+        payloads = []
+        for i in range(0, len(stream), 7):  # deliberately odd chunking
+            payloads.extend(assembler.feed(stream[i:i + 7]))
+        assert len(payloads) == len(frames)
+        assert assembler.pending() == 0
+        for payload, frame in zip(payloads, frames):
+            assert payload == frame[4:]
+            decode_message(payload)  # every reassembled payload parses
+
+    @pytest.mark.parametrize("length", [0, MAX_FRAME + 1, 0xFFFFFFFF])
+    def test_out_of_bounds_length_prefix_rejected(self, length):
+        assembler = FrameAssembler()
+        with pytest.raises(WireError):
+            assembler.feed(length.to_bytes(4, "big") + b"xxxx")
+
+    def test_oversize_payload_unencodable(self):
+        message = M.SyncRequest(sender="a" * (MAX_FRAME + 16), receiver="b")
+        with pytest.raises(WireError):
+            encode_frame(message)

@@ -40,8 +40,18 @@ from typing import Dict, List, NamedTuple, Optional
 
 __all__ = ["Finding", "Tolerances", "classify", "compare", "compare_files", "main"]
 
-#: Keys reported but never gated (facts about the machine, not the code).
-INFO_KEYS = frozenset({"cpus", "pool_spawns"})
+#: Keys reported but never gated: facts about the machine, plus the
+#: serve bench's load-dependent raw tallies (sent/reject/timeout
+#: counts and the live WC-RTD estimate vary with wall-clock jitter;
+#: the gated signals are the sustained ``tps`` ratios, the ``*_wall_s``
+#: latencies and the deterministic overload contract).
+INFO_KEYS = frozenset({
+    "cpus", "pool_spawns",
+    "sent", "completed", "rejects", "timeouts",
+    "reject_rate", "timeout_rate", "peak_backlog",
+    "requests_served", "rtd_samples",
+    "wc_rtd_estimate_s", "worst_service_s",
+})
 
 
 class Tolerances(NamedTuple):
@@ -83,7 +93,7 @@ def classify(key: str) -> str:
         return "info"
     if "wall" in leaf:
         return "time"
-    if leaf.startswith("speedup") or leaf == "vehicles_per_s":
+    if leaf.startswith("speedup") or leaf in ("vehicles_per_s", "tps"):
         return "ratio_up"
     if "hit_rate" in leaf:
         return "rate"

@@ -66,8 +66,12 @@ LAYERS: Dict[str, int] = {
     "grid": 7,
     "analysis": 7,
     "scenarios": 7,
-    # Level 8 — the CLI facade.
+    # Level 8 — execution facades: the CLI, and the IM-as-a-service
+    # asyncio server/client/load-generator stack (serve hosts the IM
+    # core over real links; the CLI reaches it lazily inside command
+    # handlers, so no same-level edge exists).
     "cli": 8,
+    "serve": 8,
     # The repro/__init__.py + __main__.py facade re-exports everything.
     "<top>": 9,
 }
@@ -88,8 +92,14 @@ FORBIDDEN: Dict[str, Tuple[str, ...]] = {
     # the Transport seam (repro.network.transport.default_transport);
     # naming the in-process Channel — by module or by the re-exported
     # class — would pin the implementation the seam exists to hide.
-    "repro.sim": ("repro.network.channel", "repro.network.Channel"),
-    "repro.grid": ("repro.network.channel", "repro.network.Channel"),
+    # repro.serve joins the ban list: worlds reach the socket fabric
+    # only through the transport_factory injection seam, never by name.
+    "repro.sim": (
+        "repro.network.channel", "repro.network.Channel", "repro.serve",
+    ),
+    "repro.grid": (
+        "repro.network.channel", "repro.network.Channel", "repro.serve",
+    ),
 }
 
 ROOT_PACKAGE = "repro"
